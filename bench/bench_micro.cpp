@@ -1,0 +1,129 @@
+/// M1 — microbenchmarks of the hot data-plane primitives (google-benchmark):
+/// partial-aggregate merging, group-view ranking, the wire codec, Bloom
+/// filter probes, the RNG, and MicroHash top-k scans. These bound the CPU
+/// cost a mote-class port would pay per epoch.
+#include <benchmark/benchmark.h>
+
+#include "agg/group_view.hpp"
+#include "net/serializer.hpp"
+#include "storage/flash_sim.hpp"
+#include "storage/microhash.hpp"
+#include "util/bloom_filter.hpp"
+#include "util/fixed_point.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace kspot;
+
+void BM_RngNextU64(benchmark::State& state) {
+  util::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.NextU64());
+  }
+}
+BENCHMARK(BM_RngNextU64);
+
+void BM_RngGaussian(benchmark::State& state) {
+  util::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.NextGaussian(0, 1));
+  }
+}
+BENCHMARK(BM_RngGaussian);
+
+void BM_PartialAggMerge(benchmark::State& state) {
+  agg::PartialAgg a = agg::PartialAgg::FromValue(40.0);
+  agg::PartialAgg b = agg::PartialAgg::FromValue(75.0);
+  for (auto _ : state) {
+    agg::PartialAgg c = a;
+    c.Merge(b);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_PartialAggMerge);
+
+void BM_GroupViewMerge(benchmark::State& state) {
+  size_t groups = static_cast<size_t>(state.range(0));
+  util::Rng rng(2);
+  agg::GroupView a, b;
+  for (size_t g = 0; g < groups; ++g) {
+    a.AddReading(static_cast<sim::GroupId>(g), rng.NextDouble(0, 100));
+    b.AddReading(static_cast<sim::GroupId>(g), rng.NextDouble(0, 100));
+  }
+  for (auto _ : state) {
+    agg::GroupView merged = a;
+    merged.MergeView(b);
+    benchmark::DoNotOptimize(merged);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(groups));
+}
+BENCHMARK(BM_GroupViewMerge)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_GroupViewTopK(benchmark::State& state) {
+  size_t groups = static_cast<size_t>(state.range(0));
+  util::Rng rng(3);
+  agg::GroupView view;
+  for (size_t g = 0; g < groups; ++g) {
+    view.AddReading(static_cast<sim::GroupId>(g), rng.NextDouble(0, 100));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(view.TopK(agg::AggKind::kAvg, 5));
+  }
+}
+BENCHMARK(BM_GroupViewTopK)->Arg(16)->Arg(256);
+
+void BM_ViewCodecRoundTrip(benchmark::State& state) {
+  size_t groups = static_cast<size_t>(state.range(0));
+  util::Rng rng(4);
+  agg::GroupView view;
+  for (size_t g = 0; g < groups; ++g) {
+    view.AddReading(static_cast<sim::GroupId>(g), rng.NextDouble(0, 100));
+  }
+  for (auto _ : state) {
+    net::Writer w;
+    agg::codec::WriteView(w, agg::AggKind::kAvg, view);
+    net::Reader r(w.bytes());
+    agg::GroupView parsed;
+    agg::codec::ReadView(r, agg::AggKind::kAvg, &parsed);
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(agg::codec::ViewWireBytes(agg::AggKind::kAvg,
+                                                                         groups)));
+}
+BENCHMARK(BM_ViewCodecRoundTrip)->Arg(8)->Arg(64);
+
+void BM_BloomInsertProbe(benchmark::State& state) {
+  util::BloomFilter bf = util::BloomFilter::WithExpectedItems(256, 0.05);
+  for (uint64_t k = 0; k < 256; ++k) bf.Insert(k);
+  uint64_t probe = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bf.MayContain(probe++));
+  }
+}
+BENCHMARK(BM_BloomInsertProbe);
+
+void BM_FixedPointEncode(benchmark::State& state) {
+  double v = 75.37;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::fixed_point::Encode(v));
+    v += 0.001;
+  }
+}
+BENCHMARK(BM_FixedPointEncode);
+
+void BM_MicroHashTopK(benchmark::State& state) {
+  storage::FlashSim flash;
+  storage::MicroHashIndex index(&flash, 0, 100, 16);
+  util::Rng rng(5);
+  for (sim::Epoch e = 0; e < 2000; ++e) {
+    index.Insert(e, rng.NextDouble(0, 100));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.TopK(10));
+  }
+}
+BENCHMARK(BM_MicroHashTopK);
+
+}  // namespace

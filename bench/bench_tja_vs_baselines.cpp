@@ -1,0 +1,76 @@
+/// E6 — historic (vertically fragmented) top-k: bytes to answer "find the K
+/// time instances with the highest average" over buffered windows, for TJA
+/// vs TPUT (flat three-phase), TAG-H (full in-network aggregation of all W
+/// keys) and CJA (raw centralized shipping). Expected shape: CJA >> TAG-H >
+/// TPUT > TJA, with TJA's advantage growing with the window and shrinking
+/// as K grows toward W.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/centralized.hpp"
+#include "core/tja.hpp"
+#include "core/tput.hpp"
+#include "util/string_util.hpp"
+#include "util/table_printer.hpp"
+
+using namespace kspot;
+
+namespace {
+
+/// Temporally correlated history: a building-wide walk + per-sensor noise on
+/// an integer grid (hot instants shared across nodes — TJA's regime).
+core::GeneratorHistory MakeHistory(const bench::Bed& bed, size_t window, uint64_t seed) {
+  return bench::MakeEventHistory(bed, window, seed);
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("E6", "historic top-k bytes: TJA vs TPUT vs TAG-H vs CJA");
+  const uint64_t kSeed = 17;
+
+  for (size_t n : {25, 100}) {
+    for (size_t window : {64, 256}) {
+      std::printf("\n--- n=%zu sensors+sink, window W=%zu ---\n", n, window);
+      util::TablePrinter table({"K", "TJA bytes", "TPUT bytes", "TAG-H bytes", "CJA bytes",
+                                "TJA/TAG-H", "|Lsink|", "rounds"});
+      for (int k : {1, 2, 4, 8, 16}) {
+        core::HistoricOptions opt;
+        opt.k = k;
+
+        auto tja_bed = bench::Bed::Grid(n, 4, kSeed);
+        auto h1 = MakeHistory(tja_bed, window, kSeed);
+        core::Tja tja(tja_bed.net.get(), &h1, opt);
+        auto tja_result = tja.Run();
+
+        auto tput_bed = bench::Bed::Grid(n, 4, kSeed);
+        auto h2 = MakeHistory(tput_bed, window, kSeed);
+        core::Tput tput(tput_bed.net.get(), &h2, opt);
+        tput.Run();
+
+        auto tagh_bed = bench::Bed::Grid(n, 4, kSeed);
+        auto h3 = MakeHistory(tagh_bed, window, kSeed);
+        core::TagHistoric tagh(tagh_bed.net.get(), &h3, opt);
+        tagh.Run();
+
+        auto cja_bed = bench::Bed::Grid(n, 4, kSeed);
+        auto h4 = MakeHistory(cja_bed, window, kSeed);
+        core::Cja cja(cja_bed.net.get(), &h4, opt);
+        cja.Run();
+
+        double ratio = static_cast<double>(tja_bed.net->total().payload_bytes) /
+                       static_cast<double>(tagh_bed.net->total().payload_bytes);
+        table.AddRow(std::vector<std::string>{
+            std::to_string(k), std::to_string(tja_bed.net->total().payload_bytes),
+            std::to_string(tput_bed.net->total().payload_bytes),
+            std::to_string(tagh_bed.net->total().payload_bytes),
+            std::to_string(cja_bed.net->total().payload_bytes),
+            util::FormatDouble(ratio, 2), std::to_string(tja_result.lsink_size),
+            std::to_string(tja_result.rounds)});
+      }
+      table.Print(std::cout);
+    }
+  }
+  return 0;
+}

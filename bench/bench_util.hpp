@@ -1,0 +1,157 @@
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/epoch_algorithm.hpp"
+#include "core/history_source.hpp"
+#include "core/oracle.hpp"
+#include "data/generators.hpp"
+#include "sim/network.hpp"
+#include "sim/routing_tree.hpp"
+#include "sim/topology.hpp"
+#include "util/rng.hpp"
+
+namespace kspot::bench {
+
+/// A ready-to-run simulated deployment for benchmarks (topology + routing
+/// tree + network with counters).
+struct Bed {
+  sim::Topology topology;
+  sim::RoutingTree tree;
+  std::unique_ptr<sim::Network> net;
+
+  /// Regular grid with rectangular rooms (deterministic placement).
+  static Bed Grid(size_t nodes, size_t rooms, uint64_t seed, sim::NetworkOptions opt = {}) {
+    Bed bed;
+    sim::TopologyOptions topt;
+    topt.num_nodes = nodes;
+    topt.num_rooms = rooms;
+    bed.topology = sim::MakeGrid(topt);
+    util::Rng rng(seed);
+    bed.tree = sim::RoutingTree::BuildClusterAware(bed.topology, rng);
+    bed.net = std::make_unique<sim::Network>(&bed.topology, &bed.tree, opt,
+                                             util::Rng(seed ^ 0xBEEF));
+    return bed;
+  }
+
+  /// Clustered rooms (the conference deployment shape).
+  static Bed Clustered(size_t nodes, size_t rooms, uint64_t seed, sim::NetworkOptions opt = {}) {
+    Bed bed;
+    sim::TopologyOptions topt;
+    topt.num_nodes = nodes;
+    topt.num_rooms = rooms;
+    util::Rng topo_rng(seed);
+    bed.topology = sim::MakeClusteredRooms(topt, topo_rng);
+    util::Rng rng(seed ^ 0x5151);
+    bed.tree = sim::RoutingTree::BuildClusterAware(bed.topology, rng);
+    bed.net = std::make_unique<sim::Network>(&bed.topology, &bed.tree, opt,
+                                             util::Rng(seed ^ 0xBEEF));
+    return bed;
+  }
+
+  /// The exact Figure-1 deployment and routing tree.
+  static Bed Figure1(sim::NetworkOptions opt = {}) {
+    Bed bed;
+    bed.topology = sim::MakeFigure1();
+    bed.tree = sim::RoutingTree::FromParents(sim::MakeFigure1Parents());
+    bed.net = std::make_unique<sim::Network>(&bed.topology, &bed.tree, opt, util::Rng(42));
+    return bed;
+  }
+
+  /// The demo's default data: rooms with distinct drifting activity, integer
+  /// ADC readings.
+  std::unique_ptr<data::DataGenerator> RoomData(uint64_t seed, double room_sigma = 0.5,
+                                                double noise_sigma = 0.5,
+                                                double global_sigma = 0.0,
+                                                double quantize_step = 1.0) const {
+    std::vector<sim::GroupId> rooms;
+    rooms.reserve(topology.num_nodes());
+    for (sim::NodeId id = 0; id < topology.num_nodes(); ++id) {
+      rooms.push_back(topology.room(id));
+    }
+    return std::make_unique<data::RoomCorrelatedGenerator>(
+        std::move(rooms), data::Modality::kSound, room_sigma, noise_sigma, util::Rng(seed),
+        global_sigma, quantize_step);
+  }
+};
+
+/// Historic workload with *shared events*: a quiet building-wide baseline
+/// with occasional pronounced activity bursts every node observes (plus
+/// per-sensor noise). Hot time instances are shared across nodes — the
+/// regime historic top-k queries target (a handful of loud minutes in
+/// months of quiet). Returns the materialized per-node windows.
+inline core::GeneratorHistory MakeEventHistory(const Bed& bed, size_t window, uint64_t seed,
+                                               double event_prob = 0.06) {
+  util::Rng rng(seed * 1315423911ULL + 17);
+  size_t n = bed.topology.num_nodes();
+  std::vector<std::vector<double>> matrix(window, std::vector<double>(n, 0.0));
+  for (size_t t = 0; t < window; ++t) {
+    double level = rng.NextBernoulli(event_prob) ? rng.NextDouble(70.0, 100.0)
+                                                 : 20.0 + rng.NextGaussian(0.0, 3.0);
+    for (size_t id = 1; id < n; ++id) {
+      matrix[t][id] = std::round(level + rng.NextGaussian(0.0, 1.0));
+    }
+  }
+  data::TraceGenerator gen(std::move(matrix), data::Modality::kSound);
+  return core::GeneratorHistory(&gen, n, 0, window);
+}
+
+/// Outcome of running a snapshot algorithm for a number of epochs.
+struct SnapshotRun {
+  sim::TrafficCounters total;      ///< Whole-run traffic.
+  sim::TrafficCounters steady;     ///< Traffic excluding the first epoch.
+  size_t epochs = 0;
+  double mean_recall = 1.0;        ///< vs the oracle (1.0 when exact).
+
+  double MsgsPerEpoch() const {
+    return epochs ? static_cast<double>(total.messages) / static_cast<double>(epochs) : 0;
+  }
+  double BytesPerEpoch() const {
+    return epochs ? static_cast<double>(total.payload_bytes) / static_cast<double>(epochs) : 0;
+  }
+  double SteadyMsgsPerEpoch() const {
+    return epochs > 1 ? static_cast<double>(steady.messages) / static_cast<double>(epochs - 1)
+                      : 0;
+  }
+  double SteadyBytesPerEpoch() const {
+    return epochs > 1
+               ? static_cast<double>(steady.payload_bytes) / static_cast<double>(epochs - 1)
+               : 0;
+  }
+  double EnergyPerEpochMilliJ() const {
+    return epochs ? 1e3 * total.energy_j() / static_cast<double>(epochs) : 0;
+  }
+};
+
+/// Runs `algo` for `epochs` epochs on `net`, comparing against `oracle`
+/// (pass nullptr to skip recall accounting).
+inline SnapshotRun RunSnapshot(core::EpochAlgorithm& algo, sim::Network& net,
+                               const core::Oracle* oracle, size_t epochs) {
+  SnapshotRun run;
+  run.epochs = epochs;
+  double recall_sum = 0.0;
+  sim::TrafficCounters after_first;
+  for (size_t e = 0; e < epochs; ++e) {
+    core::TopKResult result = algo.RunEpoch(static_cast<sim::Epoch>(e));
+    if (oracle != nullptr) {
+      recall_sum += result.RecallAgainst(oracle->TopK(static_cast<sim::Epoch>(e)));
+    }
+    if (e == 0) after_first = net.total();
+  }
+  run.total = net.total();
+  run.steady = net.total().Since(after_first);
+  run.mean_recall = oracle != nullptr && epochs > 0
+                        ? recall_sum / static_cast<double>(epochs)
+                        : 1.0;
+  return run;
+}
+
+/// Prints the standard experiment banner.
+inline void Banner(const char* id, const char* title) {
+  std::printf("\n=== %s: %s ===\n", id, title);
+}
+
+}  // namespace kspot::bench

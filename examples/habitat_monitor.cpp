@@ -1,0 +1,133 @@
+/// Habitat monitoring — the Section-I application class ([1], [2]): a
+/// temperature-instrumented reserve divided into zones. Shows three query
+/// shapes over one deployment:
+///
+/// * "which zones are hottest right now" (TOP-3 AVG GROUP BY roomid -> MINT),
+/// * "which individual sensors read highest" (node ranking -> MINT's
+///   threshold-monitoring degenerate case, compared against FILA), and
+/// * MAX aggregates (hot-spot detection).
+#include <cstdio>
+
+#include "core/fila.hpp"
+#include "core/mint.hpp"
+#include "core/oracle.hpp"
+#include "core/tag.hpp"
+#include "data/generators.hpp"
+#include "sim/network.hpp"
+#include "sim/routing_tree.hpp"
+#include "sim/topology.hpp"
+
+using namespace kspot;
+
+namespace {
+
+struct Deployment {
+  sim::Topology topology;
+  sim::RoutingTree tree;
+};
+
+Deployment MakeReserve(uint64_t seed) {
+  sim::TopologyOptions opt;
+  opt.num_nodes = 61;   // sink + 60 motes
+  opt.num_rooms = 6;    // zones
+  opt.field_size = 300;  // meters
+  opt.comm_range = 60;
+  util::Rng rng(seed);
+  Deployment d;
+  d.topology = sim::MakeClusteredRooms(opt, rng);
+  util::Rng tree_rng(seed ^ 0xF00D);
+  d.tree = sim::RoutingTree::BuildClusterAware(d.topology, tree_rng);
+  return d;
+}
+
+std::vector<sim::GroupId> Rooms(const sim::Topology& topo) {
+  std::vector<sim::GroupId> rooms;
+  for (sim::NodeId id = 0; id < topo.num_nodes(); ++id) rooms.push_back(topo.room(id));
+  return rooms;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== KSpot habitat monitor: 60 motes, 6 zones, temperature ===\n");
+  const uint64_t kSeed = 77;
+  const size_t kEpochs = 30;
+
+  // --- Zone ranking: TOP-3 zones by average temperature --------------------
+  {
+    Deployment d = MakeReserve(kSeed);
+    sim::Network net(&d.topology, &d.tree, {}, util::Rng(kSeed));
+    data::RoomCorrelatedGenerator gen(Rooms(d.topology), data::Modality::kTemperature,
+                                      /*room_sigma=*/0.3, /*noise_sigma=*/0.4,
+                                      util::Rng(kSeed), /*global_sigma=*/0.0,
+                                      /*quantize_step=*/0.5);
+    core::QuerySpec spec;
+    spec.k = 3;
+    spec.agg = agg::AggKind::kAvg;
+    spec.grouping = core::Grouping::kRoom;
+    spec.SetDomainFrom(data::GetModalityInfo(data::Modality::kTemperature));
+
+    core::MintViews mint(&net, &gen, spec);
+    core::TopKResult last;
+    for (size_t e = 0; e < kEpochs; ++e) last = mint.RunEpoch(static_cast<sim::Epoch>(e));
+    std::printf("\nTOP-3 zones by AVG(temperature) after %zu epochs:\n", kEpochs);
+    for (size_t i = 0; i < last.items.size(); ++i) {
+      std::printf("  %zu. zone %d at %.2f C\n", i + 1, last.items[i].group,
+                  last.items[i].value);
+    }
+    std::printf("  cost: %llu messages, %llu bytes (MINT; %d repairs)\n",
+                static_cast<unsigned long long>(net.total().messages),
+                static_cast<unsigned long long>(net.total().payload_bytes),
+                mint.repair_count());
+  }
+
+  // --- Hot-spot detection: TOP-1 zone by MAX ------------------------------
+  {
+    Deployment d = MakeReserve(kSeed);
+    sim::Network net(&d.topology, &d.tree, {}, util::Rng(kSeed + 1));
+    data::RoomCorrelatedGenerator gen(Rooms(d.topology), data::Modality::kTemperature, 0.3,
+                                      0.4, util::Rng(kSeed), 0.0, 0.5);
+    core::QuerySpec spec;
+    spec.k = 1;
+    spec.agg = agg::AggKind::kMax;
+    spec.grouping = core::Grouping::kRoom;
+    spec.SetDomainFrom(data::GetModalityInfo(data::Modality::kTemperature));
+    core::MintViews mint(&net, &gen, spec);
+    core::TopKResult last;
+    for (size_t e = 0; e < kEpochs; ++e) last = mint.RunEpoch(static_cast<sim::Epoch>(e));
+    std::printf("\nHot spot (TOP-1 zone by MAX): zone %d peaking at %.2f C\n",
+                last.items.at(0).group, last.items[0].value);
+  }
+
+  // --- Sensor ranking: MINT vs FILA on the same node-level query ----------
+  {
+    core::QuerySpec spec;
+    spec.k = 5;
+    spec.agg = agg::AggKind::kAvg;
+    spec.grouping = core::Grouping::kNode;
+    spec.SetDomainFrom(data::GetModalityInfo(data::Modality::kTemperature));
+
+    auto run = [&](const char* name, auto&& make_algo) {
+      Deployment d = MakeReserve(kSeed);
+      sim::Network net(&d.topology, &d.tree, {}, util::Rng(kSeed + 2));
+      data::RandomWalkGenerator gen(d.topology.num_nodes(), data::Modality::kTemperature,
+                                    0.15, util::Rng(kSeed + 3), /*quantize_step=*/0.5);
+      auto algo = make_algo(net, gen, spec);
+      for (size_t e = 0; e < kEpochs; ++e) algo->RunEpoch(static_cast<sim::Epoch>(e));
+      std::printf("  %-5s %6llu messages, %7llu bytes over %zu epochs\n", name,
+                  static_cast<unsigned long long>(net.total().messages),
+                  static_cast<unsigned long long>(net.total().payload_bytes), kEpochs);
+    };
+    std::printf("\nTOP-5 sensors by temperature — monitoring cost comparison:\n");
+    run("MINT", [](sim::Network& net, data::DataGenerator& gen, const core::QuerySpec& spec) {
+      return std::make_unique<core::MintViews>(&net, &gen, spec);
+    });
+    run("FILA", [](sim::Network& net, data::DataGenerator& gen, const core::QuerySpec& spec) {
+      return std::make_unique<core::Fila>(&net, &gen, spec);
+    });
+    run("TAG", [](sim::Network& net, data::DataGenerator& gen, const core::QuerySpec& spec) {
+      return std::make_unique<core::TagTopK>(&net, &gen, spec);
+    });
+  }
+  return 0;
+}

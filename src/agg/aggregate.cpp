@@ -1,0 +1,75 @@
+#include "agg/aggregate.hpp"
+
+#include <algorithm>
+
+#include "util/fixed_point.hpp"
+#include "util/string_util.hpp"
+
+namespace kspot::agg {
+
+std::string AggKindName(AggKind kind) {
+  switch (kind) {
+    case AggKind::kAvg: return "AVG";
+    case AggKind::kSum: return "SUM";
+    case AggKind::kMin: return "MIN";
+    case AggKind::kMax: return "MAX";
+    case AggKind::kCount: return "COUNT";
+  }
+  return "?";
+}
+
+bool ParseAggKind(const std::string& name, AggKind* out) {
+  static const std::pair<const char*, AggKind> kNames[] = {
+      {"AVG", AggKind::kAvg},     {"AVERAGE", AggKind::kAvg}, {"SUM", AggKind::kSum},
+      {"MIN", AggKind::kMin},     {"MAX", AggKind::kMax},     {"COUNT", AggKind::kCount},
+  };
+  for (const auto& [n, k] : kNames) {
+    if (util::EqualsIgnoreCase(name, n)) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+PartialAgg PartialAgg::FromValue(double value) {
+  int32_t fx = util::fixed_point::Encode(value);
+  PartialAgg p;
+  p.sum_fx = fx;
+  p.count = 1;
+  p.min_fx = fx;
+  p.max_fx = fx;
+  return p;
+}
+
+void PartialAgg::Merge(const PartialAgg& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  sum_fx += other.sum_fx;
+  count += other.count;
+  min_fx = std::min(min_fx, other.min_fx);
+  max_fx = std::max(max_fx, other.max_fx);
+}
+
+double PartialAgg::Final(AggKind kind) const {
+  if (count == 0) return 0.0;
+  switch (kind) {
+    case AggKind::kAvg:
+      return static_cast<double>(sum_fx) / util::fixed_point::kScale /
+             static_cast<double>(count);
+    case AggKind::kSum:
+      return static_cast<double>(sum_fx) / util::fixed_point::kScale;
+    case AggKind::kMin:
+      return util::fixed_point::Decode(min_fx);
+    case AggKind::kMax:
+      return util::fixed_point::Decode(max_fx);
+    case AggKind::kCount:
+      return static_cast<double>(count);
+  }
+  return 0.0;
+}
+
+}  // namespace kspot::agg

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace kspot::agg {
+
+/// Aggregate functions supported by the KSpot query panel (AVG, MIN, MAX per
+/// the paper's GUI, plus SUM and COUNT which TAG provides for free).
+enum class AggKind : uint8_t {
+  kAvg,
+  kSum,
+  kMin,
+  kMax,
+  kCount,
+};
+
+/// Human-readable name ("AVG", ...).
+std::string AggKindName(AggKind kind);
+
+/// Parses an aggregate name (case-insensitive); false when unknown.
+bool ParseAggKind(const std::string& name, AggKind* out);
+
+/// Mergeable partial aggregate state — TAG's partial state record.
+///
+/// All arithmetic is integer fixed-point (util::fixed_point) so that merging
+/// partials in any tree order yields bit-identical results to centralized
+/// evaluation; only the final AVG division returns to floating point.
+struct PartialAgg {
+  int64_t sum_fx = 0;   ///< Sum of fixed-point readings.
+  uint32_t count = 0;   ///< Number of readings merged.
+  int32_t min_fx = 0;   ///< Minimum fixed-point reading (valid when count > 0).
+  int32_t max_fx = 0;   ///< Maximum fixed-point reading (valid when count > 0).
+
+  /// Partial for a single reading `value` (quantized to fixed point).
+  static PartialAgg FromValue(double value);
+
+  /// Merges `other` into this partial (associative + commutative).
+  void Merge(const PartialAgg& other);
+
+  /// Final value under `kind` (AVG divides; COUNT returns count).
+  double Final(AggKind kind) const;
+
+  /// True when no readings have been merged.
+  bool empty() const { return count == 0; }
+};
+
+}  // namespace kspot::agg

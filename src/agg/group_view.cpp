@@ -1,0 +1,137 @@
+#include "agg/group_view.hpp"
+
+#include <algorithm>
+
+namespace kspot::agg {
+
+bool RankHigher(const RankedItem& a, const RankedItem& b) {
+  if (a.value != b.value) return a.value > b.value;
+  return a.group < b.group;
+}
+
+void GroupView::AddReading(sim::GroupId group, double value) {
+  entries_[group].Merge(PartialAgg::FromValue(value));
+}
+
+void GroupView::MergePartial(sim::GroupId group, const PartialAgg& partial) {
+  entries_[group].Merge(partial);
+}
+
+void GroupView::MergeView(const GroupView& other) {
+  for (const auto& [group, partial] : other.entries_) MergePartial(group, partial);
+}
+
+PartialAgg GroupView::Get(sim::GroupId group) const {
+  auto it = entries_.find(group);
+  return it == entries_.end() ? PartialAgg{} : it->second;
+}
+
+std::vector<RankedItem> GroupView::Ranked(AggKind kind) const {
+  std::vector<RankedItem> out;
+  out.reserve(entries_.size());
+  for (const auto& [group, partial] : entries_) {
+    out.push_back(RankedItem{group, partial.Final(kind)});
+  }
+  std::sort(out.begin(), out.end(), RankHigher);
+  return out;
+}
+
+std::vector<RankedItem> GroupView::TopK(AggKind kind, size_t k) const {
+  std::vector<RankedItem> ranked = Ranked(kind);
+  if (ranked.size() > k) ranked.resize(k);
+  return ranked;
+}
+
+void GroupView::PruneToLocalTopK(AggKind kind, size_t k) {
+  if (entries_.size() <= k) return;
+  std::vector<RankedItem> keep = TopK(kind, k);
+  std::map<sim::GroupId, PartialAgg> pruned;
+  for (const RankedItem& item : keep) {
+    pruned[item.group] = entries_[item.group];
+  }
+  entries_ = std::move(pruned);
+}
+
+namespace codec {
+
+namespace {
+
+// Per-entry wire bytes after the u16 group id. Each aggregate carries exactly
+// the fields its final value needs, plus the merge count where MINT's
+// completeness check requires it (AVG/SUM/MIN/COUNT; MAX pruning is
+// completeness-free, see DESIGN.md).
+size_t EntryBodyBytes(AggKind kind) {
+  switch (kind) {
+    case AggKind::kAvg: return 8 + 2;  // sum, count
+    case AggKind::kSum: return 8 + 2;  // sum, count
+    case AggKind::kMin: return 4 + 2;  // min, count
+    case AggKind::kMax: return 4;      // max
+    case AggKind::kCount: return 2;    // count
+  }
+  return 0;
+}
+
+}  // namespace
+
+size_t ViewWireBytes(AggKind kind, size_t entries) {
+  return 2 + entries * (2 + EntryBodyBytes(kind));
+}
+
+void WriteView(net::Writer& w, AggKind kind, const GroupView& view) {
+  w.PutU16(static_cast<uint16_t>(view.size()));
+  for (const auto& [group, partial] : view.entries()) {
+    w.PutU16(static_cast<uint16_t>(group));
+    switch (kind) {
+      case AggKind::kAvg:
+      case AggKind::kSum:
+        w.PutI64(partial.sum_fx);
+        w.PutU16(static_cast<uint16_t>(partial.count));
+        break;
+      case AggKind::kMin:
+        w.PutI32(partial.min_fx);
+        w.PutU16(static_cast<uint16_t>(partial.count));
+        break;
+      case AggKind::kMax:
+        w.PutI32(partial.max_fx);
+        break;
+      case AggKind::kCount:
+        w.PutU16(static_cast<uint16_t>(partial.count));
+        break;
+    }
+  }
+}
+
+bool ReadView(net::Reader& r, AggKind kind, GroupView* out) {
+  // Decoded partials are only meaningful under the same `kind` they were
+  // encoded with; fields not on the wire are defaulted.
+  uint16_t n = r.GetU16();
+  for (uint16_t i = 0; i < n; ++i) {
+    auto group = static_cast<sim::GroupId>(r.GetU16());
+    PartialAgg p;
+    switch (kind) {
+      case AggKind::kAvg:
+      case AggKind::kSum:
+        p.sum_fx = r.GetI64();
+        p.count = r.GetU16();
+        break;
+      case AggKind::kMin:
+        p.min_fx = r.GetI32();
+        p.count = r.GetU16();
+        break;
+      case AggKind::kMax:
+        p.max_fx = r.GetI32();
+        p.count = 1;
+        break;
+      case AggKind::kCount:
+        p.count = r.GetU16();
+        break;
+    }
+    if (!r.ok()) return false;
+    out->MergePartial(group, p);
+  }
+  return r.ok();
+}
+
+}  // namespace codec
+
+}  // namespace kspot::agg

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "agg/aggregate.hpp"
+#include "net/serializer.hpp"
+#include "sim/types.hpp"
+
+namespace kspot::agg {
+
+/// One ranked answer: a group and its final aggregate value.
+struct RankedItem {
+  sim::GroupId group = 0;
+  double value = 0.0;
+
+  friend bool operator==(const RankedItem& a, const RankedItem& b) = default;
+};
+
+/// Deterministic ranking order: value descending, group id ascending on ties.
+bool RankHigher(const RankedItem& a, const RankedItem& b);
+
+/// A materialized view V_i: the per-group partial aggregates a node (or the
+/// sink) holds. This is the object MINT's in-network hierarchy maintains —
+/// ancestor views are supersets of descendant views.
+class GroupView {
+ public:
+  /// Adds one sensor reading to `group`.
+  void AddReading(sim::GroupId group, double value);
+
+  /// Merges a partial for `group`.
+  void MergePartial(sim::GroupId group, const PartialAgg& partial);
+
+  /// Merges a whole view.
+  void MergeView(const GroupView& other);
+
+  /// Partial for `group`; empty partial if absent.
+  PartialAgg Get(sim::GroupId group) const;
+
+  /// True when `group` is present.
+  bool Contains(sim::GroupId group) const { return entries_.count(group) > 0; }
+
+  /// Removes `group`; no-op when absent.
+  void Erase(sim::GroupId group) { entries_.erase(group); }
+
+  /// Number of groups.
+  size_t size() const { return entries_.size(); }
+  /// True when no groups are present.
+  bool empty() const { return entries_.empty(); }
+
+  /// Underlying ordered entries (group -> partial).
+  const std::map<sim::GroupId, PartialAgg>& entries() const { return entries_; }
+
+  /// Final values for all groups under `kind`, ranked best-first.
+  std::vector<RankedItem> Ranked(AggKind kind) const;
+
+  /// The K best groups under `kind` (all groups if fewer than k).
+  std::vector<RankedItem> TopK(AggKind kind, size_t k) const;
+
+  /// Keeps only the K best groups under `kind` (the *naive* local pruning of
+  /// Section III-A — provided so the Naive algorithm and tests can exercise
+  /// the anomaly).
+  void PruneToLocalTopK(AggKind kind, size_t k);
+
+ private:
+  std::map<sim::GroupId, PartialAgg> entries_;
+};
+
+/// Wire codec for views. Entry layouts (little endian):
+///   AVG / SUM / COUNT / MIN: group u16, sum i64, count u16, min i32 -> 16 B
+///   MAX:                     group u16, max i32                    ->  6 B
+/// A serialized view is: count u16, then entries. The MAX layout is smaller
+/// because MAX pruning needs no completeness bookkeeping (see DESIGN.md).
+namespace codec {
+
+/// Serialized size of a view with `entries` entries under `kind`.
+size_t ViewWireBytes(AggKind kind, size_t entries);
+
+/// Appends `view` to `w`.
+void WriteView(net::Writer& w, AggKind kind, const GroupView& view);
+
+/// Parses a view; returns false on malformed input.
+bool ReadView(net::Reader& r, AggKind kind, GroupView* out);
+
+}  // namespace codec
+
+}  // namespace kspot::agg

@@ -1,0 +1,77 @@
+#include "core/centralized.hpp"
+
+#include <algorithm>
+
+#include "sim/waves.hpp"
+
+namespace kspot::core {
+
+namespace {
+
+/// Raw relayed tuple: window key (u16) + fixed-point value (i32).
+constexpr size_t kEntryBytes = 6;
+
+}  // namespace
+
+Cja::Cja(sim::Network* net, const HistorySource* history, HistoricOptions options)
+    : net_(net), history_(history), options_(options) {}
+
+HistoricResult Cja::Run() {
+  using Entry = std::pair<sim::GroupId, double>;
+  using Msg = std::vector<Entry>;
+  net_->SetPhase("cja.collect");
+  auto produce = [&](sim::NodeId node, std::vector<Msg>&& inbox) -> std::optional<Msg> {
+    Msg out;
+    for (Msg& child : inbox) out.insert(out.end(), child.begin(), child.end());
+    if (node != sim::kSinkId) {
+      std::vector<double> w = history_->Window(node);
+      for (size_t t = 0; t < w.size(); ++t) {
+        out.emplace_back(static_cast<sim::GroupId>(t), w[t]);
+      }
+    }
+    return out;
+  };
+  auto wire_bytes = [&](const Msg& m) { return kMsgHeaderBytes + kEntryBytes * m.size(); };
+  auto sink = sim::UpWave<Msg>::Run(*net_, produce, wire_bytes);
+
+  agg::GroupView view;
+  if (sink.has_value()) {
+    for (const auto& [key, value] : *sink) view.AddReading(key, value);
+  }
+  HistoricResult result;
+  result.items = view.TopK(options_.agg, static_cast<size_t>(options_.k));
+  result.lsink_size = view.size();
+  return result;
+}
+
+TagHistoric::TagHistoric(sim::Network* net, const HistorySource* history, HistoricOptions options)
+    : net_(net), history_(history), options_(options) {}
+
+HistoricResult TagHistoric::Run() {
+  using Msg = agg::GroupView;
+  net_->SetPhase("tagh.collect");
+  auto produce = [&](sim::NodeId node, std::vector<Msg>&& inbox) -> std::optional<Msg> {
+    Msg view;
+    for (Msg& child : inbox) view.MergeView(child);
+    if (node != sim::kSinkId) {
+      std::vector<double> w = history_->Window(node);
+      for (size_t t = 0; t < w.size(); ++t) {
+        view.AddReading(static_cast<sim::GroupId>(t), w[t]);
+      }
+    }
+    return view;
+  };
+  auto wire_bytes = [&](const Msg& m) {
+    return kMsgHeaderBytes + agg::codec::ViewWireBytes(options_.agg, m.size());
+  };
+  auto sink = sim::UpWave<Msg>::Run(*net_, produce, wire_bytes);
+
+  HistoricResult result;
+  if (sink.has_value()) {
+    result.items = sink->TopK(options_.agg, static_cast<size_t>(options_.k));
+    result.lsink_size = sink->size();
+  }
+  return result;
+}
+
+}  // namespace kspot::core

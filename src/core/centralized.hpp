@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+
+#include "core/tja.hpp"
+
+namespace kspot::core {
+
+/// CJA — the Centralized Join strawman for historic queries: every node
+/// relays its *entire* history window to the sink, hop by hop and unmerged,
+/// and the top-k operator runs centrally. This is Section I's "all tuples
+/// need to be transferred to the querying node" baseline applied to the
+/// historic case; TJA's savings are measured against it.
+class Cja {
+ public:
+  Cja(sim::Network* net, const HistorySource* history, HistoricOptions options);
+
+  /// Ships every tuple, computes the exact answer at the sink.
+  HistoricResult Run();
+
+  /// Short identifier for tables.
+  std::string name() const { return "CJA"; }
+
+ private:
+  sim::Network* net_;
+  const HistorySource* history_;
+  HistoricOptions options_;
+};
+
+/// TAG-H — full in-network aggregation over the whole window: like TAG for
+/// snapshots, every node merges and forwards partial aggregates for *all* W
+/// time instances. Cheaper than CJA (merging caps message width at W
+/// entries) but still ships the entire key space; the strongest
+/// non-thresholded baseline for E6.
+class TagHistoric {
+ public:
+  TagHistoric(sim::Network* net, const HistorySource* history, HistoricOptions options);
+
+  /// Aggregates all W keys in-network, ranks at the sink. Exact.
+  HistoricResult Run();
+
+  /// Short identifier for tables.
+  std::string name() const { return "TAG-H"; }
+
+ private:
+  sim::Network* net_;
+  const HistorySource* history_;
+  HistoricOptions options_;
+};
+
+}  // namespace kspot::core

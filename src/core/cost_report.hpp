@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/network.hpp"
+
+namespace kspot::core {
+
+/// Uniform cost summary the benchmark harness and the System Panel report:
+/// per-run and per-epoch traffic with the TAG baseline for reference.
+struct CostReport {
+  std::string algorithm;             ///< "MINT", "TAG", ...
+  sim::TrafficCounters totals;       ///< Whole-run traffic.
+  size_t epochs = 0;                 ///< Number of epochs the run covered.
+
+  /// Messages per epoch.
+  double MessagesPerEpoch() const {
+    return epochs ? static_cast<double>(totals.messages) / static_cast<double>(epochs) : 0.0;
+  }
+  /// Application payload bytes per epoch.
+  double PayloadBytesPerEpoch() const {
+    return epochs ? static_cast<double>(totals.payload_bytes) / static_cast<double>(epochs)
+                  : 0.0;
+  }
+  /// Radio energy (J) per epoch.
+  double EnergyPerEpoch() const {
+    return epochs ? totals.energy_j() / static_cast<double>(epochs) : 0.0;
+  }
+
+  /// Percentage saved versus a baseline quantity (0 when baseline is 0).
+  static double SavingsPercent(double baseline, double mine) {
+    if (baseline <= 0.0) return 0.0;
+    return 100.0 * (baseline - mine) / baseline;
+  }
+};
+
+}  // namespace kspot::core

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <string>
+
+#include "core/query_spec.hpp"
+#include "core/result.hpp"
+#include "data/generators.hpp"
+#include "sim/network.hpp"
+
+namespace kspot::core {
+
+/// Interface of continuous snapshot top-k algorithms (Section III-A): one
+/// ranked answer per epoch, produced by exchanging messages on the simulated
+/// network. Implementations: TagTopK (baseline), NaiveTopK (wrongful
+/// pruning), MintViews (the KSpot algorithm), Fila (monitoring baseline).
+class EpochAlgorithm {
+ public:
+  /// `net` and `gen` must outlive the algorithm.
+  EpochAlgorithm(sim::Network* net, data::DataGenerator* gen, QuerySpec spec)
+      : net_(net), gen_(gen), spec_(spec) {}
+  virtual ~EpochAlgorithm() = default;
+
+  /// Short identifier used in tables ("TAG", "MINT", ...).
+  virtual std::string name() const = 0;
+
+  /// Produces the ranked answer of `epoch`. Epochs must be non-decreasing.
+  virtual TopKResult RunEpoch(sim::Epoch epoch) = 0;
+
+  /// The network the algorithm communicates on.
+  sim::Network& net() { return *net_; }
+  /// The data source.
+  data::DataGenerator& gen() { return *gen_; }
+  /// The query being answered.
+  const QuerySpec& spec() const { return spec_; }
+
+ protected:
+  /// Group of node `id` under the spec.
+  sim::GroupId GroupOf(sim::NodeId id) const { return spec_.GroupOf(net_->topology(), id); }
+
+  sim::Network* net_;
+  data::DataGenerator* gen_;
+  QuerySpec spec_;
+};
+
+/// Per-message wire overhead in bytes: message type (u8) + epoch (u32).
+inline constexpr size_t kMsgHeaderBytes = 5;
+
+}  // namespace kspot::core

@@ -1,0 +1,145 @@
+#include "core/fila.hpp"
+
+#include <algorithm>
+
+#include "sim/waves.hpp"
+
+namespace kspot::core {
+
+namespace {
+
+/// Report / initial-collection entry: node id (u16) + value (i32 fixed).
+constexpr size_t kEntryBytes = 6;
+/// Filter broadcast: header + tau (i64 fixed) + k node ids (u16 each).
+size_t FilterBroadcastBytes(size_t k) { return kMsgHeaderBytes + 8 + 2 * k; }
+
+}  // namespace
+
+Fila::Fila(sim::Network* net, data::DataGenerator* gen, QuerySpec spec)
+    : EpochAlgorithm(net, gen, spec) {
+  size_t n = net->topology().num_nodes();
+  cache_.assign(n, spec.domain_min);
+  upper_side_.assign(n, 0);
+  node_tau_.assign(n, spec.domain_min);
+}
+
+void Fila::Initialize(sim::Epoch epoch) {
+  // Full relayed collection: every node forwards the concatenation of its
+  // subtree's (node, value) entries — FILA performs no aggregation.
+  using Msg = std::vector<std::pair<sim::NodeId, double>>;
+  net_->SetPhase("fila.init");
+  auto produce = [&](sim::NodeId node, std::vector<Msg>&& inbox) -> std::optional<Msg> {
+    Msg out;
+    for (Msg& child : inbox) {
+      out.insert(out.end(), child.begin(), child.end());
+    }
+    if (node != sim::kSinkId) out.emplace_back(node, gen_->Value(node, epoch));
+    return out;
+  };
+  auto wire_bytes = [&](const Msg& m) { return kMsgHeaderBytes + kEntryBytes * m.size(); };
+  auto sink = sim::UpWave<Msg>::Run(*net_, produce, wire_bytes);
+  if (sink.has_value()) {
+    for (const auto& [node, value] : *sink) cache_[node] = value;
+  }
+  top_.clear();
+  tau_ = spec_.domain_min;
+  MaybeReassignFilters();
+  initialized_ = true;
+}
+
+TopKResult Fila::CachedAnswer(sim::Epoch epoch) const {
+  std::vector<agg::RankedItem> ranked;
+  for (sim::NodeId id = 1; id < cache_.size(); ++id) {
+    ranked.push_back(agg::RankedItem{static_cast<sim::GroupId>(id), cache_[id]});
+  }
+  std::sort(ranked.begin(), ranked.end(), agg::RankHigher);
+  TopKResult result;
+  result.epoch = epoch;
+  for (size_t i = 0; i < ranked.size() && i < static_cast<size_t>(spec_.k); ++i) {
+    result.items.push_back(ranked[i]);
+  }
+  return result;
+}
+
+void Fila::MaybeReassignFilters() {
+  // Rank the cache, derive the new membership and the separator (midpoint
+  // between the k-th and (k+1)-th cached values, which gives hysteresis).
+  std::vector<agg::RankedItem> ranked;
+  for (sim::NodeId id = 1; id < cache_.size(); ++id) {
+    ranked.push_back(agg::RankedItem{static_cast<sim::GroupId>(id), cache_[id]});
+  }
+  std::sort(ranked.begin(), ranked.end(), agg::RankHigher);
+  size_t k = std::min<size_t>(static_cast<size_t>(spec_.k), ranked.size());
+  std::set<sim::NodeId> new_top;
+  for (size_t i = 0; i < k; ++i) new_top.insert(static_cast<sim::NodeId>(ranked[i].group));
+  double new_tau;
+  if (ranked.size() > k && k > 0) {
+    new_tau = (ranked[k - 1].value + ranked[k].value) / 2.0;
+  } else {
+    new_tau = spec_.domain_min;
+  }
+
+  bool membership_changed = new_top != top_;
+  bool tau_changed = new_tau != tau_;
+  top_ = std::move(new_top);
+  tau_ = new_tau;
+  if (!membership_changed && !tau_changed && initialized_) return;
+
+  // One broadcast re-arms every node: it learns the separator and whether it
+  // is on the upper side (member of the top-k list).
+  net_->SetPhase("fila.filter");
+  struct FilterMsg {
+    double tau;
+  };
+  auto produce = [&](sim::NodeId node, const FilterMsg* incoming) -> std::optional<FilterMsg> {
+    if (node == sim::kSinkId) return FilterMsg{tau_};
+    node_tau_[node] = incoming->tau;
+    upper_side_[node] = top_.count(node) ? 1 : 0;
+    return *incoming;
+  };
+  auto wire_bytes = [&](const FilterMsg&) {
+    return FilterBroadcastBytes(static_cast<size_t>(spec_.k));
+  };
+  sim::DownWave<FilterMsg>::Run(*net_, produce, wire_bytes);
+  ++filter_updates_;
+}
+
+TopKResult Fila::RunEpoch(sim::Epoch epoch) {
+  if (!initialized_) {
+    Initialize(epoch);
+    return CachedAnswer(epoch);
+  }
+  // Each node samples; a reading outside the filter is reported hop-by-hop
+  // to the sink. Nodes whose readings stay inside their filters are silent —
+  // FILA's savings on stable data.
+  net_->SetPhase("fila.report");
+  std::set<sim::NodeId> reported;
+  for (sim::NodeId id = 1; id < net_->topology().num_nodes(); ++id) {
+    double value = gen_->Value(id, epoch);
+    bool violates = upper_side_[id] ? (value < node_tau_[id]) : (value > node_tau_[id]);
+    if (!violates) continue;
+    ++reports_;
+    reported.insert(id);
+    if (net_->UnicastUpPath(id, kMsgHeaderBytes + kEntryBytes)) {
+      cache_[id] = value;
+    }
+  }
+  if (!reported.empty()) {
+    // Probing phase: cached values of the remaining members are stale
+    // relative to the fresh reports, so the sink polls them (request down,
+    // reading up) before deciding the new membership.
+    net_->SetPhase("fila.probe");
+    for (sim::NodeId member : top_) {
+      if (reported.count(member)) continue;
+      ++probes_;
+      if (net_->UnicastDownPath(member, kMsgHeaderBytes) &&
+          net_->UnicastUpPath(member, kMsgHeaderBytes + kEntryBytes)) {
+        cache_[member] = gen_->Value(member, epoch);
+      }
+    }
+    MaybeReassignFilters();
+  }
+  return CachedAnswer(epoch);
+}
+
+}  // namespace kspot::core

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <vector>
+
+#include "data/generators.hpp"
+#include "sim/types.hpp"
+
+namespace kspot::core {
+
+/// Provides each node's locally buffered history window for historic top-k
+/// queries (Section III-B). Keys are window indices 0..window_size()-1; a
+/// key corresponds to one time instance, and *every* node holds a value for
+/// every key — the vertically fragmented case TJA addresses.
+class HistorySource {
+ public:
+  virtual ~HistorySource() = default;
+
+  /// Node `id`'s buffered readings, one per window index.
+  virtual std::vector<double> Window(sim::NodeId id) const = 0;
+
+  /// Number of time instances buffered (W).
+  virtual size_t window_size() const = 0;
+
+  /// Number of nodes (including the sink at index 0, which holds no data).
+  virtual size_t num_nodes() const = 0;
+};
+
+/// Materializes a window by sampling a data generator over
+/// epochs [first_epoch, first_epoch + window). Used by benchmarks; the
+/// examples use the storage-backed history store instead.
+class GeneratorHistory : public HistorySource {
+ public:
+  GeneratorHistory(data::DataGenerator* gen, size_t num_nodes, sim::Epoch first_epoch,
+                   size_t window);
+
+  std::vector<double> Window(sim::NodeId id) const override;
+  size_t window_size() const override { return window_; }
+  size_t num_nodes() const override { return windows_.size(); }
+
+ private:
+  size_t window_;
+  std::vector<std::vector<double>> windows_;
+};
+
+}  // namespace kspot::core

@@ -1,0 +1,324 @@
+#include "core/mint.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/waves.hpp"
+#include "util/fixed_point.hpp"
+
+namespace kspot::core {
+
+namespace {
+
+/// Comparison slack for threshold tests. Pruning must only ever drop groups
+/// that are *surely* below tau, so drops require ub < tau - kTauEps.
+constexpr double kTauEps = 1e-6;
+
+/// Beacon payload: header + tau as fixed-point i64 + validity flag.
+constexpr size_t kBeaconBytes = kMsgHeaderBytes + 8 + 1;
+
+/// One delta update: entries that changed plus groups that disappeared.
+struct MintDelta {
+  sim::NodeId from = sim::kNoNode;
+  std::vector<std::pair<sim::GroupId, agg::PartialAgg>> changed;
+  std::vector<sim::GroupId> removed;
+};
+
+bool SamePartial(const agg::PartialAgg& a, const agg::PartialAgg& b) {
+  return a.sum_fx == b.sum_fx && a.count == b.count && a.min_fx == b.min_fx &&
+         a.max_fx == b.max_fx;
+}
+
+}  // namespace
+
+MintViews::MintViews(sim::Network* net, data::DataGenerator* gen, QuerySpec spec)
+    : MintViews(net, gen, spec, Options{}) {}
+
+MintViews::MintViews(sim::Network* net, data::DataGenerator* gen, QuerySpec spec, Options options)
+    : EpochAlgorithm(net, gen, spec), options_(options) {
+  size_t n = net->topology().num_nodes();
+  subtree_count_.resize(n);
+  tau_at_.assign(n, 0.0);
+  tau_valid_at_.assign(n, 0);
+  last_sent_.resize(n);
+  child_view_.resize(n);
+}
+
+uint32_t MintViews::TotalCount(sim::GroupId g) const {
+  if (spec_.grouping == Grouping::kNode) return 1;
+  auto it = total_count_.find(g);
+  return it == total_count_.end() ? 0 : it->second;
+}
+
+agg::GroupView MintViews::FullWaveRebuildingState(sim::Epoch epoch, const char* phase) {
+  using Msg = agg::GroupView;
+  net_->SetPhase(phase);
+  auto produce = [&](sim::NodeId node, std::vector<Msg>&& inbox) -> std::optional<Msg> {
+    Msg view;
+    for (Msg& child : inbox) view.MergeView(child);
+    if (node != sim::kSinkId) {
+      view.AddReading(GroupOf(node), gen_->Value(node, epoch));
+    }
+    // Record subtree cardinalities; max-merge so a transient loss in one
+    // wave can only under-count until the next full wave repairs it.
+    auto& counts = subtree_count_[node];
+    for (const auto& [g, partial] : view.entries()) {
+      uint32_t& c = counts[g];
+      c = std::max(c, partial.count);
+    }
+    // Reset the view-maintenance caches: the parent now holds this full view.
+    last_sent_[node] = view.entries();
+    child_view_[node] = view.entries();
+    return view;
+  };
+  auto wire_bytes = [&](const Msg& m) {
+    return kMsgHeaderBytes + agg::codec::ViewWireBytes(spec_.agg, m.size());
+  };
+  auto sink = sim::UpWave<Msg>::Run(*net_, produce, wire_bytes);
+  return sink.value_or(Msg{});
+}
+
+void MintViews::DisseminateState(bool include_cardinalities, const char* phase) {
+  net_->SetPhase(phase);
+  // The beacon carries tau; the creation-phase variant additionally carries
+  // the (group, cardinality) table so every node can evaluate closure and
+  // the gamma bounds. Under node grouping the table is implicit (n_g == 1).
+  bool send_table = include_cardinalities && spec_.grouping == Grouping::kRoom;
+  struct Beacon {
+    double tau;
+    bool tau_valid;
+    bool with_table;
+  };
+  Beacon seed{pruning_tau_, pruning_tau_valid_, send_table};
+  size_t table_bytes = send_table ? 2 + 4 * total_count_.size() : 0;
+  auto produce = [&](sim::NodeId node, const Beacon* incoming) -> std::optional<Beacon> {
+    if (node == sim::kSinkId) {
+      tau_at_[node] = pruning_tau_;
+      tau_valid_at_[node] = pruning_tau_valid_ ? 1 : 0;
+      return seed;
+    }
+    // Receiving nodes adopt the threshold; the cardinality table is modeled
+    // as shared state (total_count_) since its content is identical
+    // everywhere — the wire cost is what matters.
+    tau_at_[node] = incoming->tau;
+    tau_valid_at_[node] = incoming->tau_valid ? 1 : 0;
+    return *incoming;
+  };
+  auto wire_bytes = [&](const Beacon& b) {
+    return kBeaconBytes + (b.with_table ? table_bytes : 0);
+  };
+  sim::DownWave<Beacon>::Run(*net_, produce, wire_bytes);
+  ++beacon_count_;
+}
+
+void MintViews::MaybeRebroadcastTau(double kth_value, bool have_kth) {
+  if (have_kth) {
+    if (have_last_kth_) {
+      kth_drift_ema_ = 0.8 * kth_drift_ema_ + 0.2 * std::abs(kth_value - last_kth_);
+    }
+    last_kth_ = kth_value;
+    have_last_kth_ = true;
+  }
+  if (!options_.gamma_suppression) {
+    pruning_tau_valid_ = false;
+    return;
+  }
+  bool want_valid = have_kth;
+  double want_tau = kth_value - TauMargin();
+  bool must_send = false;
+  if (want_valid != pruning_tau_valid_) {
+    must_send = true;
+  } else if (want_valid) {
+    // Falling k-th: rebroadcast once the safety gap between the in-force
+    // threshold and the current k-th shrank to half a margin (a stale high
+    // threshold would over-prune and force repairs). Rising k-th: reclaim
+    // pruning power only once the gap grew past three margins. Both sides
+    // reset the gap to exactly one margin — hysteresis against chatter.
+    if (kth_value < pruning_tau_ + 0.5 * TauMargin()) must_send = true;
+    if (kth_value > pruning_tau_ + 3.0 * TauMargin()) must_send = true;
+  }
+  if (!must_send) return;
+  pruning_tau_ = want_tau;
+  pruning_tau_valid_ = want_valid;
+  DisseminateState(/*include_cardinalities=*/false, "mint.beacon");
+}
+
+double MintViews::UpperBound(sim::GroupId g, const agg::PartialAgg& partial,
+                             uint32_t subtree_c) const {
+  uint32_t n_g = TotalCount(g);
+  uint32_t missing = n_g > subtree_c ? n_g - subtree_c : 0;
+  int32_t max_fx = util::fixed_point::Encode(spec_.domain_max);
+  switch (spec_.agg) {
+    case agg::AggKind::kAvg: {
+      if (n_g == 0) return partial.Final(spec_.agg);
+      double best_sum =
+          static_cast<double>(partial.sum_fx) + static_cast<double>(max_fx) * missing;
+      return best_sum / util::fixed_point::kScale / static_cast<double>(n_g);
+    }
+    case agg::AggKind::kSum: {
+      double extra = std::max<double>(0.0, static_cast<double>(max_fx)) * missing;
+      return (static_cast<double>(partial.sum_fx) + extra) / util::fixed_point::kScale;
+    }
+    case agg::AggKind::kMin:
+      // Further contributions can only lower the minimum.
+      return partial.Final(agg::AggKind::kMin);
+    case agg::AggKind::kMax:
+      // Contributions below tau cannot be the maximum of a top-k group.
+      return partial.Final(agg::AggKind::kMax);
+    case agg::AggKind::kCount:
+      return static_cast<double>(n_g);
+  }
+  return spec_.domain_max;
+}
+
+void MintViews::PruneView(sim::NodeId node, agg::GroupView& view) const {
+  std::vector<sim::GroupId> to_erase;
+  bool have_tau = tau_valid_at_[node] != 0;
+  double tau = tau_at_[node];
+  for (const auto& [g, partial] : view.entries()) {
+    uint32_t expected = 0;
+    auto it = subtree_count_[node].find(g);
+    if (it != subtree_count_[node].end()) expected = it->second;
+    bool complete = partial.count >= expected;
+    if (!complete && options_.closure_pruning && spec_.agg != agg::AggKind::kMax) {
+      // A descendant pruned this group: it is provably outside the top-k,
+      // so forwarding the remaining partial would be wasted bytes.
+      to_erase.push_back(g);
+      continue;
+    }
+    if (options_.gamma_suppression && have_tau) {
+      if (UpperBound(g, partial, partial.count) < tau - kTauEps) to_erase.push_back(g);
+    }
+  }
+  for (sim::GroupId g : to_erase) view.Erase(g);
+}
+
+agg::GroupView MintViews::RunUpdateWave(sim::Epoch epoch) {
+  using Msg = MintDelta;
+  net_->SetPhase("mint.update");
+  auto produce = [&](sim::NodeId node, std::vector<Msg>&& inbox) -> std::optional<Msg> {
+    // Apply the children's deltas to their cached views.
+    for (Msg& delta : inbox) {
+      auto& cache = child_view_[delta.from];
+      for (auto& [g, partial] : delta.changed) cache[g] = partial;
+      for (sim::GroupId g : delta.removed) cache.erase(g);
+    }
+    // Rebuild this node's view from the cached child views + own reading.
+    agg::GroupView view;
+    for (sim::NodeId child : net_->tree().children(node)) {
+      for (const auto& [g, partial] : child_view_[child]) view.MergePartial(g, partial);
+    }
+    if (node != sim::kSinkId) {
+      view.AddReading(GroupOf(node), gen_->Value(node, epoch));
+      PruneView(node, view);
+    }
+    if (node == sim::kSinkId) {
+      return Msg{};  // value unused; sink result read from child_view_ merge below
+    }
+    // Delta against what the parent believes (the Update Phase proper).
+    Msg delta;
+    delta.from = node;
+    const auto& sent = last_sent_[node];
+    for (const auto& [g, partial] : view.entries()) {
+      auto it = sent.find(g);
+      if (it == sent.end() || !SamePartial(it->second, partial)) {
+        delta.changed.emplace_back(g, partial);
+      }
+    }
+    for (const auto& [g, partial] : sent) {
+      if (!view.Contains(g)) delta.removed.push_back(g);
+    }
+    if (!options_.delta_updates) {
+      // Ablation: full-view resend, no tombstones needed.
+      delta.changed.assign(view.entries().begin(), view.entries().end());
+      delta.removed.clear();
+      for (const auto& [g, partial] : sent) {
+        if (!view.Contains(g)) delta.removed.push_back(g);
+      }
+    }
+    if (delta.changed.empty() && delta.removed.empty()) {
+      // Nothing changed: the parent's cached V'_i is still current.
+      return std::nullopt;
+    }
+    last_sent_[node] = view.entries();
+    return delta;
+  };
+  auto wire_bytes = [&](const Msg& m) {
+    // Header + changed entries (group codec) + tombstone list when present
+    // (a flag bit in the type byte says whether the list follows).
+    size_t tombstones = m.removed.empty() ? 0 : 2 + 2 * m.removed.size();
+    return kMsgHeaderBytes + agg::codec::ViewWireBytes(spec_.agg, m.changed.size()) + tombstones;
+  };
+  sim::UpWave<Msg>::Run(*net_, produce, wire_bytes);
+
+  // The sink's materialized view V_0 = merge of its children's cached views.
+  agg::GroupView sink_view;
+  for (sim::NodeId child : net_->tree().children(sim::kSinkId)) {
+    for (const auto& [g, partial] : child_view_[child]) sink_view.MergePartial(g, partial);
+  }
+  return sink_view;
+}
+
+TopKResult MintViews::EvaluateAtSink(sim::Epoch epoch, agg::GroupView sink_view) {
+  // Accept a group when its value is known exactly (complete merge) and it
+  // clears the threshold in force at the nodes. MAX needs no completeness:
+  // every contribution >= tau survived pruning, so a merged value >= tau is
+  // the true maximum.
+  std::vector<agg::RankedItem> candidates;
+  for (const auto& [g, partial] : sink_view.entries()) {
+    bool complete = spec_.agg == agg::AggKind::kMax || partial.count >= TotalCount(g);
+    if (!complete) continue;
+    double value = partial.Final(spec_.agg);
+    if (pruning_tau_valid_ && value < pruning_tau_ - kTauEps) continue;
+    candidates.push_back(agg::RankedItem{g, value});
+  }
+  std::sort(candidates.begin(), candidates.end(), agg::RankHigher);
+
+  size_t need = std::min<size_t>(static_cast<size_t>(spec_.k), total_groups_);
+  if (candidates.size() < need) {
+    // Under-run: values drifted below tau network-wide. Probe/repair round:
+    // collect everything once, answer exactly, rebuild caches, reseed tau.
+    ++repair_count_;
+    agg::GroupView full = FullWaveRebuildingState(epoch, "mint.repair");
+    candidates = full.Ranked(spec_.agg);
+  }
+
+  TopKResult result;
+  result.epoch = epoch;
+  for (size_t i = 0; i < candidates.size() && i < static_cast<size_t>(spec_.k); ++i) {
+    result.items.push_back(candidates[i]);
+  }
+  bool have_kth = candidates.size() >= static_cast<size_t>(spec_.k);
+  MaybeRebroadcastTau(have_kth ? candidates[static_cast<size_t>(spec_.k) - 1].value : 0.0,
+                      have_kth);
+  return result;
+}
+
+TopKResult MintViews::RunCreation(sim::Epoch epoch) {
+  agg::GroupView full = FullWaveRebuildingState(epoch, "mint.create");
+  total_count_.clear();
+  for (const auto& [g, partial] : full.entries()) total_count_[g] = partial.count;
+  total_groups_ = total_count_.size();
+
+  TopKResult result;
+  result.epoch = epoch;
+  result.items = full.TopK(spec_.agg, static_cast<size_t>(spec_.k));
+  auto ranked = full.Ranked(spec_.agg);
+  if (ranked.size() >= static_cast<size_t>(spec_.k) && options_.gamma_suppression) {
+    pruning_tau_ = ranked[static_cast<size_t>(spec_.k) - 1].value - TauMargin();
+    pruning_tau_valid_ = true;
+  } else {
+    pruning_tau_valid_ = false;
+  }
+  DisseminateState(/*include_cardinalities=*/true, "mint.create");
+  created_ = true;
+  return result;
+}
+
+TopKResult MintViews::RunEpoch(sim::Epoch epoch) {
+  if (!created_) return RunCreation(epoch);
+  agg::GroupView sink_view = RunUpdateWave(epoch);
+  return EvaluateAtSink(epoch, std::move(sink_view));
+}
+
+}  // namespace kspot::core

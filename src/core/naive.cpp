@@ -1,0 +1,35 @@
+#include "core/naive.hpp"
+
+#include "agg/group_view.hpp"
+#include "sim/waves.hpp"
+
+namespace kspot::core {
+
+TopKResult NaiveTopK::RunEpoch(sim::Epoch epoch) {
+  using Msg = agg::GroupView;
+  net_->SetPhase("naive.collect");
+  auto produce = [&](sim::NodeId node, std::vector<Msg>&& inbox) -> std::optional<Msg> {
+    Msg view;
+    for (Msg& child : inbox) view.MergeView(child);
+    if (node != sim::kSinkId) {
+      view.AddReading(GroupOf(node), gen_->Value(node, epoch));
+      // The greedy local cut: anything below the node's own top-k is gone,
+      // including partial contributions the final answer may need.
+      view.PruneToLocalTopK(spec_.agg, static_cast<size_t>(spec_.k));
+    }
+    return view;
+  };
+  auto wire_bytes = [&](const Msg& m) {
+    return kMsgHeaderBytes + agg::codec::ViewWireBytes(spec_.agg, m.size());
+  };
+  auto sink = sim::UpWave<Msg>::Run(*net_, produce, wire_bytes);
+
+  TopKResult result;
+  result.epoch = epoch;
+  if (sink.has_value()) {
+    result.items = sink->TopK(spec_.agg, static_cast<size_t>(spec_.k));
+  }
+  return result;
+}
+
+}  // namespace kspot::core

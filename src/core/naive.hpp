@@ -1,0 +1,20 @@
+#pragma once
+
+#include "core/epoch_algorithm.hpp"
+
+namespace kspot::core {
+
+/// The *wrongful* strawman of Section III-A: every node keeps only its local
+/// top-k partials before forwarding. Cheap, but may discard contributions of
+/// groups that belong to the true answer — on the Figure-1 scenario it
+/// reports (D, 76.5) instead of the correct (C, 75). KSpot implements it
+/// only as a baseline for the error-rate experiments (E9).
+class NaiveTopK : public EpochAlgorithm {
+ public:
+  using EpochAlgorithm::EpochAlgorithm;
+
+  std::string name() const override { return "Naive"; }
+  TopKResult RunEpoch(sim::Epoch epoch) override;
+};
+
+}  // namespace kspot::core

@@ -1,0 +1,29 @@
+#include "core/oracle.hpp"
+
+namespace kspot::core {
+
+Oracle::Oracle(const sim::Topology* topology, data::DataGenerator* gen, QuerySpec spec)
+    : topology_(topology), gen_(gen), spec_(spec) {}
+
+agg::GroupView Oracle::FullView(sim::Epoch epoch) const {
+  agg::GroupView view;
+  for (sim::NodeId id = 1; id < topology_->num_nodes(); ++id) {
+    view.AddReading(spec_.GroupOf(*topology_, id), gen_->Value(id, epoch));
+  }
+  return view;
+}
+
+TopKResult Oracle::TopK(sim::Epoch epoch) const {
+  TopKResult result;
+  result.epoch = epoch;
+  result.items = FullView(epoch).TopK(spec_.agg, static_cast<size_t>(spec_.k));
+  return result;
+}
+
+double Oracle::KthValue(sim::Epoch epoch) const {
+  auto ranked = FullView(epoch).Ranked(spec_.agg);
+  if (ranked.size() < static_cast<size_t>(spec_.k)) return spec_.domain_min;
+  return ranked[static_cast<size_t>(spec_.k) - 1].value;
+}
+
+}  // namespace kspot::core

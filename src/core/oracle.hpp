@@ -1,0 +1,39 @@
+#pragma once
+
+#include "agg/group_view.hpp"
+#include "core/query_spec.hpp"
+#include "core/result.hpp"
+#include "data/generators.hpp"
+#include "sim/topology.hpp"
+
+namespace kspot::core {
+
+/// Exact centralized evaluator — the ground truth every distributed algorithm
+/// is tested and benchmarked against. It reads the same generator the
+/// algorithms read, so answers must match bit-for-bit (fixed-point
+/// arithmetic) when the algorithm is exact.
+class Oracle {
+ public:
+  /// `topology` and `gen` must outlive the oracle.
+  Oracle(const sim::Topology* topology, data::DataGenerator* gen, QuerySpec spec);
+
+  /// The complete aggregated view of `epoch` (all sensors, all groups).
+  agg::GroupView FullView(sim::Epoch epoch) const;
+
+  /// The exact top-k answer of `epoch`.
+  TopKResult TopK(sim::Epoch epoch) const;
+
+  /// The exact k-th best final value of `epoch` (the MINT threshold tau);
+  /// returns domain_min when fewer than k groups exist.
+  double KthValue(sim::Epoch epoch) const;
+
+  /// Query spec in use.
+  const QuerySpec& spec() const { return spec_; }
+
+ private:
+  const sim::Topology* topology_;
+  data::DataGenerator* gen_;
+  QuerySpec spec_;
+};
+
+}  // namespace kspot::core

@@ -1,0 +1,42 @@
+#pragma once
+
+#include "agg/aggregate.hpp"
+#include "data/modality.hpp"
+#include "sim/topology.hpp"
+#include "sim/types.hpp"
+
+namespace kspot::core {
+
+/// How tuples are grouped for ranking.
+enum class Grouping : uint8_t {
+  kRoom,  ///< GROUP BY roomid — rank rooms/clusters (the demo's scenario).
+  kNode,  ///< GROUP BY nodeid — rank individual sensors (FILA's setting).
+};
+
+/// The algorithm-facing description of a snapshot top-k query, extracted from
+/// the parsed SQL by the KSpot server.
+struct QuerySpec {
+  /// Number of ranked answers requested (the K of TOP K).
+  int k = 1;
+  /// Aggregate function over the sensed attribute.
+  agg::AggKind agg = agg::AggKind::kAvg;
+  /// Grouping of tuples.
+  Grouping grouping = Grouping::kRoom;
+  /// Lower bound of the sensed attribute's domain (from the modality).
+  double domain_min = 0.0;
+  /// Upper bound of the sensed attribute's domain.
+  double domain_max = 100.0;
+
+  /// Group of a sensing node under this spec.
+  sim::GroupId GroupOf(const sim::Topology& topology, sim::NodeId id) const {
+    return grouping == Grouping::kRoom ? topology.room(id) : static_cast<sim::GroupId>(id);
+  }
+
+  /// Populates the domain bounds from a modality descriptor.
+  void SetDomainFrom(const data::ModalityInfo& info) {
+    domain_min = info.min_value;
+    domain_max = info.max_value;
+  }
+};
+
+}  // namespace kspot::core

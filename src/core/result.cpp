@@ -1,0 +1,40 @@
+#include "core/result.hpp"
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/string_util.hpp"
+
+namespace kspot::core {
+
+bool TopKResult::Matches(const TopKResult& other, double tol) const {
+  if (items.size() != other.items.size()) return false;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (items[i].group != other.items[i].group) return false;
+    if (std::abs(items[i].value - other.items[i].value) > tol) return false;
+  }
+  return true;
+}
+
+double TopKResult::RecallAgainst(const TopKResult& truth) const {
+  if (truth.items.empty()) return 1.0;
+  std::set<sim::GroupId> mine;
+  for (const auto& item : items) mine.insert(item.group);
+  size_t hit = 0;
+  for (const auto& item : truth.items) {
+    if (mine.count(item.group)) ++hit;
+  }
+  return static_cast<double>(hit) / static_cast<double>(truth.items.size());
+}
+
+std::string TopKResult::ToString() const {
+  std::ostringstream oss;
+  for (size_t i = 0; i < items.size(); ++i) {
+    oss << (i + 1) << ". group=" << items[i].group
+        << " value=" << util::FormatDouble(items[i].value) << '\n';
+  }
+  return oss.str();
+}
+
+}  // namespace kspot::core

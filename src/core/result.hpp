@@ -1,0 +1,30 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "agg/group_view.hpp"
+#include "sim/types.hpp"
+
+namespace kspot::core {
+
+/// The ranked answer of one epoch of a continuous top-k query.
+struct TopKResult {
+  /// Epoch the answer refers to.
+  sim::Epoch epoch = 0;
+  /// Ranked items, best first; at most K entries.
+  std::vector<agg::RankedItem> items;
+
+  /// True when both results rank the same groups in the same order with
+  /// values equal within `tol`.
+  bool Matches(const TopKResult& other, double tol = 1e-9) const;
+
+  /// Fraction of `truth`'s groups present in this result's groups (set
+  /// recall; 1.0 when `truth` is empty). Order-insensitive.
+  double RecallAgainst(const TopKResult& truth) const;
+
+  /// Renders "1. group=3 value=75.00" lines for logs and examples.
+  std::string ToString() const;
+};
+
+}  // namespace kspot::core

@@ -1,0 +1,54 @@
+#include "core/select.hpp"
+
+#include <algorithm>
+
+#include "sim/waves.hpp"
+
+namespace kspot::core {
+
+bool EvalPredicate(const query::Predicate& predicate, double value) {
+  switch (predicate.op) {
+    case query::CompareOp::kLt: return value < predicate.literal;
+    case query::CompareOp::kLe: return value <= predicate.literal;
+    case query::CompareOp::kGt: return value > predicate.literal;
+    case query::CompareOp::kGe: return value >= predicate.literal;
+    case query::CompareOp::kEq: return value == predicate.literal;
+    case query::CompareOp::kNe: return value != predicate.literal;
+  }
+  return false;
+}
+
+BasicSelect::BasicSelect(sim::Network* net, data::DataGenerator* gen, bool has_predicate,
+                         query::Predicate predicate)
+    : net_(net), gen_(gen), has_predicate_(has_predicate), predicate_(predicate) {}
+
+std::vector<SelectTuple> BasicSelect::RunEpoch(sim::Epoch epoch) {
+  using Msg = std::vector<SelectTuple>;
+  net_->SetPhase("select.collect");
+  auto produce = [&](sim::NodeId node, std::vector<Msg>&& inbox) -> std::optional<Msg> {
+    Msg out;
+    for (Msg& child : inbox) out.insert(out.end(), child.begin(), child.end());
+    if (node != sim::kSinkId) {
+      double value = gen_->Value(node, epoch);
+      if (!has_predicate_ || EvalPredicate(predicate_, value)) {
+        SelectTuple t;
+        t.node = node;
+        t.room = net_->topology().room(node);
+        t.value = value;
+        out.push_back(t);
+      }
+      // Acquisitional filtering: a node (and whole subtree) with nothing to
+      // report stays silent.
+      if (out.empty()) return std::nullopt;
+    }
+    return out;
+  };
+  auto wire_bytes = [&](const Msg& m) { return kMsgHeaderBytes + kTupleBytes * m.size(); };
+  auto sink = sim::UpWave<Msg>::Run(*net_, produce, wire_bytes);
+  std::vector<SelectTuple> rows = sink.value_or(Msg{});
+  std::sort(rows.begin(), rows.end(),
+            [](const SelectTuple& a, const SelectTuple& b) { return a.node < b.node; });
+  return rows;
+}
+
+}  // namespace kspot::core

@@ -1,0 +1,35 @@
+#include "core/tag.hpp"
+
+#include "agg/group_view.hpp"
+#include "sim/waves.hpp"
+
+namespace kspot::core {
+
+agg::GroupView TagTopK::CollectFullView(sim::Network& net, data::DataGenerator& gen,
+                                        const QuerySpec& spec, sim::Epoch epoch) {
+  using Msg = agg::GroupView;
+  auto produce = [&](sim::NodeId node, std::vector<Msg>&& inbox) -> std::optional<Msg> {
+    Msg view;
+    for (Msg& child : inbox) view.MergeView(child);
+    if (node != sim::kSinkId) {
+      view.AddReading(spec.GroupOf(net.topology(), node), gen.Value(node, epoch));
+    }
+    return view;
+  };
+  auto wire_bytes = [&](const Msg& m) {
+    return kMsgHeaderBytes + agg::codec::ViewWireBytes(spec.agg, m.size());
+  };
+  auto sink = sim::UpWave<Msg>::Run(net, produce, wire_bytes);
+  return sink.value_or(Msg{});
+}
+
+TopKResult TagTopK::RunEpoch(sim::Epoch epoch) {
+  net_->SetPhase("tag.collect");
+  agg::GroupView view = CollectFullView(*net_, *gen_, spec_, epoch);
+  TopKResult result;
+  result.epoch = epoch;
+  result.items = view.TopK(spec_.agg, static_cast<size_t>(spec_.k));
+  return result;
+}
+
+}  // namespace kspot::core

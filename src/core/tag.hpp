@@ -1,0 +1,26 @@
+#pragma once
+
+#include "core/epoch_algorithm.hpp"
+
+namespace kspot::core {
+
+/// The TAG / TinyDB baseline (Madden et al., OSDI'02): full in-network
+/// aggregation — every node forwards its complete merged view every epoch —
+/// with a top-k operator bolted onto the sink. This is the "could easily
+/// implement a new top-k operator at the sink ... but it is not cost
+/// effective because all tuples need to be transferred" strawman of
+/// Section I of the paper.
+class TagTopK : public EpochAlgorithm {
+ public:
+  using EpochAlgorithm::EpochAlgorithm;
+
+  std::string name() const override { return "TAG"; }
+  TopKResult RunEpoch(sim::Epoch epoch) override;
+
+  /// Runs one full-aggregation converge-cast and returns the sink's complete
+  /// view (shared by MINT's creation/repair phases).
+  static agg::GroupView CollectFullView(sim::Network& net, data::DataGenerator& gen,
+                                        const QuerySpec& spec, sim::Epoch epoch);
+};
+
+}  // namespace kspot::core

@@ -1,0 +1,214 @@
+#include "core/tja.hpp"
+
+#include <algorithm>
+
+#include "sim/waves.hpp"
+#include "util/bloom_filter.hpp"
+#include "util/fixed_point.hpp"
+
+namespace kspot::core {
+
+namespace {
+
+constexpr double kCertEps = 1e-9;
+
+/// Local top-`k_deep` (window index, value) pairs of one node's window —
+/// *extended through ties* with the k_deep-th value — plus the node's
+/// m_i = value of its k_deep-th entry (the local bound). The tie extension
+/// is what makes the Clean-Up certificate sound with >=: any key outside
+/// every node's extended list is *strictly* below m_i at every node, so its
+/// aggregate is strictly below the union threshold.
+struct LocalTopK {
+  std::vector<std::pair<sim::GroupId, double>> entries;
+  double m_i;
+  bool covers_window;  ///< True when the extended list is the whole window.
+};
+
+LocalTopK ComputeLocalTopK(const std::vector<double>& window, size_t k_deep) {
+  std::vector<std::pair<sim::GroupId, double>> ranked;
+  ranked.reserve(window.size());
+  for (size_t t = 0; t < window.size(); ++t) {
+    ranked.emplace_back(static_cast<sim::GroupId>(t), window[t]);
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  LocalTopK out;
+  size_t take = std::min(k_deep, ranked.size());
+  out.m_i = take > 0 ? ranked[take - 1].second : 0.0;
+  // Extend through ties with the k-th value.
+  while (take < ranked.size() && ranked[take].second == out.m_i) ++take;
+  out.covers_window = take >= ranked.size();
+  out.entries.assign(ranked.begin(), ranked.begin() + static_cast<long>(take));
+  return out;
+}
+
+}  // namespace
+
+Tja::Tja(sim::Network* net, const HistorySource* history, HistoricOptions options)
+    : net_(net), history_(history), options_(options) {}
+
+Tja::LbOutcome Tja::LowerBoundPhase(size_t k_deep) {
+  // LB message: the union view (key -> partial aggregate, merged across the
+  // subtree) plus the subtree-aggregated union threshold.
+  struct Msg {
+    agg::GroupView view;
+    int64_t m_sum_fx = 0;  // sum of m_i over the subtree (for AVG/SUM)
+  };
+  net_->SetPhase("tja.lb");
+  lb_contributed_.assign(history_->num_nodes(), {});
+  auto produce = [&](sim::NodeId node, std::vector<Msg>&& inbox) -> std::optional<Msg> {
+    Msg out;
+    for (Msg& child : inbox) {
+      out.view.MergeView(child.view);
+      out.m_sum_fx += child.m_sum_fx;
+    }
+    if (node != sim::kSinkId) {
+      LocalTopK local = ComputeLocalTopK(history_->Window(node), k_deep);
+      for (const auto& [key, value] : local.entries) {
+        out.view.AddReading(key, value);
+        lb_contributed_[node].insert(key);
+      }
+      out.m_sum_fx += util::fixed_point::Encode(local.m_i);
+    }
+    return out;
+  };
+  auto wire_bytes = [&](const Msg& m) {
+    return kMsgHeaderBytes + agg::codec::ViewWireBytes(options_.agg, m.view.size()) + 8;
+  };
+  auto sink = sim::UpWave<Msg>::Run(*net_, produce, wire_bytes);
+
+  LbOutcome outcome;
+  if (sink.has_value()) {
+    outcome.union_view = std::move(sink->view);
+    size_t sensors = history_->num_nodes() - 1;
+    double m_total = static_cast<double>(sink->m_sum_fx) / util::fixed_point::kScale;
+    // tau_U bounds every key outside Lsink: its per-node values are all below
+    // the local m_i, so its SUM is below sum(m_i) and its AVG below the mean.
+    outcome.tau_u = options_.agg == agg::AggKind::kAvg && sensors > 0
+                        ? m_total / static_cast<double>(sensors)
+                        : m_total;
+  }
+  return outcome;
+}
+
+agg::GroupView Tja::HierarchicalJoinPhase(const std::vector<sim::GroupId>& lsink) {
+  // Downstream: the candidate key set, as a plain sorted u16 list or as a
+  // Bloom filter. Nodes keep whatever representation arrives and answer for
+  // every window key that matches it.
+  struct DownMsg {
+    std::vector<sim::GroupId> keys;  // empty when bloom is used
+    util::BloomFilter bloom{64, 1};
+    bool use_bloom = false;
+  };
+  net_->SetPhase("tja.hj");
+
+  DownMsg seed;
+  seed.use_bloom = options_.use_bloom;
+  if (options_.use_bloom) {
+    seed.bloom = util::BloomFilter::WithExpectedItems(lsink.size(), options_.bloom_fpr);
+    for (sim::GroupId key : lsink) seed.bloom.Insert(static_cast<uint64_t>(key));
+  } else {
+    seed.keys = lsink;
+  }
+  // Which keys each node must answer for (recorded during dissemination).
+  std::vector<std::vector<sim::GroupId>> to_answer(history_->num_nodes());
+
+  auto matches = [&](const DownMsg& msg, sim::GroupId key) {
+    if (msg.use_bloom) return msg.bloom.MayContain(static_cast<uint64_t>(key));
+    return std::binary_search(msg.keys.begin(), msg.keys.end(), key);
+  };
+  auto record_keys = [&](sim::NodeId node, const DownMsg& msg) {
+    size_t window = history_->window_size();
+    for (size_t t = 0; t < window; ++t) {
+      auto key = static_cast<sim::GroupId>(t);
+      // Skip keys this node already contributed during LB — the sink merges
+      // the LB union view with the HJ complement, so resending is waste.
+      if (lb_contributed_[node].count(key)) continue;
+      if (matches(msg, key)) to_answer[node].push_back(key);
+    }
+  };
+  auto down_produce = [&](sim::NodeId node, const DownMsg* incoming) -> std::optional<DownMsg> {
+    if (node == sim::kSinkId) return seed;
+    record_keys(node, *incoming);
+    return *incoming;
+  };
+  auto down_bytes = [&](const DownMsg& msg) {
+    if (msg.use_bloom) return kMsgHeaderBytes + msg.bloom.WireSizeBytes();
+    return kMsgHeaderBytes + 2 + 2 * msg.keys.size();
+  };
+  sim::DownWave<DownMsg>::Run(*net_, down_produce, down_bytes);
+
+  // Upstream: exact contributions for the candidate keys, merged per key.
+  net_->SetPhase("tja.hj");
+  using UpMsg = agg::GroupView;
+  auto up_produce = [&](sim::NodeId node, std::vector<UpMsg>&& inbox) -> std::optional<UpMsg> {
+    UpMsg view;
+    for (UpMsg& child : inbox) view.MergeView(child);
+    if (node != sim::kSinkId) {
+      std::vector<double> window = history_->Window(node);
+      for (sim::GroupId key : to_answer[node]) {
+        if (static_cast<size_t>(key) < window.size()) {
+          view.AddReading(key, window[static_cast<size_t>(key)]);
+        }
+      }
+      if (view.empty()) return std::nullopt;
+    }
+    return view;
+  };
+  auto up_bytes = [&](const UpMsg& m) {
+    return kMsgHeaderBytes + agg::codec::ViewWireBytes(options_.agg, m.size());
+  };
+  auto sink = sim::UpWave<UpMsg>::Run(*net_, up_produce, up_bytes);
+  return sink.value_or(UpMsg{});
+}
+
+HistoricResult Tja::Run() {
+  size_t window = history_->window_size();
+  size_t sensors = history_->num_nodes() - 1;
+  size_t k = static_cast<size_t>(options_.k);
+  HistoricResult result;
+  size_t k_deep = std::min(k, window);
+  // The union threshold bounds sums/averages only. For any other aggregate
+  // the certificate is unsound, so degrade defensively to full coverage
+  // (exact at full-collection cost) instead of risking a wrong answer.
+  if (options_.agg != agg::AggKind::kAvg && options_.agg != agg::AggKind::kSum) {
+    k_deep = window;
+  }
+  for (int round = 1;; ++round) {
+    result.rounds = round;
+    LbOutcome lb = LowerBoundPhase(k_deep);
+    std::vector<sim::GroupId> lsink;
+    lsink.reserve(lb.union_view.size());
+    for (const auto& [key, partial] : lb.union_view.entries()) lsink.push_back(key);
+    result.lsink_size = lsink.size();
+
+    agg::GroupView exact = HierarchicalJoinPhase(lsink);
+    // Complete totals = LB contributions + HJ complements. Keep only keys
+    // with complete counts (Bloom false positives are complete too; extra
+    // exact keys only help).
+    exact.MergeView(lb.union_view);
+    net_->SetPhase("tja.cl");
+    std::vector<agg::RankedItem> candidates;
+    for (const auto& [key, partial] : exact.entries()) {
+      if (partial.count >= sensors) {
+        candidates.push_back(agg::RankedItem{key, partial.Final(options_.agg)});
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(), agg::RankHigher);
+
+    bool have_everything = k_deep >= window || lsink.size() >= window;
+    bool certified = candidates.size() >= k &&
+                     candidates[k - 1].value >= lb.tau_u - kCertEps;
+    if (have_everything || certified) {
+      if (candidates.size() > k) candidates.resize(k);
+      result.items = std::move(candidates);
+      return result;
+    }
+    // Clean-Up: deepen the local lists and retry.
+    k_deep = std::min(window, k_deep * 2);
+  }
+}
+
+}  // namespace kspot::core

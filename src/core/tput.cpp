@@ -1,0 +1,182 @@
+#include "core/tput.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "sim/waves.hpp"
+#include "util/fixed_point.hpp"
+
+namespace kspot::core {
+
+namespace {
+
+/// Relayed entry: window key (u16) + fixed-point value (i32).
+constexpr size_t kEntryBytes = 6;
+constexpr double kEps = 1e-9;
+
+/// One relayed report: the originating node's entries travel unmerged.
+using Entry = std::pair<sim::GroupId, double>;
+
+}  // namespace
+
+Tput::Tput(sim::Network* net, const HistorySource* history, HistoricOptions options)
+    : net_(net), history_(history), options_(options) {}
+
+HistoricResult Tput::Run() {
+  size_t k = static_cast<size_t>(options_.k);
+  size_t sensors = history_->num_nodes() - 1;
+  // TPUT is defined for SUM/AVG ranking only (the sink accumulates partial
+  // sums); the query validator rejects anything else before it gets here.
+  // Defensively widen phase 1 to the whole window for unexpected kinds so
+  // the collection is at least complete.
+  size_t k_phase1 = k;
+  if (options_.agg != agg::AggKind::kAvg && options_.agg != agg::AggKind::kSum) {
+    k_phase1 = history_->window_size();
+  }
+
+  // Per-node bookkeeping of already-transmitted keys (TPUT never resends).
+  std::vector<std::set<sim::GroupId>> sent(history_->num_nodes());
+  // Sink state: partial sums and how many nodes have reported each key.
+  std::map<sim::GroupId, double> psum;
+  std::map<sim::GroupId, size_t> seen;
+
+  // A relayed converge-cast: intermediate nodes concatenate (never merge).
+  auto relay_round = [&](auto&& local_entries, const char* phase) {
+    net_->SetPhase(phase);
+    using Msg = std::vector<Entry>;
+    auto produce = [&](sim::NodeId node, std::vector<Msg>&& inbox) -> std::optional<Msg> {
+      Msg out;
+      for (Msg& child : inbox) out.insert(out.end(), child.begin(), child.end());
+      if (node != sim::kSinkId) {
+        Msg mine = local_entries(node);
+        for (const Entry& e : mine) sent[node].insert(e.first);
+        out.insert(out.end(), mine.begin(), mine.end());
+        if (out.empty()) return std::nullopt;
+      }
+      return out;
+    };
+    auto wire_bytes = [&](const Msg& m) { return kMsgHeaderBytes + kEntryBytes * m.size(); };
+    auto sink = sim::UpWave<Msg>::Run(*net_, produce, wire_bytes);
+    if (sink.has_value()) {
+      for (const Entry& e : *sink) {
+        psum[e.first] += e.second;
+        seen[e.first] += 1;
+      }
+    }
+  };
+
+  // ---------------------------------------------------------- Phase 1
+  relay_round(
+      [&](sim::NodeId node) {
+        std::vector<double> w = history_->Window(node);
+        std::vector<Entry> ranked;
+        for (size_t t = 0; t < w.size(); ++t) {
+          ranked.emplace_back(static_cast<sim::GroupId>(t), w[t]);
+        }
+        std::sort(ranked.begin(), ranked.end(), [](const Entry& a, const Entry& b) {
+          if (a.second != b.second) return a.second > b.second;
+          return a.first < b.first;
+        });
+        if (ranked.size() > k_phase1) ranked.resize(k_phase1);
+        return ranked;
+      },
+      "tput.p1");
+
+  auto kth_psum = [&]() {
+    std::vector<double> sums;
+    sums.reserve(psum.size());
+    for (const auto& [key, s] : psum) sums.push_back(s);
+    std::sort(sums.rbegin(), sums.rend());
+    // Fewer keys than k: nothing may be pruned, so the bound is vacuous.
+    if (sums.size() < k) return -std::numeric_limits<double>::infinity();
+    return sums[k - 1];
+  };
+  double psi1 = kth_psum();
+  double threshold = sensors > 0 ? psi1 / static_cast<double>(sensors) : 0.0;
+
+  // ---------------------------------------------------------- Phase 2
+  // Broadcast the uniform threshold T, then collect every unsent item >= T.
+  net_->SetPhase("tput.p2");
+  struct Bcast {
+    double value;
+  };
+  auto bcast = [&](double value, const char* phase) {
+    net_->SetPhase(phase);
+    auto produce = [&](sim::NodeId node, const Bcast* incoming) -> std::optional<Bcast> {
+      if (node == sim::kSinkId) return Bcast{value};
+      return *incoming;
+    };
+    auto bytes = [&](const Bcast&) { return kMsgHeaderBytes + 8; };
+    sim::DownWave<Bcast>::Run(*net_, produce, bytes);
+  };
+  bcast(threshold, "tput.p2");
+  relay_round(
+      [&](sim::NodeId node) {
+        std::vector<double> w = history_->Window(node);
+        std::vector<Entry> out;
+        for (size_t t = 0; t < w.size(); ++t) {
+          auto key = static_cast<sim::GroupId>(t);
+          if (w[t] >= threshold - kEps && !sent[node].count(key)) out.emplace_back(key, w[t]);
+        }
+        return out;
+      },
+      "tput.p2");
+
+  // Upper-bound pruning: unseen nodes can contribute at most T per key.
+  double psi2 = kth_psum();
+  std::vector<sim::GroupId> candidates;
+  for (const auto& [key, s] : psum) {
+    size_t missing = sensors - seen[key];
+    double ub = missing == 0 ? s : s + threshold * static_cast<double>(missing);
+    if (ub >= psi2 - kEps) candidates.push_back(key);
+  }
+  std::sort(candidates.begin(), candidates.end());
+
+  // ---------------------------------------------------------- Phase 3
+  // Broadcast the candidate list; fetch exact values for unsent candidates.
+  {
+    net_->SetPhase("tput.p3");
+    struct KeyBcast {
+      std::vector<sim::GroupId> keys;
+    };
+    auto produce = [&](sim::NodeId node, const KeyBcast* incoming) -> std::optional<KeyBcast> {
+      if (node == sim::kSinkId) return KeyBcast{candidates};
+      return *incoming;
+    };
+    auto bytes = [&](const KeyBcast& m) { return kMsgHeaderBytes + 2 + 2 * m.keys.size(); };
+    sim::DownWave<KeyBcast>::Run(*net_, produce, bytes);
+  }
+  relay_round(
+      [&](sim::NodeId node) {
+        std::vector<double> w = history_->Window(node);
+        std::vector<Entry> out;
+        for (sim::GroupId key : candidates) {
+          if (static_cast<size_t>(key) < w.size() && !sent[node].count(key)) {
+            out.emplace_back(key, w[static_cast<size_t>(key)]);
+          }
+        }
+        return out;
+      },
+      "tput.p3");
+
+  // Exact totals are now known for every candidate key.
+  std::vector<agg::RankedItem> ranked;
+  for (sim::GroupId key : candidates) {
+    double total = psum[key];
+    double value = options_.agg == agg::AggKind::kAvg && sensors > 0
+                       ? total / static_cast<double>(sensors)
+                       : total;
+    ranked.push_back(agg::RankedItem{key, value});
+  }
+  std::sort(ranked.begin(), ranked.end(), agg::RankHigher);
+  if (ranked.size() > k) ranked.resize(k);
+
+  HistoricResult result;
+  result.items = std::move(ranked);
+  result.lsink_size = candidates.size();
+  result.rounds = 1;
+  return result;
+}
+
+}  // namespace kspot::core

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+
+#include "core/tja.hpp"
+
+namespace kspot::core {
+
+/// TPUT (Cao & Wang, PODC'04) — the classic three-phase uniform-threshold
+/// distributed top-k algorithm, cited by the paper as the historic-query
+/// state of the art prior to TJA. TPUT is a *flat* algorithm: nodes answer
+/// the sink directly; in a multihop WSN its messages are relayed hop-by-hop
+/// without in-network merging, which is exactly the disadvantage TJA's
+/// hierarchical union removes.
+///
+/// Phase 1: every node reports its local top-k; the sink computes the
+/// partial-sum lower bound psi1 and broadcasts the uniform threshold
+/// T = psi1 / n. Phase 2: every node reports all items with value >= T it
+/// has not yet sent; the sink prunes with upper bounds against psi2.
+/// Phase 3: the surviving candidate keys are fetched exactly. The answer is
+/// exact.
+class Tput {
+ public:
+  /// `net` and `history` must outlive the instance.
+  Tput(sim::Network* net, const HistorySource* history, HistoricOptions options);
+
+  /// Executes the query; the result's `lsink_size` carries the phase-3
+  /// candidate-set size and `rounds` is always 1.
+  HistoricResult Run();
+
+  /// Short identifier for tables.
+  std::string name() const { return "TPUT"; }
+
+ private:
+  sim::Network* net_;
+  const HistorySource* history_;
+  HistoricOptions options_;
+};
+
+}  // namespace kspot::core

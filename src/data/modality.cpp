@@ -1,0 +1,39 @@
+#include "data/modality.hpp"
+
+#include <array>
+
+#include "util/string_util.hpp"
+
+namespace kspot::data {
+
+namespace {
+
+const std::array<ModalityInfo, 6> kModalities = {{
+    {Modality::kSound, "sound", "%", 0.0, 100.0},
+    {Modality::kTemperature, "temperature", "C", -20.0, 60.0},
+    {Modality::kLight, "light", "lux", 0.0, 1000.0},
+    {Modality::kAccel, "accel", "g", -2.0, 2.0},
+    {Modality::kMagnetometer, "magnetometer", "mgauss", -500.0, 500.0},
+    {Modality::kHumidity, "humidity", "%", 0.0, 100.0},
+}};
+
+}  // namespace
+
+const ModalityInfo& GetModalityInfo(Modality m) {
+  for (const auto& info : kModalities) {
+    if (info.modality == m) return info;
+  }
+  return kModalities[0];
+}
+
+bool ParseModality(const std::string& name, Modality* out) {
+  for (const auto& info : kModalities) {
+    if (util::EqualsIgnoreCase(info.name, name)) {
+      *out = info.modality;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace kspot::data

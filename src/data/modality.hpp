@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+
+namespace kspot::data {
+
+/// Sensing modalities of the MTS310 sensor board used in the demo
+/// (Section IV-A): accelerometer, magnetometer, light, temperature,
+/// acoustic (sound) — plus humidity for richer scenarios.
+enum class Modality {
+  kSound,
+  kTemperature,
+  kLight,
+  kAccel,
+  kMagnetometer,
+  kHumidity,
+};
+
+/// Static description of a modality: bounded value domain and unit label.
+/// The bounded domain is load-bearing: MINT's gamma descriptors derive their
+/// upper/lower bounds for unclosed groups from it.
+struct ModalityInfo {
+  Modality modality;
+  std::string name;   ///< e.g. "sound"
+  std::string unit;   ///< e.g. "%"
+  double min_value;   ///< smallest producible reading
+  double max_value;   ///< largest producible reading
+};
+
+/// Returns the descriptor for `m`.
+const ModalityInfo& GetModalityInfo(Modality m);
+
+/// Parses a modality by (case-insensitive) name; returns false when unknown.
+bool ParseModality(const std::string& name, Modality* out);
+
+}  // namespace kspot::data

@@ -1,0 +1,43 @@
+#include "data/windowed.hpp"
+
+#include "util/fixed_point.hpp"
+
+namespace kspot::data {
+
+WindowAggregateGenerator::WindowAggregateGenerator(DataGenerator* inner, size_t num_nodes,
+                                                   size_t window, agg::AggKind agg)
+    : inner_(inner),
+      window_(window == 0 ? 1 : window),
+      agg_(agg),
+      rings_(num_nodes),
+      filled_(num_nodes, 0) {
+  for (auto& ring : rings_) ring.assign(window_, 0.0);
+}
+
+void WindowAggregateGenerator::AdvanceTo(sim::Epoch epoch) {
+  if (!primed_) {
+    next_epoch_ = 0;
+    primed_ = true;
+  }
+  while (next_epoch_ <= epoch) {
+    for (size_t id = 1; id < rings_.size(); ++id) {
+      double v = inner_->Value(static_cast<sim::NodeId>(id), next_epoch_);
+      rings_[id][next_epoch_ % window_] = v;
+      if (filled_[id] < window_) ++filled_[id];
+    }
+    ++next_epoch_;
+  }
+}
+
+double WindowAggregateGenerator::Value(sim::NodeId id, sim::Epoch epoch) {
+  AdvanceTo(epoch);
+  if (id >= rings_.size() || filled_[id] == 0) return 0.0;
+  agg::PartialAgg partial;
+  for (size_t i = 0; i < filled_[id]; ++i) {
+    partial.Merge(agg::PartialAgg::FromValue(rings_[id][i]));
+  }
+  // Quantize so downstream fixed-point transport is lossless.
+  return util::fixed_point::Quantize(partial.Final(agg_));
+}
+
+}  // namespace kspot::data

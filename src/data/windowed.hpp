@@ -1,0 +1,49 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "agg/aggregate.hpp"
+#include "data/generators.hpp"
+
+namespace kspot::data {
+
+/// Adapter for *horizontally fragmented* historic queries (Section III-B,
+/// first case): presents each node's sliding-window aggregate of an
+/// underlying generator as if it were the node's instantaneous reading.
+/// Running a snapshot algorithm (TAG or MINT) over this adapter implements
+/// "conduct a local search and filtering in the respective history window
+/// before transmitting the results upwards" — the node ships one aggregate
+/// instead of W raw tuples.
+///
+/// With every node holding the same window length W, per-room AVG over the
+/// adapter equals the paper's AVG over all buffered tuples of the room
+/// (equal weights), so results stay exact against an oracle over the same
+/// adapter.
+class WindowAggregateGenerator : public DataGenerator {
+ public:
+  /// `inner` must outlive the adapter. `window` is W (>=1); epochs earlier
+  /// than W-1 aggregate over however many readings exist so far.
+  WindowAggregateGenerator(DataGenerator* inner, size_t num_nodes, size_t window,
+                           agg::AggKind agg);
+
+  double Value(sim::NodeId id, sim::Epoch epoch) override;
+  const ModalityInfo& modality() const override { return inner_->modality(); }
+
+  /// Window length W.
+  size_t window() const { return window_; }
+
+ private:
+  DataGenerator* inner_;
+  size_t window_;
+  agg::AggKind agg_;
+  /// Ring buffers of the last `window_` readings per node.
+  std::vector<std::vector<double>> rings_;
+  std::vector<size_t> filled_;
+  sim::Epoch next_epoch_ = 0;
+  bool primed_ = false;
+
+  void AdvanceTo(sim::Epoch epoch);
+};
+
+}  // namespace kspot::data

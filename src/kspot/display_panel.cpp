@@ -1,0 +1,82 @@
+#include "kspot/display_panel.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+#include "util/string_util.hpp"
+
+namespace kspot::system {
+
+DisplayPanel::DisplayPanel(const Scenario* scenario, size_t width, size_t height)
+    : scenario_(scenario), width_(std::max<size_t>(width, 8)),
+      height_(std::max<size_t>(height, 4)) {}
+
+std::string DisplayPanel::RenderMap() const {
+  std::vector<std::string> canvas(height_, std::string(width_, '.'));
+  double sx = scenario_->field_w > 0 ? (static_cast<double>(width_ - 1) / scenario_->field_w) : 1;
+  double sy = scenario_->field_h > 0 ? (static_cast<double>(height_ - 1) / scenario_->field_h) : 1;
+  for (const Scenario::Node& n : scenario_->nodes) {
+    size_t cx = static_cast<size_t>(n.x * sx);
+    size_t cy = static_cast<size_t>(n.y * sy);
+    cx = std::min(cx, width_ - 1);
+    cy = std::min(cy, height_ - 1);
+    char mark;
+    if (n.id == sim::kSinkId) {
+      mark = '#';
+    } else {
+      std::string cname = scenario_->ClusterName(n.room);
+      mark = cname.empty() ? '?' : cname[0];
+    }
+    canvas[cy][cx] = mark;
+  }
+  std::ostringstream oss;
+  oss << '+' << std::string(width_, '-') << "+\n";
+  for (const std::string& row : canvas) oss << '|' << row << "|\n";
+  oss << '+' << std::string(width_, '-') << "+\n";
+  return oss.str();
+}
+
+std::string DisplayPanel::RenderBullets(const core::TopKResult& result) const {
+  std::ostringstream oss;
+  oss << "KSpot Bullets [epoch " << result.epoch << "]: ";
+  if (result.items.empty()) oss << "(no ranked clusters yet)";
+  for (size_t i = 0; i < result.items.size(); ++i) {
+    if (i) oss << "   ";
+    oss << "(" << (i + 1) << ") " << scenario_->ClusterName(result.items[i].group) << " "
+        << util::FormatDouble(result.items[i].value);
+  }
+  oss << '\n';
+  return oss.str();
+}
+
+std::string DisplayPanel::RenderTree(const sim::RoutingTree& tree) const {
+  std::ostringstream oss;
+  std::function<void(sim::NodeId, int)> walk = [&](sim::NodeId node, int depth) {
+    oss << std::string(static_cast<size_t>(depth) * 2, ' ') << 's' << node;
+    if (node == sim::kSinkId) {
+      oss << " (sink)";
+    } else {
+      for (const Scenario::Node& n : scenario_->nodes) {
+        if (n.id == node) {
+          oss << " [" << scenario_->ClusterName(n.room) << "]";
+          break;
+        }
+      }
+    }
+    oss << '\n';
+    for (sim::NodeId child : tree.children(node)) walk(child, depth + 1);
+  };
+  walk(sim::kSinkId, 0);
+  return oss.str();
+}
+
+std::string DisplayPanel::RenderFrame(const core::TopKResult& result) const {
+  std::ostringstream oss;
+  oss << "=== KSpot Display Panel -- scenario '" << scenario_->name << "' ===\n";
+  oss << RenderMap();
+  oss << RenderBullets(result);
+  return oss.str();
+}
+
+}  // namespace kspot::system

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/result.hpp"
+#include "kspot/scenario_config.hpp"
+#include "sim/routing_tree.hpp"
+
+namespace kspot::system {
+
+/// The Display Panel of the KSpot GUI (Section II), rendered as terminal
+/// text instead of a JPG floor plan: a scaled ASCII map of the deployment
+/// with per-node cluster letters, plus the "KSpot Bullet" ranking strip that
+/// re-ranks the K highest clusters every epoch.
+class DisplayPanel {
+ public:
+  /// `scenario` must outlive the panel. `width`/`height` are the character
+  /// dimensions of the map canvas.
+  explicit DisplayPanel(const Scenario* scenario, size_t width = 64, size_t height = 20);
+
+  /// Renders the floor map: sink marked '#', sensors by their cluster's
+  /// first letter; optionally overlays the routing tree depth under each
+  /// node position.
+  std::string RenderMap() const;
+
+  /// Renders the KSpot-Bullet strip for one epoch's ranked answer, e.g.
+  ///   (1) Auditorium  75.00   (2) Coffee  68.41 ...
+  std::string RenderBullets(const core::TopKResult& result) const;
+
+  /// Renders the routing hierarchy as an indented tree with cluster names —
+  /// the "black line" cluster links of the GUI, in text:
+  ///   s0 (sink)
+  ///     s6 [C]
+  ///       s5 [C] ...
+  std::string RenderTree(const sim::RoutingTree& tree) const;
+
+  /// Renders map + bullets + a heading for one epoch.
+  std::string RenderFrame(const core::TopKResult& result) const;
+
+ private:
+  const Scenario* scenario_;
+  size_t width_;
+  size_t height_;
+};
+
+}  // namespace kspot::system

@@ -1,0 +1,23 @@
+#include "kspot/node_runtime.hpp"
+
+namespace kspot::system {
+
+NodeRuntime::NodeRuntime(sim::NodeId id, size_t window, const data::ModalityInfo& modality,
+                         bool archive_to_flash)
+    : id_(id),
+      history_(window, archive_to_flash, modality.min_value, modality.max_value) {}
+
+util::Status NodeRuntime::InstallQuery(const std::string& sql) {
+  util::StatusOr<query::ParsedQuery> parsed = query::Parse(sql);
+  if (!parsed.ok()) return parsed.status();
+  util::Status valid = query::Validate(parsed.value());
+  if (!valid.ok()) return valid;
+  query_ = std::move(parsed).value();
+  class_ = query::Classify(query_);
+  has_query_ = true;
+  return util::Status::Ok();
+}
+
+void NodeRuntime::Sample(sim::Epoch epoch, double value) { history_.Append(epoch, value); }
+
+}  // namespace kspot::system

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "data/modality.hpp"
+#include "query/parser.hpp"
+#include "sim/types.hpp"
+#include "storage/history_store.hpp"
+#include "util/status.hpp"
+
+namespace kspot::system {
+
+/// The KSpot *client* (Section II): the software each mote runs. The real
+/// deployment writes this in nesC on TinyOS; here it is the per-node runtime
+/// object the server instantiates on every simulated sensor.
+///
+/// Responsibilities mirror the paper's client architecture:
+///  * a network interface that accepts instructions from the server
+///    (`InstallQuery`, one text query at a time),
+///  * a local query parser with a router that sends basic SELECT/GROUP-BY
+///    queries to the local acquisition engine and TOP-K queries to the
+///    specialized top-k operator, and
+///  * local access methods: the sliding-window history store (SRAM ring +
+///    MicroHash-indexed flash archive) feeding historic queries.
+class NodeRuntime {
+ public:
+  /// Creates the runtime for node `id` with a `window`-epoch history buffer.
+  NodeRuntime(sim::NodeId id, size_t window, const data::ModalityInfo& modality,
+              bool archive_to_flash = false);
+
+  /// Parses + validates + routes a query exactly like the mote-side parser.
+  /// A real deployment rejects malformed queries at the node as well as at
+  /// the server; tests exercise both paths.
+  util::Status InstallQuery(const std::string& sql);
+
+  /// The installed query's class (valid after a successful InstallQuery).
+  query::QueryClass query_class() const { return class_; }
+  /// The installed parsed query.
+  const query::ParsedQuery& query() const { return query_; }
+  /// True when a query is installed.
+  bool has_query() const { return has_query_; }
+
+  /// Records one epoch's local reading into the history store.
+  void Sample(sim::Epoch epoch, double value);
+
+  /// Local storage (exposed for the historic operators).
+  storage::HistoryStore& history() { return history_; }
+  const storage::HistoryStore& history() const { return history_; }
+
+  /// This node's id.
+  sim::NodeId id() const { return id_; }
+
+ private:
+  sim::NodeId id_;
+  storage::HistoryStore history_;
+  query::ParsedQuery query_;
+  query::QueryClass class_ = query::QueryClass::kBasicSelect;
+  bool has_query_ = false;
+};
+
+}  // namespace kspot::system

@@ -1,0 +1,273 @@
+#include "kspot/server.hpp"
+
+#include <algorithm>
+
+#include "agg/aggregate.hpp"
+#include "core/centralized.hpp"
+#include "core/history_source.hpp"
+#include "core/mint.hpp"
+#include "core/oracle.hpp"
+#include "core/tag.hpp"
+#include "data/windowed.hpp"
+
+namespace kspot::system {
+
+namespace {
+
+/// Default window used when clients buffer history but the query names none.
+constexpr size_t kDefaultWindow = 32;
+
+core::QuerySpec SpecFromQuery(const query::ParsedQuery& parsed, const Scenario& scenario) {
+  core::QuerySpec spec;
+  // Basic GROUP-BY selects (no TOP clause) report every group.
+  spec.k = parsed.top_k > 0 ? parsed.top_k : 1'000'000;
+  const query::SelectItem* agg_item = parsed.FirstAggregate();
+  if (agg_item != nullptr) {
+    agg::ParseAggKind(agg_item->aggregate, &spec.agg);
+  }
+  spec.grouping =
+      parsed.group_by == "nodeid" ? core::Grouping::kNode : core::Grouping::kRoom;
+  spec.SetDomainFrom(data::GetModalityInfo(scenario.modality));
+  return spec;
+}
+
+}  // namespace
+
+KSpotServer::KSpotServer(Scenario scenario, Options options)
+    : scenario_(std::move(scenario)), options_(std::move(options)),
+      topology_(scenario_.BuildTopology()) {
+  util::Rng tree_rng(options_.seed ^ 0xA5A5A5A5ULL);
+  // The Figure-1 scenario pins the exact routing tree of the paper; other
+  // scenarios build the cluster-aware variant of TAG's first-heard-from
+  // tree (the server knows the region assignments from the Configuration
+  // Panel, so rooms form contiguous subtrees and close low — what MINT's
+  // view hierarchy exploits).
+  if (scenario_.name == "figure1" && topology_.num_nodes() == 10) {
+    tree_ = sim::RoutingTree::FromParents(sim::MakeFigure1Parents());
+  } else {
+    tree_ = sim::RoutingTree::BuildClusterAware(topology_, tree_rng);
+  }
+  const data::ModalityInfo& info = data::GetModalityInfo(scenario_.modality);
+  clients_.reserve(topology_.num_nodes());
+  for (sim::NodeId id = 0; id < topology_.num_nodes(); ++id) {
+    clients_.emplace_back(id, kDefaultWindow, info);
+  }
+}
+
+std::unique_ptr<data::DataGenerator> KSpotServer::MakeGenerator(uint64_t seed) const {
+  if (options_.make_generator) return options_.make_generator(scenario_, seed);
+  std::vector<sim::GroupId> rooms;
+  rooms.reserve(topology_.num_nodes());
+  for (sim::NodeId id = 0; id < topology_.num_nodes(); ++id) rooms.push_back(topology_.room(id));
+  const data::ModalityInfo& info = data::GetModalityInfo(scenario_.modality);
+  double span = info.max_value - info.min_value;
+  // Rooms drift independently, a building-wide component correlates hot
+  // time instances across nodes, and readings land on an integer ADC grid.
+  return std::make_unique<data::RoomCorrelatedGenerator>(
+      std::move(rooms), scenario_.modality, /*room_sigma=*/span * 0.02,
+      /*noise_sigma=*/span * 0.01, util::Rng(seed), /*global_sigma=*/span * 0.03,
+      /*quantize_step=*/span * 0.01);
+}
+
+sim::NetworkOptions KSpotServer::NetOptions() const {
+  sim::NetworkOptions opts;
+  opts.loss_prob = options_.loss_prob;
+  opts.max_retries = options_.max_retries;
+  return opts;
+}
+
+util::StatusOr<RunOutcome> KSpotServer::Execute(const std::string& sql) {
+  return ExecuteStreaming(sql, EpochCallback());
+}
+
+util::StatusOr<RunOutcome> KSpotServer::ExecuteStreaming(const std::string& sql,
+                                                         const EpochCallback& cb) {
+  util::StatusOr<query::ParsedQuery> parsed = query::Parse(sql);
+  if (!parsed.ok()) return parsed.status();
+  util::Status valid = query::Validate(parsed.value());
+  if (!valid.ok()) return valid;
+  // Mirror the client-side route: install on every node runtime (the nesC
+  // client parses the disseminated query too).
+  for (auto& client : clients_) {
+    util::Status s = client.InstallQuery(sql);
+    if (!s.ok()) return s;
+  }
+  return Dispatch(parsed.value(), cb);
+}
+
+util::StatusOr<RunOutcome> KSpotServer::Dispatch(const query::ParsedQuery& parsed,
+                                                 const EpochCallback& cb) {
+  switch (query::Classify(parsed)) {
+    case query::QueryClass::kBasicSelect:
+      return RunBasicSelect(parsed, cb);
+    case query::QueryClass::kSnapshotTopK:
+      return RunSnapshot(parsed, /*mint=*/true, cb);
+    case query::QueryClass::kHistoricVertical:
+      return RunHistoricVertical(parsed);
+    case query::QueryClass::kHistoricHorizontal:
+      return RunHistoricHorizontal(parsed, cb);
+  }
+  return util::Status::Error("unroutable query");
+}
+
+RunOutcome KSpotServer::RunBasicSelect(const query::ParsedQuery& parsed,
+                                       const EpochCallback& cb) {
+  // GROUP BY without TOP: classic TAG reporting every group's aggregate —
+  // handled by the snapshot path with K = all groups. Ungrouped: tuple
+  // collection with source-side WHERE filtering.
+  if (parsed.FirstAggregate() != nullptr && !parsed.group_by.empty()) {
+    return RunSnapshot(parsed, /*mint=*/false, cb);
+  }
+  RunOutcome outcome;
+  outcome.query_class = query::QueryClass::kBasicSelect;
+  outcome.algorithm = "SELECT";
+  auto gen = MakeGenerator(options_.seed);
+  sim::Network net(&topology_, &tree_, NetOptions(), util::Rng(options_.seed ^ 0x33));
+  core::BasicSelect select(&net, gen.get(), parsed.has_where, parsed.where);
+
+  sim::TrafficCounters last{};
+  for (size_t e = 0; e < options_.epochs; ++e) {
+    auto epoch = static_cast<sim::Epoch>(e);
+    outcome.rows_per_epoch.push_back(select.RunEpoch(epoch));
+    outcome.panel.RecordKspotEpoch(net.total().Since(last));
+    last = net.total();
+    if (cb) {
+      core::TopKResult placeholder;
+      placeholder.epoch = epoch;
+      cb(placeholder, outcome.panel);
+    }
+  }
+  outcome.cost = net.total();
+  outcome.baseline_cost = net.total();
+  return outcome;
+}
+
+RunOutcome KSpotServer::RunSnapshot(const query::ParsedQuery& parsed, bool mint,
+                                    const EpochCallback& cb) {
+  RunOutcome outcome;
+  outcome.query_class = query::Classify(parsed);
+  core::QuerySpec spec = SpecFromQuery(parsed, scenario_);
+
+  // KSpot network + generator, and an identically seeded shadow pair for
+  // the TAG baseline so the System Panel compares like with like.
+  auto gen = MakeGenerator(options_.seed);
+  sim::Network net(&topology_, &tree_, NetOptions(), util::Rng(options_.seed ^ 0x77));
+  std::unique_ptr<core::EpochAlgorithm> algo;
+  if (mint) {
+    algo = std::make_unique<core::MintViews>(&net, gen.get(), spec);
+  } else {
+    algo = std::make_unique<core::TagTopK>(&net, gen.get(), spec);
+  }
+  outcome.algorithm = algo->name();
+
+  auto baseline_gen = MakeGenerator(options_.seed);
+  sim::Network baseline_net(&topology_, &tree_, NetOptions(), util::Rng(options_.seed ^ 0x77));
+  core::TagTopK baseline(&baseline_net, baseline_gen.get(), spec);
+
+  sim::TrafficCounters last{};
+  sim::TrafficCounters baseline_last{};
+  for (size_t e = 0; e < options_.epochs; ++e) {
+    auto epoch = static_cast<sim::Epoch>(e);
+    core::TopKResult result = algo->RunEpoch(epoch);
+    outcome.panel.RecordKspotEpoch(net.total().Since(last));
+    last = net.total();
+    if (options_.run_baseline) {
+      baseline.RunEpoch(epoch);
+      outcome.panel.RecordBaselineEpoch(baseline_net.total().Since(baseline_last));
+      baseline_last = baseline_net.total();
+    }
+    if (cb) cb(result, outcome.panel);
+    outcome.per_epoch.push_back(std::move(result));
+  }
+  outcome.cost = net.total();
+  outcome.baseline_cost = baseline_net.total();
+  return outcome;
+}
+
+RunOutcome KSpotServer::RunHistoricVertical(const query::ParsedQuery& parsed) {
+  RunOutcome outcome;
+  outcome.query_class = query::QueryClass::kHistoricVertical;
+  size_t window = parsed.history > 0 ? static_cast<size_t>(parsed.history) : kDefaultWindow;
+
+  // Buffer `window` epochs into every client's history store (local
+  // sampling costs no radio traffic), then run TJA over the stored windows.
+  auto gen = MakeGenerator(options_.seed);
+  std::vector<storage::HistoryStore> stores;
+  stores.reserve(topology_.num_nodes());
+  const data::ModalityInfo& info = data::GetModalityInfo(scenario_.modality);
+  for (sim::NodeId id = 0; id < topology_.num_nodes(); ++id) {
+    stores.emplace_back(window, /*archive_to_flash=*/false, info.min_value, info.max_value);
+  }
+  for (size_t t = 0; t < window; ++t) {
+    for (sim::NodeId id = 1; id < topology_.num_nodes(); ++id) {
+      stores[id].Append(static_cast<sim::Epoch>(t),
+                        gen->Value(id, static_cast<sim::Epoch>(t)));
+    }
+  }
+  storage::StoreHistorySource source(&stores);
+
+  core::HistoricOptions opts;
+  opts.k = std::max(1, parsed.top_k);
+  const query::SelectItem* agg_item = parsed.FirstAggregate();
+  if (agg_item != nullptr) agg::ParseAggKind(agg_item->aggregate, &opts.agg);
+
+  sim::Network net(&topology_, &tree_, NetOptions(), util::Rng(options_.seed ^ 0x99));
+  core::Tja tja(&net, &source, opts);
+  outcome.historic = tja.Run();
+  outcome.algorithm = tja.name();
+  outcome.cost = net.total();
+  outcome.panel.RecordKspotEpoch(net.total());
+
+  if (options_.run_baseline) {
+    sim::Network cnet(&topology_, &tree_, NetOptions(), util::Rng(options_.seed ^ 0x99));
+    core::TagHistoric baseline(&cnet, &source, opts);
+    baseline.Run();
+    outcome.baseline_cost = cnet.total();
+    outcome.panel.RecordBaselineEpoch(cnet.total());
+  }
+  return outcome;
+}
+
+RunOutcome KSpotServer::RunHistoricHorizontal(const query::ParsedQuery& parsed,
+                                              const EpochCallback& cb) {
+  RunOutcome outcome;
+  outcome.query_class = query::QueryClass::kHistoricHorizontal;
+  core::QuerySpec spec = SpecFromQuery(parsed, scenario_);
+  size_t window = parsed.history > 0 ? static_cast<size_t>(parsed.history) : kDefaultWindow;
+
+  // Local search and filtering (Section III-B, horizontal case): every node
+  // reduces its window to one aggregate locally; MINT then prunes the
+  // aggregated values in-network, epoch by epoch as the window slides.
+  auto inner = MakeGenerator(options_.seed);
+  data::WindowAggregateGenerator gen(inner.get(), topology_.num_nodes(), window, spec.agg);
+  sim::Network net(&topology_, &tree_, NetOptions(), util::Rng(options_.seed ^ 0x55));
+  core::MintViews mint(&net, &gen, spec);
+  outcome.algorithm = "MINT+history";
+
+  auto baseline_inner = MakeGenerator(options_.seed);
+  data::WindowAggregateGenerator baseline_gen(baseline_inner.get(), topology_.num_nodes(),
+                                              window, spec.agg);
+  sim::Network baseline_net(&topology_, &tree_, NetOptions(), util::Rng(options_.seed ^ 0x55));
+  core::TagTopK baseline(&baseline_net, &baseline_gen, spec);
+
+  sim::TrafficCounters last{};
+  sim::TrafficCounters baseline_last{};
+  for (size_t e = 0; e < options_.epochs; ++e) {
+    auto epoch = static_cast<sim::Epoch>(e);
+    core::TopKResult result = mint.RunEpoch(epoch);
+    outcome.panel.RecordKspotEpoch(net.total().Since(last));
+    last = net.total();
+    if (options_.run_baseline) {
+      baseline.RunEpoch(epoch);
+      outcome.panel.RecordBaselineEpoch(baseline_net.total().Since(baseline_last));
+      baseline_last = baseline_net.total();
+    }
+    if (cb) cb(result, outcome.panel);
+    outcome.per_epoch.push_back(std::move(result));
+  }
+  outcome.cost = net.total();
+  outcome.baseline_cost = baseline_net.total();
+  return outcome;
+}
+
+}  // namespace kspot::system

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cost_report.hpp"
+#include "core/result.hpp"
+#include "core/select.hpp"
+#include "core/tja.hpp"
+#include "data/generators.hpp"
+#include "kspot/node_runtime.hpp"
+#include "kspot/scenario_config.hpp"
+#include "kspot/system_panel.hpp"
+#include "query/parser.hpp"
+#include "sim/network.hpp"
+#include "sim/routing_tree.hpp"
+
+namespace kspot::system {
+
+/// What one executed query produced: the per-epoch ranked answers (snapshot
+/// queries), the tuple rows (ungrouped basic selects) or the one-shot
+/// historic answer, plus cost accounting against the TAG baseline (what the
+/// System Panel projects).
+struct RunOutcome {
+  query::QueryClass query_class = query::QueryClass::kBasicSelect;
+  std::string algorithm;                     ///< "MINT", "TJA", "TAG", ...
+  std::vector<core::TopKResult> per_epoch;   ///< Snapshot answers per epoch.
+  std::vector<std::vector<core::SelectTuple>> rows_per_epoch;  ///< Ungrouped selects.
+  core::HistoricResult historic;             ///< Historic answer (vertical).
+  sim::TrafficCounters cost;                 ///< KSpot traffic for the run.
+  sim::TrafficCounters baseline_cost;        ///< TAG traffic over the same data.
+  SystemPanel panel;                         ///< Live savings counters.
+};
+
+/// The KSpot *server* (Section II): the base-station software. It hosts the
+/// Query Panel backend — accepting declarative SQL text, parsing and
+/// validating it, dispatching it to the right top-k operator (MINT for
+/// snapshot queries, local filtering or TJA for historic ones, plain TAG
+/// for basic selects) — and drives the deployed (simulated) network for a
+/// requested number of epochs while maintaining the System Panel.
+class KSpotServer {
+ public:
+  struct Options {
+    /// Epochs to run continuous queries for.
+    size_t epochs = 30;
+    /// RNG seed (topology nondeterminism, data, losses).
+    uint64_t seed = 1;
+    /// Per-frame loss probability.
+    double loss_prob = 0.0;
+    /// Link-layer retries.
+    int max_retries = 0;
+    /// Data generator factory; defaults to a room-correlated walk matching
+    /// the scenario's modality.
+    std::function<std::unique_ptr<data::DataGenerator>(const Scenario&, uint64_t seed)>
+        make_generator;
+    /// Run a shadow TAG baseline over identical data for the System Panel.
+    bool run_baseline = true;
+  };
+
+  /// Builds the server (and client runtimes) for a scenario.
+  KSpotServer(Scenario scenario, Options options);
+
+  /// Executes one query end to end. Expected failures (syntax/semantic
+  /// errors) are returned as Status.
+  util::StatusOr<RunOutcome> Execute(const std::string& sql);
+
+  /// Per-epoch callback for live display (Display Panel hooks in here).
+  using EpochCallback = std::function<void(const core::TopKResult&, const SystemPanel&)>;
+  /// Like Execute but invokes `cb` after every epoch of a continuous query.
+  util::StatusOr<RunOutcome> ExecuteStreaming(const std::string& sql, const EpochCallback& cb);
+
+  /// The scenario this server administers.
+  const Scenario& scenario() const { return scenario_; }
+  /// The routing tree built over the deployment.
+  const sim::RoutingTree& tree() const { return tree_; }
+  /// Per-node client runtimes.
+  const std::vector<NodeRuntime>& clients() const { return clients_; }
+
+ private:
+  Scenario scenario_;
+  Options options_;
+  sim::Topology topology_;
+  sim::RoutingTree tree_;
+  std::vector<NodeRuntime> clients_;
+
+  std::unique_ptr<data::DataGenerator> MakeGenerator(uint64_t seed) const;
+  sim::NetworkOptions NetOptions() const;
+
+  util::StatusOr<RunOutcome> Dispatch(const query::ParsedQuery& parsed, const EpochCallback& cb);
+  RunOutcome RunSnapshot(const query::ParsedQuery& parsed, bool mint, const EpochCallback& cb);
+  RunOutcome RunBasicSelect(const query::ParsedQuery& parsed, const EpochCallback& cb);
+  RunOutcome RunHistoricVertical(const query::ParsedQuery& parsed);
+  RunOutcome RunHistoricHorizontal(const query::ParsedQuery& parsed, const EpochCallback& cb);
+};
+
+}  // namespace kspot::system

@@ -1,0 +1,47 @@
+#include "kspot/system_panel.hpp"
+
+#include <sstream>
+
+#include "util/string_util.hpp"
+
+namespace kspot::system {
+
+void SystemPanel::RecordKspotEpoch(const sim::TrafficCounters& epoch_delta) {
+  kspot_.Add(epoch_delta);
+  ++epochs_;
+}
+
+void SystemPanel::RecordBaselineEpoch(const sim::TrafficCounters& epoch_delta) {
+  baseline_.Add(epoch_delta);
+}
+
+double SystemPanel::MessageSavingsPercent() const {
+  return core::CostReport::SavingsPercent(static_cast<double>(baseline_.messages),
+                                          static_cast<double>(kspot_.messages));
+}
+
+double SystemPanel::ByteSavingsPercent() const {
+  return core::CostReport::SavingsPercent(static_cast<double>(baseline_.payload_bytes),
+                                          static_cast<double>(kspot_.payload_bytes));
+}
+
+double SystemPanel::EnergySavingsPercent() const {
+  return core::CostReport::SavingsPercent(baseline_.energy_j(), kspot_.energy_j());
+}
+
+std::string SystemPanel::Render() const {
+  std::ostringstream oss;
+  oss << "=== KSpot System Panel (cumulative over " << epochs_ << " epochs) ===\n";
+  oss << "              " << "KSpot"
+      << "        baseline(TAG)   savings\n";
+  oss << "  messages    " << kspot_.messages << "          " << baseline_.messages << "        "
+      << util::FormatDouble(MessageSavingsPercent(), 1) << "%\n";
+  oss << "  bytes       " << kspot_.payload_bytes << "       " << baseline_.payload_bytes
+      << "     " << util::FormatDouble(ByteSavingsPercent(), 1) << "%\n";
+  oss << "  energy (J)  " << util::FormatDouble(kspot_.energy_j(), 4) << "      "
+      << util::FormatDouble(baseline_.energy_j(), 4) << "      "
+      << util::FormatDouble(EnergySavingsPercent(), 1) << "%\n";
+  return oss.str();
+}
+
+}  // namespace kspot::system

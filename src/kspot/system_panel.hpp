@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+
+#include "core/cost_report.hpp"
+#include "sim/network.hpp"
+
+namespace kspot::system {
+
+/// The System Panel (Sections I/IV-B): the live counter display that
+/// "continuously projects the savings in energy and messages that our system
+/// yields". It tracks the KSpot network's traffic against a baseline (TAG)
+/// run over the same data and reports the savings percentages.
+class SystemPanel {
+ public:
+  SystemPanel() = default;
+
+  /// Records one epoch of KSpot traffic (counters since the previous call).
+  void RecordKspotEpoch(const sim::TrafficCounters& epoch_delta);
+  /// Records one epoch of baseline traffic.
+  void RecordBaselineEpoch(const sim::TrafficCounters& epoch_delta);
+
+  /// Cumulative KSpot traffic.
+  const sim::TrafficCounters& kspot_total() const { return kspot_; }
+  /// Cumulative baseline traffic.
+  const sim::TrafficCounters& baseline_total() const { return baseline_; }
+
+  /// Message savings, percent of the baseline.
+  double MessageSavingsPercent() const;
+  /// Payload byte savings, percent of the baseline.
+  double ByteSavingsPercent() const;
+  /// Radio energy savings, percent of the baseline.
+  double EnergySavingsPercent() const;
+
+  /// Renders the panel text (one compact block for the terminal).
+  std::string Render() const;
+
+ private:
+  sim::TrafficCounters kspot_;
+  sim::TrafficCounters baseline_;
+  size_t epochs_ = 0;
+};
+
+}  // namespace kspot::system

@@ -1,0 +1,80 @@
+#include "net/serializer.hpp"
+
+#include <cstring>
+
+namespace kspot::net {
+
+void Writer::PutU16(uint16_t v) {
+  buf_.push_back(static_cast<uint8_t>(v));
+  buf_.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void Writer::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void Writer::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void Writer::PutBytes(const uint8_t* data, size_t len) {
+  buf_.insert(buf_.end(), data, data + len);
+}
+
+void Writer::PutString(const std::string& s) {
+  PutU16(static_cast<uint16_t>(s.size()));
+  PutBytes(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+}
+
+bool Reader::Ensure(size_t n) {
+  if (!ok_ || pos_ + n > len_) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+uint8_t Reader::GetU8() {
+  if (!Ensure(1)) return 0;
+  return data_[pos_++];
+}
+
+uint16_t Reader::GetU16() {
+  if (!Ensure(2)) return 0;
+  uint16_t v = static_cast<uint16_t>(data_[pos_]) | (static_cast<uint16_t>(data_[pos_ + 1]) << 8);
+  pos_ += 2;
+  return v;
+}
+
+uint32_t Reader::GetU32() {
+  if (!Ensure(4)) return 0;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+uint64_t Reader::GetU64() {
+  if (!Ensure(8)) return 0;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+std::string Reader::GetString() {
+  uint16_t n = GetU16();
+  if (!Ensure(n)) return {};
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+bool Reader::GetBytes(uint8_t* out, size_t len) {
+  if (!Ensure(len)) return false;
+  std::memcpy(out, data_ + pos_, len);
+  pos_ += len;
+  return true;
+}
+
+}  // namespace kspot::net

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kspot::net {
+
+/// Byte-exact little-endian message writer.
+///
+/// Every protocol message in the library is sized by actually serializing it
+/// through this writer, so the byte counts the benchmarks report correspond
+/// to real wire images rather than estimates.
+class Writer {
+ public:
+  /// Appends an unsigned 8-bit value.
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  /// Appends an unsigned 16-bit value (little endian).
+  void PutU16(uint16_t v);
+  /// Appends an unsigned 32-bit value.
+  void PutU32(uint32_t v);
+  /// Appends a signed 32-bit value.
+  void PutI32(int32_t v) { PutU32(static_cast<uint32_t>(v)); }
+  /// Appends an unsigned 64-bit value.
+  void PutU64(uint64_t v);
+  /// Appends a signed 64-bit value.
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  /// Appends raw bytes.
+  void PutBytes(const uint8_t* data, size_t len);
+  /// Appends a length-prefixed (u16) string.
+  void PutString(const std::string& s);
+
+  /// The serialized image.
+  const std::vector<uint8_t>& bytes() const { return buf_; }
+  /// Current size in bytes.
+  size_t size() const { return buf_.size(); }
+  /// Moves the buffer out.
+  std::vector<uint8_t> Take() { return std::move(buf_); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// Little-endian reader over a byte buffer; sets a sticky error flag on
+/// overrun instead of throwing (malformed radio frames are expected input).
+class Reader {
+ public:
+  /// Creates a reader over `data[0..len)`; the buffer must outlive the reader.
+  Reader(const uint8_t* data, size_t len) : data_(data), len_(len) {}
+  /// Creates a reader over a vector.
+  explicit Reader(const std::vector<uint8_t>& buf) : Reader(buf.data(), buf.size()) {}
+
+  /// Reads an unsigned 8-bit value (0 on error).
+  uint8_t GetU8();
+  /// Reads an unsigned 16-bit value.
+  uint16_t GetU16();
+  /// Reads an unsigned 32-bit value.
+  uint32_t GetU32();
+  /// Reads a signed 32-bit value.
+  int32_t GetI32() { return static_cast<int32_t>(GetU32()); }
+  /// Reads an unsigned 64-bit value.
+  uint64_t GetU64();
+  /// Reads a signed 64-bit value.
+  int64_t GetI64() { return static_cast<int64_t>(GetU64()); }
+  /// Reads a length-prefixed string.
+  std::string GetString();
+  /// Reads `len` raw bytes into `out`; returns false on overrun.
+  bool GetBytes(uint8_t* out, size_t len);
+
+  /// True while no overrun occurred.
+  bool ok() const { return ok_; }
+  /// Bytes remaining.
+  size_t remaining() const { return len_ - pos_; }
+  /// Current read offset.
+  size_t position() const { return pos_; }
+
+ private:
+  const uint8_t* data_;
+  size_t len_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+
+  bool Ensure(size_t n);
+};
+
+}  // namespace kspot::net

@@ -1,0 +1,88 @@
+#include "query/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace kspot::query {
+
+std::vector<Token> Lex(const std::string& text) {
+  std::vector<Token> out;
+  size_t i = 0;
+  size_t n = text.size();
+  while (i < n) {
+    char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(text[i])) || text[i] == '_')) ++i;
+      tok.kind = TokenKind::kIdentifier;
+      tok.text = text.substr(start, i - start);
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '-' && i + 1 < n && std::isdigit(static_cast<unsigned char>(text[i + 1]))) ||
+               (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      size_t start = i;
+      if (text[i] == '-') ++i;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(text[i])) || text[i] == '.')) ++i;
+      tok.kind = TokenKind::kNumber;
+      tok.text = text.substr(start, i - start);
+      tok.number = std::strtod(tok.text.c_str(), nullptr);
+    } else {
+      switch (c) {
+        case ',': tok.kind = TokenKind::kComma; ++i; break;
+        case '(': tok.kind = TokenKind::kLParen; ++i; break;
+        case ')': tok.kind = TokenKind::kRParen; ++i; break;
+        case '=': tok.kind = TokenKind::kEq; ++i; break;
+        case '<':
+          if (i + 1 < n && text[i + 1] == '=') {
+            tok.kind = TokenKind::kLe;
+            i += 2;
+          } else if (i + 1 < n && text[i + 1] == '>') {
+            tok.kind = TokenKind::kNe;
+            i += 2;
+          } else {
+            tok.kind = TokenKind::kLt;
+            ++i;
+          }
+          break;
+        case '>':
+          if (i + 1 < n && text[i + 1] == '=') {
+            tok.kind = TokenKind::kGe;
+            i += 2;
+          } else {
+            tok.kind = TokenKind::kGt;
+            ++i;
+          }
+          break;
+        case '!':
+          if (i + 1 < n && text[i + 1] == '=') {
+            tok.kind = TokenKind::kNe;
+            i += 2;
+          } else {
+            tok.kind = TokenKind::kError;
+            tok.text = text.substr(i, 1);
+            ++i;
+          }
+          break;
+        default:
+          tok.kind = TokenKind::kError;
+          tok.text = text.substr(i, 1);
+          ++i;
+          break;
+      }
+    }
+    out.push_back(tok);
+    if (tok.kind == TokenKind::kError) break;
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = n;
+  out.push_back(end);
+  return out;
+}
+
+}  // namespace kspot::query

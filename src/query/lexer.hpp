@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace kspot::query {
+
+/// Token kinds of the KSpot SQL dialect.
+enum class TokenKind {
+  kIdentifier,  ///< keywords are identifiers until the parser classifies them
+  kNumber,
+  kComma,
+  kLParen,
+  kRParen,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEq,
+  kNe,
+  kEnd,
+  kError,
+};
+
+/// One lexed token with its source offset (for error messages).
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  double number = 0.0;
+  size_t offset = 0;
+};
+
+/// Splits query text into tokens. Never throws; malformed characters yield a
+/// kError token carrying the offending text.
+std::vector<Token> Lex(const std::string& text);
+
+}  // namespace kspot::query

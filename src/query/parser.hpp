@@ -1,0 +1,25 @@
+#pragma once
+
+#include <string>
+
+#include "query/ast.hpp"
+#include "util/status.hpp"
+
+namespace kspot::query {
+
+/// Parses the KSpot SQL dialect into a ParsedQuery. Expected failures
+/// (syntax errors) come back as Status with a position-annotated message —
+/// the query panel shows these to the user verbatim.
+util::StatusOr<ParsedQuery> Parse(const std::string& sql);
+
+/// Semantic validation against a deployment's capabilities: known attribute
+/// names, sane K / history values, supported clause combinations. Returns OK
+/// or the first problem found.
+util::Status Validate(const ParsedQuery& query);
+
+/// The query router of the KSpot client (Section II): classifies a
+/// *validated* query so it can be dispatched to the right operator
+/// (local engine, MINT, local-history filter, or TJA).
+QueryClass Classify(const ParsedQuery& query);
+
+}  // namespace kspot::query

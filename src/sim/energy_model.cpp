@@ -1,0 +1,12 @@
+#include "sim/energy_model.hpp"
+
+#include <algorithm>
+
+namespace kspot::sim {
+
+double EnergyMeter::remaining_fraction() const {
+  if (battery_j_ <= 0.0) return 1.0;
+  return std::max(0.0, 1.0 - total_joules() / battery_j_);
+}
+
+}  // namespace kspot::sim

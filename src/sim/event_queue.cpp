@@ -1,0 +1,46 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+namespace kspot::sim {
+
+void EventQueue::ScheduleAt(TimeUs at, Handler handler) {
+  if (at < now_) at = now_;
+  heap_.push(Entry{at, next_seq_++, std::move(handler)});
+}
+
+void EventQueue::ScheduleAfter(TimeUs delay, Handler handler) {
+  ScheduleAt(now_ + delay, std::move(handler));
+}
+
+size_t EventQueue::RunUntilIdle() {
+  size_t executed = 0;
+  while (!heap_.empty()) {
+    // Entry must be moved out before pop; the handler may schedule new events.
+    Entry e = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    now_ = e.time;
+    e.handler();
+    ++executed;
+  }
+  return executed;
+}
+
+size_t EventQueue::RunUntil(TimeUs until) {
+  size_t executed = 0;
+  while (!heap_.empty() && heap_.top().time <= until) {
+    Entry e = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    now_ = e.time;
+    e.handler();
+    ++executed;
+  }
+  if (now_ < until) now_ = until;
+  return executed;
+}
+
+void EventQueue::AdvanceTo(TimeUs t) {
+  if (t > now_) now_ = t;
+}
+
+}  // namespace kspot::sim

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace kspot::sim {
+
+/// Discrete-event queue: the heart of the simulator.
+///
+/// Events are (time, sequence) ordered; ties in time execute in insertion
+/// order, which makes every simulation fully deterministic. Handlers may
+/// schedule further events (this is how a parent's transmission schedules its
+/// children's receptions in the slotted TAG-style epoch schedule).
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Schedules `handler` at absolute time `at`. Scheduling in the past is
+  /// clamped to the current time (executes next).
+  void ScheduleAt(TimeUs at, Handler handler);
+
+  /// Schedules `handler` `delay` microseconds after the current time.
+  void ScheduleAfter(TimeUs delay, Handler handler);
+
+  /// Runs events until the queue drains. Returns the number of events executed.
+  size_t RunUntilIdle();
+
+  /// Runs events with time <= `until`. Returns the number executed.
+  size_t RunUntil(TimeUs until);
+
+  /// Current simulated time (time of the last executed event).
+  TimeUs now() const { return now_; }
+
+  /// Advances the clock without executing anything (epoch boundaries).
+  void AdvanceTo(TimeUs t);
+
+  /// Number of pending events.
+  size_t pending() const { return heap_.size(); }
+
+ private:
+  struct Entry {
+    TimeUs time;
+    uint64_t seq;
+    Handler handler;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  TimeUs now_ = 0;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace kspot::sim

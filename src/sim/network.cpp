@@ -1,0 +1,180 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+
+namespace kspot::sim {
+
+void TrafficCounters::Add(const TrafficCounters& other) {
+  messages += other.messages;
+  frames += other.frames;
+  payload_bytes += other.payload_bytes;
+  onair_bytes += other.onair_bytes;
+  tx_energy_j += other.tx_energy_j;
+  rx_energy_j += other.rx_energy_j;
+}
+
+TrafficCounters TrafficCounters::Since(const TrafficCounters& earlier) const {
+  TrafficCounters d;
+  d.messages = messages - earlier.messages;
+  d.frames = frames - earlier.frames;
+  d.payload_bytes = payload_bytes - earlier.payload_bytes;
+  d.onair_bytes = onair_bytes - earlier.onair_bytes;
+  d.tx_energy_j = tx_energy_j - earlier.tx_energy_j;
+  d.rx_energy_j = rx_energy_j - earlier.rx_energy_j;
+  return d;
+}
+
+Network::Network(const Topology* topology, const RoutingTree* tree, NetworkOptions options,
+                 util::Rng rng)
+    : topology_(topology),
+      tree_(tree),
+      options_(options),
+      rng_(rng),
+      meters_(topology->num_nodes(), EnergyMeter(options.battery_j)),
+      sent_by_(topology->num_nodes(), 0) {}
+
+void Network::SetPhase(std::string phase) { phase_ = std::move(phase); }
+
+TrafficCounters Network::PhaseTotal(const std::string& phase) const {
+  auto it = by_phase_.find(phase);
+  return it == by_phase_.end() ? TrafficCounters{} : it->second;
+}
+
+size_t Network::AliveCount() const {
+  size_t n = 0;
+  for (const auto& m : meters_) {
+    if (m.alive()) ++n;
+  }
+  return n;
+}
+
+double Network::LinkLossProb(NodeId from, NodeId to) const {
+  double p = options_.loss_prob;
+  if (options_.edge_max_loss > 0.0 && topology_->comm_range() > 0.0) {
+    double frac = Distance(topology_->position(from), topology_->position(to)) /
+                  topology_->comm_range();
+    double onset = options_.edge_onset;
+    if (frac > onset && onset < 1.0) {
+      double t = std::min(1.0, (frac - onset) / (1.0 - onset));
+      double edge = options_.edge_max_loss * t * t;
+      p = p + (1.0 - p) * edge;
+    }
+  }
+  return p;
+}
+
+void Network::ChargeTx(NodeId sender, size_t payload_bytes, TrafficCounters& counters) {
+  const RadioModel& radio = options_.radio;
+  double airtime = radio.AirtimeSeconds(payload_bytes);
+  double tx_j = options_.energy.TxEnergy(airtime);
+  meters_[sender].AddTx(tx_j);
+  sent_by_[sender] += 1;
+  counters.messages += 1;
+  counters.frames += radio.FramesForPayload(payload_bytes);
+  counters.payload_bytes += payload_bytes;
+  counters.onair_bytes += radio.OnAirBytes(payload_bytes);
+  counters.tx_energy_j += tx_j;
+}
+
+bool Network::UnicastToParent(NodeId child, size_t payload_bytes) {
+  NodeId parent = tree_->parent(child);
+  if (parent == kNoNode) return false;
+  if (!meters_[child].alive()) return false;
+  TrafficCounters delta;
+  bool delivered = false;
+  // Per-frame loss: the message survives an attempt only if every fragment does.
+  size_t frames = options_.radio.FramesForPayload(payload_bytes);
+  double link_loss = LinkLossProb(child, parent);
+  for (int attempt = 0; attempt <= options_.max_retries && !delivered; ++attempt) {
+    if (!meters_[child].alive()) break;
+    ChargeTx(child, payload_bytes, delta);
+    bool lost = false;
+    for (size_t f = 0; f < frames && !lost; ++f) {
+      lost = rng_.NextBernoulli(link_loss);
+    }
+    if (!lost && meters_[parent].alive()) {
+      double rx_j = options_.energy.RxEnergy(options_.radio.AirtimeSeconds(payload_bytes));
+      meters_[parent].AddRx(rx_j);
+      delta.rx_energy_j += rx_j;
+      delivered = true;
+    }
+  }
+  total_.Add(delta);
+  by_phase_[phase_].Add(delta);
+  events_.AdvanceTo(events_.now() + options_.radio.AirtimeMicros(payload_bytes));
+  return delivered;
+}
+
+bool Network::UnicastUpPath(NodeId from, size_t payload_bytes) {
+  NodeId cur = from;
+  while (cur != kSinkId) {
+    if (!UnicastToParent(cur, payload_bytes)) return false;
+    cur = tree_->parent(cur);
+  }
+  return true;
+}
+
+bool Network::UnicastDownPath(NodeId target, size_t payload_bytes) {
+  // Collect the sink -> target path, then charge each hop as a unicast with
+  // the same loss/retry discipline as the upward direction.
+  std::vector<NodeId> path;
+  for (NodeId cur = target; cur != kNoNode; cur = tree_->parent(cur)) path.push_back(cur);
+  // path = [target, ..., sink]; walk it top-down.
+  for (size_t i = path.size(); i-- > 1;) {
+    NodeId sender = path[i];
+    NodeId receiver = path[i - 1];
+    if (!meters_[sender].alive()) return false;
+    TrafficCounters delta;
+    bool delivered = false;
+    size_t frames = options_.radio.FramesForPayload(payload_bytes);
+    double link_loss = LinkLossProb(sender, receiver);
+    for (int attempt = 0; attempt <= options_.max_retries && !delivered; ++attempt) {
+      ChargeTx(sender, payload_bytes, delta);
+      bool lost = false;
+      for (size_t f = 0; f < frames && !lost; ++f) {
+        lost = rng_.NextBernoulli(link_loss);
+      }
+      if (!lost && meters_[receiver].alive()) {
+        double rx_j = options_.energy.RxEnergy(options_.radio.AirtimeSeconds(payload_bytes));
+        meters_[receiver].AddRx(rx_j);
+        delta.rx_energy_j += rx_j;
+        delivered = true;
+      }
+    }
+    total_.Add(delta);
+    by_phase_[phase_].Add(delta);
+    events_.AdvanceTo(events_.now() + options_.radio.AirtimeMicros(payload_bytes));
+    if (!delivered) return false;
+  }
+  return true;
+}
+
+std::vector<NodeId> Network::BroadcastToChildren(NodeId node, size_t payload_bytes) {
+  std::vector<NodeId> delivered;
+  const auto& kids = tree_->children(node);
+  if (kids.empty()) return delivered;
+  if (!meters_[node].alive()) return delivered;
+  TrafficCounters delta;
+  ChargeTx(node, payload_bytes, delta);
+  size_t frames = options_.radio.FramesForPayload(payload_bytes);
+  double rx_airtime = options_.radio.AirtimeSeconds(payload_bytes);
+  for (NodeId child : kids) {
+    if (!meters_[child].alive()) continue;
+    bool lost = false;
+    double link_loss = LinkLossProb(node, child);
+    for (size_t f = 0; f < frames && !lost; ++f) {
+      lost = rng_.NextBernoulli(link_loss);
+    }
+    // Listening children pay receive energy whether or not the CRC passes.
+    double rx_j = options_.energy.RxEnergy(rx_airtime);
+    meters_[child].AddRx(rx_j);
+    delta.rx_energy_j += rx_j;
+    if (!lost) delivered.push_back(child);
+  }
+  total_.Add(delta);
+  by_phase_[phase_].Add(delta);
+  events_.AdvanceTo(events_.now() + options_.radio.AirtimeMicros(payload_bytes));
+  return delivered;
+}
+
+}  // namespace kspot::sim

@@ -1,0 +1,143 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/energy_model.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/radio_model.hpp"
+#include "sim/routing_tree.hpp"
+#include "sim/topology.hpp"
+#include "sim/types.hpp"
+#include "util/rng.hpp"
+
+namespace kspot::sim {
+
+/// Aggregated traffic counters. These are exactly the numbers the KSpot
+/// System Panel projects at the demo: message count, frame (packet) count,
+/// application bytes, on-air bytes and radio energy.
+struct TrafficCounters {
+  uint64_t messages = 0;      ///< Logical messages sent (suppressed sends cost nothing).
+  uint64_t frames = 0;        ///< TinyOS frames after fragmentation.
+  uint64_t payload_bytes = 0; ///< Application payload bytes.
+  uint64_t onair_bytes = 0;   ///< Bytes on the air incl. headers + preambles.
+  double tx_energy_j = 0.0;   ///< Sender-side radio energy, joules.
+  double rx_energy_j = 0.0;   ///< Receiver-side radio energy, joules.
+
+  /// Element-wise accumulate.
+  void Add(const TrafficCounters& other);
+  /// Element-wise difference (this - other); counters must be monotone.
+  TrafficCounters Since(const TrafficCounters& earlier) const;
+  /// Total radio energy.
+  double energy_j() const { return tx_energy_j + rx_energy_j; }
+};
+
+/// Configuration for the simulated radio network.
+struct NetworkOptions {
+  /// Baseline per-frame loss probability on unicast and broadcast links.
+  double loss_prob = 0.0;
+  /// Adds distance-dependent loss on top of the baseline: links beyond
+  /// `edge_onset` of the radio range degrade quadratically up to
+  /// `edge_max_loss` at full range — the gray-zone behaviour of real CC1000
+  /// links. Off (0) keeps the i.i.d. disc model.
+  double edge_max_loss = 0.0;
+  /// Fraction of the range where degradation starts (when edge_max_loss>0).
+  double edge_onset = 0.7;
+  /// Link-layer retransmissions per unicast message (TinyOS-style ARQ).
+  int max_retries = 0;
+  /// Per-node battery budget, joules; <= 0 means unlimited.
+  double battery_j = 0.0;
+  /// Radio cost model.
+  RadioModel radio;
+  /// Energy cost model.
+  EnergyModel energy;
+};
+
+/// The simulated radio network: delivers messages along the routing tree,
+/// charges energy to both endpoints, applies losses, and maintains the
+/// traffic counters (globally and attributed to named protocol phases).
+class Network {
+ public:
+  /// `topology` and `tree` must outlive the network.
+  Network(const Topology* topology, const RoutingTree* tree, NetworkOptions options,
+          util::Rng rng);
+
+  /// Sends `payload_bytes` from `child` to its parent, applying loss and up
+  /// to `max_retries` retransmissions. Every attempt is charged to the
+  /// sender; receive energy only on delivered attempts. Returns true when
+  /// the message was delivered (false also when either endpoint is dead).
+  bool UnicastToParent(NodeId child, size_t payload_bytes);
+
+  /// Broadcasts `payload_bytes` from `node`: one transmission, every alive
+  /// child listens; loss is independent per child. Returns the children that
+  /// received the message.
+  std::vector<NodeId> BroadcastToChildren(NodeId node, size_t payload_bytes);
+
+  /// Relays a message hop-by-hop from `from` up to the sink (FILA reports).
+  /// Each hop is a unicast with loss/retries; returns true when the sink
+  /// received it.
+  bool UnicastUpPath(NodeId from, size_t payload_bytes);
+
+  /// Relays a message hop-by-hop from the sink down to `target` (FILA filter
+  /// updates). Returns true when `target` received it.
+  bool UnicastDownPath(NodeId target, size_t payload_bytes);
+
+  /// Attributes subsequent traffic to a named protocol phase
+  /// (e.g. "mint.update", "tja.lb").
+  void SetPhase(std::string phase);
+  /// The current phase label.
+  const std::string& phase() const { return phase_; }
+
+  /// Grand-total counters.
+  const TrafficCounters& total() const { return total_; }
+  /// Counters attributed to `phase` (zeroes if the phase never sent).
+  TrafficCounters PhaseTotal(const std::string& phase) const;
+  /// All phases with their counters.
+  const std::map<std::string, TrafficCounters>& by_phase() const { return by_phase_; }
+
+  /// Per-node energy ledger.
+  EnergyMeter& meter(NodeId id) { return meters_[id]; }
+  const EnergyMeter& meter(NodeId id) const { return meters_[id]; }
+
+  /// True while `id` has battery left.
+  bool NodeAlive(NodeId id) const { return meters_[id].alive(); }
+  /// Number of alive nodes.
+  size_t AliveCount() const;
+
+  /// Messages transmitted by each node (for hotspot analysis near the sink).
+  uint64_t MessagesSentBy(NodeId id) const { return sent_by_[id]; }
+
+  /// The event queue that sequences transmissions.
+  EventQueue& events() { return events_; }
+  /// Topology under simulation.
+  const Topology& topology() const { return *topology_; }
+  /// Routing tree under simulation.
+  const RoutingTree& tree() const { return *tree_; }
+  /// Radio model in use.
+  const RadioModel& radio() const { return options_.radio; }
+  /// Network options in use.
+  const NetworkOptions& options() const { return options_; }
+  /// Loss / fading RNG (exposed for tests).
+  util::Rng& rng() { return rng_; }
+
+  /// Per-frame loss probability of the link `from -> to` under the options'
+  /// loss model (baseline + distance-dependent gray zone).
+  double LinkLossProb(NodeId from, NodeId to) const;
+
+ private:
+  const Topology* topology_;
+  const RoutingTree* tree_;
+  NetworkOptions options_;
+  util::Rng rng_;
+  EventQueue events_;
+  std::vector<EnergyMeter> meters_;
+  std::vector<uint64_t> sent_by_;
+  TrafficCounters total_;
+  std::map<std::string, TrafficCounters> by_phase_;
+  std::string phase_ = "default";
+
+  void ChargeTx(NodeId sender, size_t payload_bytes, TrafficCounters& counters);
+};
+
+}  // namespace kspot::sim

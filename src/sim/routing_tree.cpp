@@ -1,0 +1,147 @@
+#include "sim/routing_tree.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace kspot::sim {
+
+RoutingTree RoutingTree::BuildFirstHeard(const Topology& topology, util::Rng& rng) {
+  auto adj = topology.BuildAdjacency();
+  size_t n = topology.num_nodes();
+  std::vector<NodeId> parents(n, kNoNode);
+  std::vector<bool> joined(n, false);
+  joined[kSinkId] = true;
+  // Frontier expansion: nodes that hold the beacon broadcast it; undecided
+  // neighbors adopt the first broadcaster they hear. Randomizing the order of
+  // broadcasters within a depth level models radio/arrival nondeterminism.
+  std::vector<NodeId> frontier = {kSinkId};
+  while (!frontier.empty()) {
+    std::vector<NodeId> shuffled = frontier;
+    rng.Shuffle(shuffled);
+    std::vector<NodeId> next;
+    for (NodeId u : shuffled) {
+      for (NodeId v : adj[u]) {
+        if (!joined[v]) {
+          joined[v] = true;
+          parents[v] = u;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return FromParents(std::move(parents));
+}
+
+RoutingTree RoutingTree::BuildClusterAware(const Topology& topology, util::Rng& rng) {
+  auto adj = topology.BuildAdjacency();
+  size_t n = topology.num_nodes();
+  std::vector<NodeId> parents(n, kNoNode);
+  std::vector<bool> joined(n, false);
+  joined[kSinkId] = true;
+  // Frontier expansion like first-heard, but an undecided node that hears
+  // several beacons in the same round adopts a same-room broadcaster when
+  // one exists (in a real deployment the cluster id rides in the beacon and
+  // the node filters on it).
+  std::vector<NodeId> frontier = {kSinkId};
+  while (!frontier.empty()) {
+    std::vector<NodeId> shuffled = frontier;
+    rng.Shuffle(shuffled);
+    // Collect, per undecided node, the broadcasters it heard this round.
+    std::vector<std::vector<NodeId>> heard(n);
+    for (NodeId u : shuffled) {
+      for (NodeId v : adj[u]) {
+        if (!joined[v]) heard[v].push_back(u);
+      }
+    }
+    std::vector<NodeId> next;
+    for (NodeId v = 0; v < n; ++v) {
+      if (joined[v] || heard[v].empty()) continue;
+      NodeId pick = kNoNode;
+      for (NodeId u : heard[v]) {
+        if (topology.room(u) == topology.room(v) && u != kSinkId) {
+          pick = u;
+          break;
+        }
+      }
+      if (pick == kNoNode) pick = heard[v].front();
+      parents[v] = pick;
+      joined[v] = true;
+      next.push_back(v);
+    }
+    frontier = std::move(next);
+  }
+  return FromParents(std::move(parents));
+}
+
+RoutingTree RoutingTree::BuildMinHop(const Topology& topology) {
+  auto adj = topology.BuildAdjacency();
+  for (auto& neighbors : adj) std::sort(neighbors.begin(), neighbors.end());
+  size_t n = topology.num_nodes();
+  std::vector<NodeId> parents(n, kNoNode);
+  std::vector<bool> joined(n, false);
+  joined[kSinkId] = true;
+  std::deque<NodeId> queue = {kSinkId};
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop_front();
+    for (NodeId v : adj[u]) {
+      if (!joined[v]) {
+        joined[v] = true;
+        parents[v] = u;
+        queue.push_back(v);
+      }
+    }
+  }
+  return FromParents(std::move(parents));
+}
+
+RoutingTree RoutingTree::FromParents(std::vector<NodeId> parents) {
+  RoutingTree tree;
+  tree.parents_ = std::move(parents);
+  tree.FinishConstruction();
+  return tree;
+}
+
+void RoutingTree::FinishConstruction() {
+  size_t n = parents_.size();
+  children_.assign(n, {});
+  depths_.assign(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    if (parents_[i] != kNoNode) children_[parents_[i]].push_back(static_cast<NodeId>(i));
+  }
+  for (auto& c : children_) std::sort(c.begin(), c.end());
+  // Depths via pre-order walk from the sink.
+  pre_order_.clear();
+  pre_order_.reserve(n);
+  std::vector<NodeId> stack = {kSinkId};
+  while (!stack.empty()) {
+    NodeId u = stack.back();
+    stack.pop_back();
+    pre_order_.push_back(u);
+    for (auto it = children_[u].rbegin(); it != children_[u].rend(); ++it) {
+      depths_[*it] = depths_[u] + 1;
+      stack.push_back(*it);
+    }
+  }
+  max_depth_ = 0;
+  for (size_t i = 0; i < n; ++i) max_depth_ = std::max(max_depth_, depths_[i]);
+  // Post order = reverse of a pre-order that visits children in reverse; the
+  // simple trick: children-before-parent ordering by sorting pre_order_
+  // reversed works because pre_order_ lists every parent before its children.
+  post_order_.assign(pre_order_.rbegin(), pre_order_.rend());
+}
+
+size_t RoutingTree::SubtreeSize(NodeId id) const {
+  size_t count = 0;
+  std::vector<NodeId> stack = {id};
+  while (!stack.empty()) {
+    NodeId u = stack.back();
+    stack.pop_back();
+    ++count;
+    for (NodeId c : children_[u]) stack.push_back(c);
+  }
+  return count;
+}
+
+}  // namespace kspot::sim

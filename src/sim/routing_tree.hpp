@@ -1,0 +1,75 @@
+#pragma once
+
+#include <vector>
+
+#include "sim/topology.hpp"
+#include "sim/types.hpp"
+#include "util/rng.hpp"
+
+namespace kspot::sim {
+
+/// Sink-rooted routing tree over a topology.
+///
+/// TinyDB/TAG build this tree with a flooded query beacon: each node adopts
+/// the first neighbor it hears the beacon from as its parent ("first-heard-
+/// from"). `BuildFirstHeard` reproduces that: a BFS from the sink where the
+/// arrival order of same-depth beacons is randomized by `rng`.
+class RoutingTree {
+ public:
+  RoutingTree() = default;
+
+  /// Builds the first-heard-from tree over `topology`'s disc graph.
+  /// The topology must be connected.
+  static RoutingTree BuildFirstHeard(const Topology& topology, util::Rng& rng);
+
+  /// Builds a minimum-hop (plain BFS, lowest-id tiebreak) tree. Deterministic.
+  static RoutingTree BuildMinHop(const Topology& topology);
+
+  /// Builds a *cluster-aware* first-heard tree: joining nodes prefer a parent
+  /// from their own room when one is in range, so rooms form contiguous
+  /// subtrees and GROUP BY groups close low in the hierarchy. This is the
+  /// tree the KSpot server builds when the Configuration Panel has told it
+  /// which nodes share a physical region (Section II) — the property MINT's
+  /// in-network view hierarchy exploits.
+  static RoutingTree BuildClusterAware(const Topology& topology, util::Rng& rng);
+
+  /// Builds a tree from an explicit parent vector (parents[sink] == kNoNode).
+  static RoutingTree FromParents(std::vector<NodeId> parents);
+
+  /// Parent of `id`; kNoNode for the sink.
+  NodeId parent(NodeId id) const { return parents_[id]; }
+
+  /// Children of `id`, ascending.
+  const std::vector<NodeId>& children(NodeId id) const { return children_[id]; }
+
+  /// Hop distance from the sink.
+  int depth(NodeId id) const { return depths_[id]; }
+
+  /// Maximum depth over all nodes (tree height).
+  int max_depth() const { return max_depth_; }
+
+  /// Number of nodes.
+  size_t num_nodes() const { return parents_.size(); }
+
+  /// Nodes in post order (every node after all of its children): the order in
+  /// which the TAG epoch schedule fires transmissions, leaves first.
+  const std::vector<NodeId>& post_order() const { return post_order_; }
+
+  /// Nodes in pre order (sink first): dissemination order.
+  const std::vector<NodeId>& pre_order() const { return pre_order_; }
+
+  /// Number of nodes in the subtree rooted at `id` (including itself).
+  size_t SubtreeSize(NodeId id) const;
+
+ private:
+  std::vector<NodeId> parents_;
+  std::vector<std::vector<NodeId>> children_;
+  std::vector<int> depths_;
+  std::vector<NodeId> post_order_;
+  std::vector<NodeId> pre_order_;
+  int max_depth_ = 0;
+
+  void FinishConstruction();
+};
+
+}  // namespace kspot::sim

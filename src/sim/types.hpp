@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace kspot::sim {
+
+/// Identifier of a sensor node. The sink (base station / MIB520 gateway in the
+/// paper's deployment) is always node 0.
+using NodeId = uint16_t;
+
+/// Sentinel for "no node" (e.g. the sink's parent).
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+/// The sink / querying node.
+inline constexpr NodeId kSinkId = 0;
+
+/// Simulated time in microseconds.
+using TimeUs = uint64_t;
+
+/// Identifier of a GROUP BY group (room id, node id for node-ranking queries,
+/// or epoch index for historic time-instance queries).
+using GroupId = int32_t;
+
+/// Epoch counter for continuous queries.
+using Epoch = uint32_t;
+
+}  // namespace kspot::sim

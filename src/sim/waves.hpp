@@ -1,0 +1,114 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "sim/types.hpp"
+
+namespace kspot::sim {
+
+/// Duration of one TAG epoch-schedule slot (one tree depth level), in
+/// microseconds. TAG divides each epoch into depth-indexed communication
+/// slots so that children transmit before their parents listen.
+inline constexpr TimeUs kSlotUs = 50'000;
+
+/// One converge-cast wave: every node, leaves first, may produce a message
+/// for its parent. This is the communication pattern of a TAG epoch, of the
+/// MINT update phase, and of the TJA lower-bound / hierarchical-join phases.
+///
+/// `Msg` is the algorithm's typed payload; the wire size callback maps it to
+/// bytes so the network can charge frames/energy faithfully.
+template <typename Msg>
+class UpWave {
+ public:
+  /// Called once per alive node in post order with the messages that arrived
+  /// from its children (losses already applied). Returning nullopt suppresses
+  /// the node's transmission entirely (zero cost).
+  using Produce = std::function<std::optional<Msg>(NodeId, std::vector<Msg>&&)>;
+  /// Maps a message to its application payload size in bytes.
+  using WireBytes = std::function<size_t(const Msg&)>;
+
+  /// Runs the wave on `net`'s event queue using the slotted TAG schedule.
+  /// Returns the sink's produced value (nullopt if the sink produced none or
+  /// is dead).
+  static std::optional<Msg> Run(Network& net, const Produce& produce,
+                                const WireBytes& wire_bytes) {
+    const RoutingTree& tree = net.tree();
+    size_t n = tree.num_nodes();
+    std::vector<std::vector<Msg>> inbox(n);
+    std::optional<Msg> sink_result;
+    TimeUs base = net.events().now();
+    int max_depth = tree.max_depth();
+    // Nodes at depth d transmit in slot (max_depth - d); post_order gives a
+    // deterministic ordering within a slot.
+    uint64_t offset = 0;
+    for (NodeId node : tree.post_order()) {
+      TimeUs at = base + static_cast<TimeUs>(max_depth - tree.depth(node)) * kSlotUs + offset;
+      ++offset;
+      net.events().ScheduleAt(at, [&, node]() {
+        if (!net.NodeAlive(node)) {
+          inbox[node].clear();
+          return;
+        }
+        std::optional<Msg> out = produce(node, std::move(inbox[node]));
+        inbox[node].clear();
+        if (node == kSinkId) {
+          sink_result = std::move(out);
+          return;
+        }
+        if (!out.has_value()) return;
+        size_t bytes = wire_bytes(*out);
+        if (net.UnicastToParent(node, bytes)) {
+          inbox[tree.parent(node)].push_back(std::move(*out));
+        }
+      });
+    }
+    net.events().RunUntilIdle();
+    return sink_result;
+  }
+};
+
+/// One dissemination wave: the sink seeds a message which flows down the
+/// tree; each receiving node may transform it before forwarding to its
+/// children. Used for epoch beacons, MINT threshold (tau) dissemination and
+/// the TJA Lsink broadcast.
+template <typename Msg>
+class DownWave {
+ public:
+  /// Called on the sink with nullptr to seed the wave, then on every node
+  /// that received the parent's message. The returned message is broadcast
+  /// to the node's children; nullopt stops the wave below this node.
+  using Produce = std::function<std::optional<Msg>(NodeId, const Msg*)>;
+  /// Maps a message to its application payload size in bytes.
+  using WireBytes = std::function<size_t(const Msg&)>;
+
+  /// Runs the wave. Returns the number of nodes that received a message
+  /// (the sink counts as having received the seed).
+  static size_t Run(Network& net, const Produce& produce, const WireBytes& wire_bytes) {
+    size_t reached = 0;
+    std::function<void(NodeId, std::optional<Msg>)> visit = [&](NodeId node,
+                                                                std::optional<Msg> incoming) {
+      if (!net.NodeAlive(node)) return;
+      ++reached;
+      std::optional<Msg> forward =
+          produce(node, node == kSinkId ? nullptr : (incoming ? &*incoming : nullptr));
+      if (!forward.has_value()) return;
+      size_t bytes = wire_bytes(*forward);
+      std::vector<NodeId> delivered = net.BroadcastToChildren(node, bytes);
+      for (NodeId child : delivered) {
+        TimeUs at = net.events().now() + kSlotUs;
+        Msg copy = *forward;
+        net.events().ScheduleAt(at, [&, child, m = std::move(copy)]() mutable {
+          visit(child, std::move(m));
+        });
+      }
+    };
+    visit(kSinkId, std::nullopt);
+    net.events().RunUntilIdle();
+    return reached;
+  }
+};
+
+}  // namespace kspot::sim

@@ -1,0 +1,29 @@
+#include "storage/flash_sim.hpp"
+
+#include <limits>
+
+namespace kspot::storage {
+
+FlashSim::FlashSim(FlashModel model) : model_(model), pages_(model.num_pages) {}
+
+size_t FlashSim::AllocatePage() {
+  if (next_page_ >= model_.num_pages) return std::numeric_limits<size_t>::max();
+  return next_page_++;
+}
+
+bool FlashSim::WritePage(size_t page, const std::vector<uint8_t>& data) {
+  if (page >= next_page_ || data.size() > model_.page_size_bytes) return false;
+  pages_[page] = data;
+  ++writes_;
+  energy_j_ += model_.page_write_j;
+  return true;
+}
+
+std::vector<uint8_t> FlashSim::ReadPage(size_t page) {
+  if (page >= next_page_) return {};
+  ++reads_;
+  energy_j_ += model_.page_read_j;
+  return pages_[page];
+}
+
+}  // namespace kspot::storage

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace kspot::storage {
+
+/// Cost model of the serial NOR/dataflash chip on MICA2-class motes
+/// (Atmel AT45DB041B, the device the MicroHash paper characterizes):
+/// page-granular reads and writes with per-operation energy.
+struct FlashModel {
+  /// Page size in bytes.
+  size_t page_size_bytes = 264;
+  /// Number of pages available.
+  size_t num_pages = 2048;
+  /// Energy to write (program) one page, joules.
+  double page_write_j = 763e-6;
+  /// Energy to read one page, joules.
+  double page_read_j = 273e-6;
+};
+
+/// Page-addressed flash simulator with energy/operation accounting. The
+/// MicroHash index and the history store allocate and access pages through
+/// this; benchmarks read the counters to charge storage energy.
+class FlashSim {
+ public:
+  explicit FlashSim(FlashModel model = FlashModel());
+
+  /// Allocates a fresh page; returns its id, or SIZE_MAX when full.
+  size_t AllocatePage();
+
+  /// Writes `data` (at most page_size) to `page`; charges one page write.
+  /// Returns false for an invalid page or oversized data.
+  bool WritePage(size_t page, const std::vector<uint8_t>& data);
+
+  /// Reads `page`; charges one page read. Empty result for invalid pages.
+  std::vector<uint8_t> ReadPage(size_t page);
+
+  /// Pages allocated so far.
+  size_t pages_used() const { return next_page_; }
+  /// Total page writes performed.
+  uint64_t writes() const { return writes_; }
+  /// Total page reads performed.
+  uint64_t reads() const { return reads_; }
+  /// Energy charged so far, joules.
+  double energy_j() const { return energy_j_; }
+  /// The cost model.
+  const FlashModel& model() const { return model_; }
+
+ private:
+  FlashModel model_;
+  std::vector<std::vector<uint8_t>> pages_;
+  size_t next_page_ = 0;
+  uint64_t writes_ = 0;
+  uint64_t reads_ = 0;
+  double energy_j_ = 0.0;
+};
+
+}  // namespace kspot::storage

@@ -1,0 +1,46 @@
+#include "storage/history_store.hpp"
+
+namespace kspot::storage {
+
+HistoryStore::HistoryStore(size_t window, bool archive_to_flash, double domain_min,
+                           double domain_max)
+    : window_(window) {
+  if (archive_to_flash) {
+    flash_ = std::make_unique<FlashSim>();
+    index_ = std::make_unique<MicroHashIndex>(flash_.get(), domain_min, domain_max,
+                                              /*num_buckets=*/16);
+  }
+}
+
+void HistoryStore::Append(sim::Epoch epoch, double value) {
+  double evicted = 0.0;
+  bool had_eviction = window_.Push(value, &evicted);
+  if (had_eviction && index_ != nullptr) {
+    // The evicted reading belonged to (epoch - capacity) — archive it.
+    sim::Epoch old_epoch = epoch >= window_.capacity()
+                               ? epoch - static_cast<sim::Epoch>(window_.capacity())
+                               : 0;
+    index_->Insert(old_epoch, evicted);
+  }
+  next_epoch_ = epoch + 1;
+}
+
+std::vector<FlashRecord> HistoryStore::ArchivedTopK(size_t k) {
+  if (index_ == nullptr) return {};
+  return index_->TopK(k);
+}
+
+StoreHistorySource::StoreHistorySource(std::vector<HistoryStore>* stores) : stores_(stores) {}
+
+std::vector<double> StoreHistorySource::Window(sim::NodeId id) const {
+  if (id >= stores_->size()) return {};
+  return (*stores_)[id].WindowValues();
+}
+
+size_t StoreHistorySource::window_size() const {
+  // All sensing nodes buffer in lockstep; report the first sensor's fill.
+  if (stores_->size() < 2) return 0;
+  return (*stores_)[1].window_size();
+}
+
+}  // namespace kspot::storage

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/history_source.hpp"
+#include "sim/types.hpp"
+#include "storage/flash_sim.hpp"
+#include "storage/microhash.hpp"
+#include "storage/sliding_window.hpp"
+
+namespace kspot::storage {
+
+/// Per-node local storage for historic queries: a sliding window of the most
+/// recent readings in SRAM, with evicted readings archived to simulated
+/// flash through a MicroHash index (the MICA2-class configuration the paper
+/// cites via reference [10]).
+class HistoryStore {
+ public:
+  /// `window` readings stay in SRAM; older readings go to flash when
+  /// `archive_to_flash` is set.
+  HistoryStore(size_t window, bool archive_to_flash, double domain_min, double domain_max);
+
+  /// Records the reading of one epoch.
+  void Append(sim::Epoch epoch, double value);
+
+  /// The buffered window values, oldest first (size <= window capacity).
+  std::vector<double> WindowValues() const { return window_.Snapshot(); }
+
+  /// Number of readings currently in the SRAM window.
+  size_t window_size() const { return window_.size(); }
+
+  /// The k highest archived readings (flash scan via the MicroHash index);
+  /// empty when flash archiving is disabled.
+  std::vector<FlashRecord> ArchivedTopK(size_t k);
+
+  /// Flash energy spent so far (0 when archiving is disabled).
+  double flash_energy_j() const { return flash_ ? flash_->energy_j() : 0.0; }
+  /// Flash page reads so far.
+  uint64_t flash_reads() const { return flash_ ? flash_->reads() : 0; }
+  /// Flash page writes so far.
+  uint64_t flash_writes() const { return flash_ ? flash_->writes() : 0; }
+
+ private:
+  SlidingWindow<double> window_;
+  std::unique_ptr<FlashSim> flash_;
+  std::unique_ptr<MicroHashIndex> index_;
+  sim::Epoch next_epoch_ = 0;
+};
+
+/// Adapts a fleet of per-node HistoryStores to the core::HistorySource
+/// interface consumed by TJA/TPUT/CJA, so the historic algorithms run over
+/// genuinely stored windows in the examples and integration tests.
+class StoreHistorySource : public kspot::core::HistorySource {
+ public:
+  /// `stores[id]` is node id's store (index 0 unused). All stores must hold
+  /// the same number of buffered readings when the query runs.
+  explicit StoreHistorySource(std::vector<HistoryStore>* stores);
+
+  std::vector<double> Window(sim::NodeId id) const override;
+  size_t window_size() const override;
+  size_t num_nodes() const override { return stores_->size(); }
+
+ private:
+  std::vector<HistoryStore>* stores_;
+};
+
+}  // namespace kspot::storage

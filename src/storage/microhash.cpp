@@ -1,0 +1,104 @@
+#include "storage/microhash.hpp"
+
+#include <algorithm>
+
+#include "util/fixed_point.hpp"
+
+namespace kspot::storage {
+
+namespace {
+
+/// On-flash record layout: epoch u32 + value i32.
+constexpr size_t kRecordBytes = 8;
+
+}  // namespace
+
+MicroHashIndex::MicroHashIndex(FlashSim* flash, double domain_min, double domain_max,
+                               size_t num_buckets)
+    : flash_(flash),
+      domain_min_(domain_min),
+      domain_max_(domain_max),
+      chains_(num_buckets == 0 ? 1 : num_buckets),
+      records_per_page_(flash->model().page_size_bytes / kRecordBytes) {}
+
+size_t MicroHashIndex::BucketOf(double value) const {
+  if (domain_max_ <= domain_min_) return 0;
+  double frac = (value - domain_min_) / (domain_max_ - domain_min_);
+  auto idx = static_cast<long>(frac * static_cast<double>(chains_.size()));
+  if (idx < 0) idx = 0;
+  if (idx >= static_cast<long>(chains_.size())) idx = static_cast<long>(chains_.size()) - 1;
+  return static_cast<size_t>(idx);
+}
+
+std::vector<uint8_t> MicroHashIndex::EncodePage(const std::vector<FlashRecord>& records) {
+  std::vector<uint8_t> out;
+  out.reserve(records.size() * kRecordBytes);
+  for (const FlashRecord& r : records) {
+    for (int i = 0; i < 4; ++i) out.push_back(static_cast<uint8_t>(r.epoch >> (8 * i)));
+    auto uv = static_cast<uint32_t>(r.value_fx);
+    for (int i = 0; i < 4; ++i) out.push_back(static_cast<uint8_t>(uv >> (8 * i)));
+  }
+  return out;
+}
+
+std::vector<FlashRecord> MicroHashIndex::DecodePage(const std::vector<uint8_t>& bytes) {
+  std::vector<FlashRecord> out;
+  for (size_t off = 0; off + kRecordBytes <= bytes.size(); off += kRecordBytes) {
+    FlashRecord r;
+    r.epoch = 0;
+    uint32_t uv = 0;
+    for (int i = 0; i < 4; ++i) r.epoch |= static_cast<uint32_t>(bytes[off + i]) << (8 * i);
+    for (int i = 0; i < 4; ++i) uv |= static_cast<uint32_t>(bytes[off + 4 + i]) << (8 * i);
+    r.value_fx = static_cast<int32_t>(uv);
+    out.push_back(r);
+  }
+  return out;
+}
+
+bool MicroHashIndex::FlushChain(Chain& chain) {
+  size_t page = flash_->AllocatePage();
+  if (page == static_cast<size_t>(-1)) return false;
+  if (!flash_->WritePage(page, EncodePage(chain.open_page))) return false;
+  chain.pages.push_back(page);
+  chain.open_page.clear();
+  return true;
+}
+
+bool MicroHashIndex::Insert(sim::Epoch epoch, double value) {
+  Chain& chain = chains_[BucketOf(value)];
+  chain.open_page.push_back(FlashRecord{epoch, util::fixed_point::Encode(value)});
+  if (chain.open_page.size() >= records_per_page_) return FlushChain(chain);
+  return true;
+}
+
+std::vector<FlashRecord> MicroHashIndex::ReadBucket(size_t bucket) {
+  std::vector<FlashRecord> out;
+  if (bucket >= chains_.size()) return out;
+  const Chain& chain = chains_[bucket];
+  for (size_t page : chain.pages) {
+    auto records = DecodePage(flash_->ReadPage(page));
+    out.insert(out.end(), records.begin(), records.end());
+  }
+  out.insert(out.end(), chain.open_page.begin(), chain.open_page.end());
+  return out;
+}
+
+std::vector<FlashRecord> MicroHashIndex::TopK(size_t k) {
+  std::vector<FlashRecord> collected;
+  // Scan buckets from the highest value range downwards; stop as soon as the
+  // buckets already read must contain the top-k (records in lower buckets
+  // are strictly smaller than everything in higher ones).
+  for (size_t b = chains_.size(); b-- > 0;) {
+    auto records = ReadBucket(b);
+    collected.insert(collected.end(), records.begin(), records.end());
+    if (collected.size() >= k) break;
+  }
+  std::sort(collected.begin(), collected.end(), [](const FlashRecord& a, const FlashRecord& b) {
+    if (a.value_fx != b.value_fx) return a.value_fx > b.value_fx;
+    return a.epoch < b.epoch;
+  });
+  if (collected.size() > k) collected.resize(k);
+  return collected;
+}
+
+}  // namespace kspot::storage

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+#include "storage/flash_sim.hpp"
+
+namespace kspot::storage {
+
+/// One archived reading: the (epoch, value) tuple MicroHash stores on flash.
+struct FlashRecord {
+  sim::Epoch epoch = 0;
+  int32_t value_fx = 0;  ///< Fixed-point reading.
+};
+
+/// MicroHash-style value index over simulated flash (Zeinalipour-Yazti et
+/// al., USENIX FAST'05 — reference [10] of the paper, the structure KSpot
+/// assumes for buffering historic readings on flash-based motes).
+///
+/// The value domain is split into a directory of equi-width buckets; each
+/// bucket owns a chain of flash pages to which records are appended in
+/// arrival order. A descending-value top-k scan then only touches the pages
+/// of the highest buckets instead of the whole archive — the access-method
+/// asymmetry that makes local historic filtering cheap.
+class MicroHashIndex {
+ public:
+  /// `flash` must outlive the index. Values outside [domain_min, domain_max]
+  /// are clamped into the edge buckets.
+  MicroHashIndex(FlashSim* flash, double domain_min, double domain_max, size_t num_buckets);
+
+  /// Appends one record; returns false when the flash is full.
+  bool Insert(sim::Epoch epoch, double value);
+
+  /// Records with the `k` highest values (ties broken by older epoch first),
+  /// reading as few bucket chains as possible, highest bucket first.
+  std::vector<FlashRecord> TopK(size_t k);
+
+  /// All records in `bucket`'s chain (reads every page of the chain).
+  std::vector<FlashRecord> ReadBucket(size_t bucket);
+
+  /// Number of directory buckets.
+  size_t num_buckets() const { return chains_.size(); }
+  /// Total records inserted.
+  uint64_t record_count() const { return record_count_; }
+  /// Bucket index a value maps to.
+  size_t BucketOf(double value) const;
+
+ private:
+  /// In-memory tail of a bucket chain: page ids plus the open page buffer.
+  struct Chain {
+    std::vector<size_t> pages;           ///< Full (flushed) pages.
+    std::vector<FlashRecord> open_page;  ///< Records not yet flushed.
+  };
+
+  FlashSim* flash_;
+  double domain_min_;
+  double domain_max_;
+  std::vector<Chain> chains_;
+  uint64_t record_count_ = 0;
+  size_t records_per_page_;
+
+  bool FlushChain(Chain& chain);
+  static std::vector<uint8_t> EncodePage(const std::vector<FlashRecord>& records);
+  static std::vector<FlashRecord> DecodePage(const std::vector<uint8_t>& bytes);
+};
+
+}  // namespace kspot::storage

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace kspot::storage {
+
+/// Fixed-capacity ring buffer: the in-SRAM sliding window each sensor keeps
+/// for historic queries (Section III-B; IMote2-class devices buffer in main
+/// memory, MICA2-class devices spill to flash via the MicroHash index).
+template <typename T>
+class SlidingWindow {
+ public:
+  /// Creates a window holding at most `capacity` items (>= 1).
+  explicit SlidingWindow(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity), data_(capacity_) {}
+
+  /// Appends an item, evicting the oldest when full. Returns the evicted
+  /// item through `evicted` when eviction happened (for flash spill).
+  bool Push(const T& item, T* evicted = nullptr) {
+    bool evicting = size_ == capacity_;
+    if (evicting && evicted != nullptr) *evicted = data_[head_];
+    data_[(head_ + size_) % capacity_] = item;
+    if (evicting) {
+      head_ = (head_ + 1) % capacity_;
+    } else {
+      ++size_;
+    }
+    return evicting;
+  }
+
+  /// Item `i` positions from the oldest (0 = oldest). Precondition: i < size().
+  const T& At(size_t i) const { return data_[(head_ + i) % capacity_]; }
+
+  /// Newest item. Precondition: !empty().
+  const T& Back() const { return At(size_ - 1); }
+  /// Oldest item. Precondition: !empty().
+  const T& Front() const { return At(0); }
+
+  /// Items currently buffered, oldest first.
+  std::vector<T> Snapshot() const {
+    std::vector<T> out;
+    out.reserve(size_);
+    for (size_t i = 0; i < size_; ++i) out.push_back(At(i));
+    return out;
+  }
+
+  /// Number of buffered items.
+  size_t size() const { return size_; }
+  /// Maximum number of items.
+  size_t capacity() const { return capacity_; }
+  /// True when nothing is buffered.
+  bool empty() const { return size_ == 0; }
+  /// True when at capacity.
+  bool full() const { return size_ == capacity_; }
+  /// Drops all items.
+  void Clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  size_t capacity_;
+  std::vector<T> data_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace kspot::storage

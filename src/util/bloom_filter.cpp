@@ -1,0 +1,95 @@
+#include "util/bloom_filter.hpp"
+
+#include <cmath>
+#include <cstring>
+
+namespace kspot::util {
+
+BloomFilter::BloomFilter(size_t num_bits, int num_hashes)
+    : num_bits_((num_bits + 63) / 64 * 64),
+      num_hashes_(num_hashes < 1 ? 1 : num_hashes),
+      bits_(num_bits_ / 64, 0) {
+  if (num_bits_ == 0) {
+    num_bits_ = 64;
+    bits_.assign(1, 0);
+  }
+}
+
+BloomFilter BloomFilter::WithExpectedItems(size_t expected_items, double fp_rate) {
+  if (expected_items == 0) expected_items = 1;
+  if (fp_rate <= 0.0) fp_rate = 1e-6;
+  if (fp_rate >= 1.0) fp_rate = 0.5;
+  double bits_per_item = -std::log(fp_rate) / (std::log(2.0) * std::log(2.0));
+  size_t num_bits = static_cast<size_t>(std::ceil(bits_per_item * expected_items));
+  int num_hashes = static_cast<int>(std::round(bits_per_item * std::log(2.0)));
+  if (num_hashes < 1) num_hashes = 1;
+  return BloomFilter(num_bits, num_hashes);
+}
+
+uint64_t BloomFilter::Hash(uint64_t key, uint64_t seed) {
+  // 64-bit finalizer-style mix (xxHash-inspired), parameterized by seed.
+  uint64_t h = key + seed * 0x9E3779B97F4A7C15ULL;
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDULL;
+  h ^= h >> 33;
+  h *= 0xC4CEB9FE1A85EC53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+void BloomFilter::Insert(uint64_t key) {
+  for (int i = 0; i < num_hashes_; ++i) {
+    uint64_t bit = Hash(key, static_cast<uint64_t>(i) + 1) % num_bits_;
+    bits_[bit / 64] |= (1ULL << (bit % 64));
+  }
+}
+
+bool BloomFilter::MayContain(uint64_t key) const {
+  for (int i = 0; i < num_hashes_; ++i) {
+    uint64_t bit = Hash(key, static_cast<uint64_t>(i) + 1) % num_bits_;
+    if ((bits_[bit / 64] & (1ULL << (bit % 64))) == 0) return false;
+  }
+  return true;
+}
+
+double BloomFilter::EstimatedFpRate(size_t n) const {
+  double k = static_cast<double>(num_hashes_);
+  double m = static_cast<double>(num_bits_);
+  double exponent = -k * static_cast<double>(n) / m;
+  return std::pow(1.0 - std::exp(exponent), k);
+}
+
+void BloomFilter::Serialize(std::vector<uint8_t>& out) const {
+  uint32_t nb = static_cast<uint32_t>(num_bits_);
+  out.push_back(static_cast<uint8_t>(nb));
+  out.push_back(static_cast<uint8_t>(nb >> 8));
+  out.push_back(static_cast<uint8_t>(nb >> 16));
+  out.push_back(static_cast<uint8_t>(nb >> 24));
+  out.push_back(static_cast<uint8_t>(num_hashes_));
+  for (uint64_t word : bits_) {
+    for (int b = 0; b < 8; ++b) out.push_back(static_cast<uint8_t>(word >> (8 * b)));
+  }
+}
+
+size_t BloomFilter::Deserialize(const uint8_t* data, size_t len, BloomFilter* out) {
+  if (len < 5) return 0;
+  uint32_t nb = static_cast<uint32_t>(data[0]) | (static_cast<uint32_t>(data[1]) << 8) |
+                (static_cast<uint32_t>(data[2]) << 16) | (static_cast<uint32_t>(data[3]) << 24);
+  int nh = data[4];
+  if (nb == 0 || nb % 64 != 0 || nh < 1) return 0;
+  size_t words = nb / 64;
+  size_t need = 5 + words * 8;
+  if (len < need) return 0;
+  BloomFilter bf(nb, nh);
+  for (size_t w = 0; w < words; ++w) {
+    uint64_t word = 0;
+    for (int b = 0; b < 8; ++b) {
+      word |= static_cast<uint64_t>(data[5 + w * 8 + b]) << (8 * b);
+    }
+    bf.bits_[w] = word;
+  }
+  *out = bf;
+  return need;
+}
+
+}  // namespace kspot::util

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace kspot::util {
+
+/// Space-efficient probabilistic set membership filter.
+///
+/// Used by the TJA Hierarchical-Join phase to compress the candidate key set
+/// `Lsink` before disseminating it down the routing tree (the optimization
+/// described in the original TJA paper). False positives only cost extra
+/// bytes, never correctness.
+class BloomFilter {
+ public:
+  /// Creates a filter with `num_bits` bits (rounded up to a multiple of 64)
+  /// and `num_hashes` probe positions per key.
+  BloomFilter(size_t num_bits, int num_hashes);
+
+  /// Sizes a filter for `expected_items` with target false-positive rate `fp_rate`.
+  static BloomFilter WithExpectedItems(size_t expected_items, double fp_rate);
+
+  /// Inserts a 64-bit key.
+  void Insert(uint64_t key);
+
+  /// Returns false if the key is definitely absent; true if it may be present.
+  bool MayContain(uint64_t key) const;
+
+  /// Number of bits in the filter (capacity, not population).
+  size_t num_bits() const { return num_bits_; }
+
+  /// Number of hash probes per key.
+  int num_hashes() const { return num_hashes_; }
+
+  /// Wire size of the filter in bytes (bit array + 1 byte hash count + 4 byte length).
+  size_t WireSizeBytes() const { return bits_.size() * 8 + 5; }
+
+  /// Expected false-positive rate given `n` inserted items.
+  double EstimatedFpRate(size_t n) const;
+
+  /// Serializes to `out` (appends). Format: u32 num_bits, u8 num_hashes, words.
+  void Serialize(std::vector<uint8_t>& out) const;
+
+  /// Parses a filter previously produced by Serialize. Returns bytes consumed,
+  /// or 0 on malformed input.
+  static size_t Deserialize(const uint8_t* data, size_t len, BloomFilter* out);
+
+ private:
+  size_t num_bits_;
+  int num_hashes_;
+  std::vector<uint64_t> bits_;
+
+  static uint64_t Hash(uint64_t key, uint64_t seed);
+};
+
+}  // namespace kspot::util

@@ -1,0 +1,46 @@
+#include "util/csv_writer.hpp"
+
+#include "util/string_util.hpp"
+
+namespace kspot::util {
+
+namespace {
+
+std::string EscapeCell(const std::string& cell) {
+  bool needs_quote = cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quote) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
+    : out_(path), columns_(header.size()) {
+  if (out_) WriteCells(header);
+}
+
+void CsvWriter::AddRow(const std::vector<std::string>& cells) { WriteCells(cells); }
+
+void CsvWriter::AddRow(const std::vector<double>& cells) {
+  std::vector<std::string> row;
+  row.reserve(cells.size());
+  for (double c : cells) row.push_back(FormatDouble(c, 6));
+  WriteCells(row);
+}
+
+void CsvWriter::WriteCells(const std::vector<std::string>& cells) {
+  if (!out_) return;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << EscapeCell(cells[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace kspot::util

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace kspot::util {
+
+/// Writes comma-separated experiment output so benchmark series can be
+/// re-plotted externally. Quotes cells containing commas/quotes/newlines.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Check ok() afterwards.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// True when the underlying file opened successfully.
+  bool ok() const { return static_cast<bool>(out_); }
+
+  /// Appends one data row.
+  void AddRow(const std::vector<std::string>& cells);
+
+  /// Appends one numeric data row.
+  void AddRow(const std::vector<double>& cells);
+
+ private:
+  std::ofstream out_;
+  size_t columns_;
+
+  void WriteCells(const std::vector<std::string>& cells);
+};
+
+}  // namespace kspot::util

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+
+namespace kspot::util {
+
+/// Fixed-point codec for sensor values on the wire.
+///
+/// Motes exchange sensor aggregates as 32-bit fixed-point numbers with a
+/// 1/256 resolution (8 fractional bits), matching the integer ADC world of
+/// TinyOS while allowing fractional averages. The codec is exact for values
+/// produced by `Quantize`, which the data generators apply at the source, so
+/// in-network arithmetic matches sink-side arithmetic bit-for-bit.
+namespace fixed_point {
+
+/// Number of fractional bits.
+inline constexpr int kFractionBits = 8;
+/// Scale factor (2^kFractionBits).
+inline constexpr double kScale = 256.0;
+
+/// Encodes a double into fixed point (round-to-nearest).
+inline int32_t Encode(double v) {
+  double scaled = v * kScale;
+  return static_cast<int32_t>(scaled >= 0 ? scaled + 0.5 : scaled - 0.5);
+}
+
+/// Decodes a fixed-point value back to double.
+inline double Decode(int32_t raw) { return static_cast<double>(raw) / kScale; }
+
+/// Rounds `v` to the nearest representable fixed-point value.
+inline double Quantize(double v) { return Decode(Encode(v)); }
+
+}  // namespace fixed_point
+
+}  // namespace kspot::util

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace kspot::util {
+
+/// Streaming summary statistics (Welford's algorithm): count, mean, variance,
+/// min, max. Used by the benchmark harness and the System Panel to summarize
+/// per-epoch cost series without retaining them.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Merges another summary into this one.
+  void Merge(const RunningStats& other);
+
+  /// Number of observations.
+  size_t count() const { return count_; }
+  /// Arithmetic mean; 0 when empty.
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two observations.
+  double variance() const;
+  /// Sample standard deviation.
+  double stddev() const;
+  /// Smallest observation; 0 when empty.
+  double min() const { return count_ ? min_ : 0.0; }
+  /// Largest observation; 0 when empty.
+  double max() const { return count_ ? max_ : 0.0; }
+  /// Sum of observations.
+  double sum() const { return sum_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Retains all observations to answer arbitrary quantile queries. Intended for
+/// benchmark post-processing (latency distributions), not hot paths.
+class Percentiles {
+ public:
+  /// Adds one observation.
+  void Add(double x) { values_.push_back(x); }
+
+  /// Returns the q-quantile (q in [0,1]) by linear interpolation; 0 when empty.
+  double Quantile(double q) const;
+
+  /// Number of observations.
+  size_t count() const { return values_.size(); }
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace kspot::util

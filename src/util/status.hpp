@@ -1,0 +1,62 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace kspot::util {
+
+/// Lightweight error-or-success result used across module boundaries where
+/// failures are expected (query parsing, config loading, deserialization).
+/// Expected failures never throw; programming errors may assert.
+class Status {
+ public:
+  /// Creates an OK status.
+  Status() = default;
+
+  /// Creates an error status with a human-readable message.
+  static Status Error(std::string message) { return Status(std::move(message)); }
+
+  /// Creates an OK status.
+  static Status Ok() { return Status(); }
+
+  /// True when no error occurred.
+  bool ok() const { return message_.empty(); }
+
+  /// Error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+ private:
+  explicit Status(std::string message) : message_(std::move(message)) {}
+  std::string message_;
+};
+
+/// Holds either a value of type `T` or an error `Status`.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a value (implicit, mirrors absl::StatusOr ergonomics).
+  StatusOr(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Constructs from an error status.
+  StatusOr(Status status) : data_(std::move(status)) {}  // NOLINT(google-explicit-constructor)
+
+  /// True when a value is held.
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// The held value. Requires ok().
+  const T& value() const& { return std::get<T>(data_); }
+  T& value() & { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  /// The held error. Returns OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(data_);
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace kspot::util

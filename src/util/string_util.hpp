@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kspot::util {
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Splits `s` on `delim`, trimming each piece; empty pieces are kept.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Uppercases ASCII letters.
+std::string ToUpper(std::string_view s);
+
+/// Lowercases ASCII letters.
+std::string ToLower(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// True when `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Formats a double with `decimals` fractional digits.
+std::string FormatDouble(double v, int decimals = 2);
+
+/// Formats a byte count with binary unit suffixes (e.g. "1.5 KiB").
+std::string HumanBytes(double bytes);
+
+}  // namespace kspot::util

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "agg/aggregate.hpp"
+#include "agg/group_view.hpp"
+#include "net/serializer.hpp"
+#include "util/fixed_point.hpp"
+#include "util/rng.hpp"
+
+namespace kspot::agg {
+namespace {
+
+TEST(AggKindTest, NamesAndParsing) {
+  EXPECT_EQ(AggKindName(AggKind::kAvg), "AVG");
+  AggKind k;
+  EXPECT_TRUE(ParseAggKind("average", &k));
+  EXPECT_EQ(k, AggKind::kAvg);
+  EXPECT_TRUE(ParseAggKind("MiN", &k));
+  EXPECT_EQ(k, AggKind::kMin);
+  EXPECT_FALSE(ParseAggKind("median", &k));
+}
+
+TEST(PartialAggTest, SingleValueFinals) {
+  PartialAgg p = PartialAgg::FromValue(75.5);
+  EXPECT_DOUBLE_EQ(p.Final(AggKind::kAvg), 75.5);
+  EXPECT_DOUBLE_EQ(p.Final(AggKind::kSum), 75.5);
+  EXPECT_DOUBLE_EQ(p.Final(AggKind::kMin), 75.5);
+  EXPECT_DOUBLE_EQ(p.Final(AggKind::kMax), 75.5);
+  EXPECT_DOUBLE_EQ(p.Final(AggKind::kCount), 1.0);
+}
+
+TEST(PartialAggTest, MergeComputesAllAggregates) {
+  PartialAgg p;
+  for (double v : {40.0, 74.0, 39.0}) p.Merge(PartialAgg::FromValue(v));
+  EXPECT_DOUBLE_EQ(p.Final(AggKind::kAvg), 51.0);
+  EXPECT_DOUBLE_EQ(p.Final(AggKind::kSum), 153.0);
+  EXPECT_DOUBLE_EQ(p.Final(AggKind::kMin), 39.0);
+  EXPECT_DOUBLE_EQ(p.Final(AggKind::kMax), 74.0);
+  EXPECT_DOUBLE_EQ(p.Final(AggKind::kCount), 3.0);
+}
+
+TEST(PartialAggTest, MergeOrderInvariant) {
+  // Any merge tree over the same multiset must produce identical partials —
+  // the property that makes in-network aggregation exact.
+  util::Rng rng(3);
+  std::vector<double> values;
+  for (int i = 0; i < 64; ++i) {
+    values.push_back(util::fixed_point::Quantize(rng.NextDouble(0, 100)));
+  }
+  PartialAgg sequential;
+  for (double v : values) sequential.Merge(PartialAgg::FromValue(v));
+  for (int trial = 0; trial < 10; ++trial) {
+    auto shuffled = values;
+    rng.Shuffle(shuffled);
+    // Random binary merge tree: fold pairs.
+    std::vector<PartialAgg> parts;
+    for (double v : shuffled) parts.push_back(PartialAgg::FromValue(v));
+    while (parts.size() > 1) {
+      size_t i = rng.NextBounded(parts.size() - 1);
+      parts[i].Merge(parts[i + 1]);
+      parts.erase(parts.begin() + static_cast<long>(i) + 1);
+    }
+    EXPECT_EQ(parts[0].sum_fx, sequential.sum_fx);
+    EXPECT_EQ(parts[0].count, sequential.count);
+    EXPECT_EQ(parts[0].min_fx, sequential.min_fx);
+    EXPECT_EQ(parts[0].max_fx, sequential.max_fx);
+  }
+}
+
+TEST(PartialAggTest, EmptyMergeIsIdentity) {
+  PartialAgg p = PartialAgg::FromValue(5);
+  PartialAgg empty;
+  p.Merge(empty);
+  EXPECT_DOUBLE_EQ(p.Final(AggKind::kSum), 5.0);
+  empty.Merge(p);
+  EXPECT_DOUBLE_EQ(empty.Final(AggKind::kSum), 5.0);
+}
+
+TEST(GroupViewTest, AddAndRank) {
+  GroupView v;
+  v.AddReading(0, 74.0);   // A
+  v.AddReading(0, 75.0);
+  v.AddReading(2, 75.0);   // C
+  v.AddReading(2, 75.0);
+  v.AddReading(1, 41.0);   // B
+  auto ranked = v.Ranked(AggKind::kAvg);
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0].group, 2);  // C: 75
+  EXPECT_EQ(ranked[1].group, 0);  // A: 74.5
+  EXPECT_EQ(ranked[2].group, 1);  // B: 41
+}
+
+TEST(GroupViewTest, TiesBreakByGroupId) {
+  GroupView v;
+  v.AddReading(5, 50.0);
+  v.AddReading(3, 50.0);
+  auto ranked = v.Ranked(AggKind::kAvg);
+  EXPECT_EQ(ranked[0].group, 3);
+  EXPECT_EQ(ranked[1].group, 5);
+}
+
+TEST(GroupViewTest, TopKTruncates) {
+  GroupView v;
+  for (int g = 0; g < 10; ++g) v.AddReading(g, g * 10.0);
+  auto top3 = v.TopK(AggKind::kMax, 3);
+  ASSERT_EQ(top3.size(), 3u);
+  EXPECT_EQ(top3[0].group, 9);
+  EXPECT_EQ(top3[2].group, 7);
+}
+
+TEST(GroupViewTest, MergeViewAccumulates) {
+  GroupView a, b;
+  a.AddReading(1, 10.0);
+  b.AddReading(1, 30.0);
+  b.AddReading(2, 99.0);
+  a.MergeView(b);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_DOUBLE_EQ(a.Get(1).Final(AggKind::kAvg), 20.0);
+  EXPECT_DOUBLE_EQ(a.Get(2).Final(AggKind::kAvg), 99.0);
+}
+
+TEST(GroupViewTest, PruneToLocalTopKReproducesWrongfulCut) {
+  // Section III-A: s4 holds (B,41 avg of 40,42) and (D,39); naive top-1 cuts D.
+  GroupView v;
+  v.AddReading(1, 40.0);
+  v.AddReading(1, 42.0);
+  v.AddReading(3, 39.0);
+  v.PruneToLocalTopK(AggKind::kAvg, 1);
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_TRUE(v.Contains(1));
+  EXPECT_FALSE(v.Contains(3));
+}
+
+TEST(GroupViewTest, EraseAndContains) {
+  GroupView v;
+  v.AddReading(7, 1.0);
+  EXPECT_TRUE(v.Contains(7));
+  v.Erase(7);
+  EXPECT_FALSE(v.Contains(7));
+  EXPECT_TRUE(v.empty());
+}
+
+class CodecTest : public ::testing::TestWithParam<AggKind> {};
+
+TEST_P(CodecTest, RoundTripPreservesFinals) {
+  AggKind kind = GetParam();
+  GroupView v;
+  util::Rng rng(11);
+  for (int g = 0; g < 20; ++g) {
+    int readings = 1 + static_cast<int>(rng.NextBounded(5));
+    for (int i = 0; i < readings; ++i) {
+      v.AddReading(g, util::fixed_point::Quantize(rng.NextDouble(0, 100)));
+    }
+  }
+  net::Writer w;
+  codec::WriteView(w, kind, v);
+  EXPECT_EQ(w.size(), codec::ViewWireBytes(kind, v.size()));
+  net::Reader r(w.bytes());
+  GroupView parsed;
+  ASSERT_TRUE(codec::ReadView(r, kind, &parsed));
+  ASSERT_EQ(parsed.size(), v.size());
+  for (const auto& [g, partial] : v.entries()) {
+    EXPECT_DOUBLE_EQ(parsed.Get(g).Final(kind), partial.Final(kind))
+        << "group " << g << " kind " << AggKindName(kind);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, CodecTest,
+                         ::testing::Values(AggKind::kAvg, AggKind::kSum, AggKind::kMin,
+                                           AggKind::kMax, AggKind::kCount),
+                         [](const ::testing::TestParamInfo<AggKind>& info) {
+                           return AggKindName(info.param);
+                         });
+
+TEST(CodecTest, ReadRejectsTruncated) {
+  GroupView v;
+  v.AddReading(1, 5.0);
+  net::Writer w;
+  codec::WriteView(w, AggKind::kAvg, v);
+  auto bytes = w.bytes();
+  bytes.pop_back();
+  net::Reader r(bytes.data(), bytes.size());
+  GroupView parsed;
+  EXPECT_FALSE(codec::ReadView(r, AggKind::kAvg, &parsed));
+}
+
+TEST(CodecTest, MaxEntriesAreSmallest) {
+  EXPECT_LT(codec::ViewWireBytes(AggKind::kMax, 10), codec::ViewWireBytes(AggKind::kAvg, 10));
+  EXPECT_LT(codec::ViewWireBytes(AggKind::kCount, 10), codec::ViewWireBytes(AggKind::kMax, 10));
+}
+
+}  // namespace
+}  // namespace kspot::agg

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/fila.hpp"
+#include "core/oracle.hpp"
+#include "core/tag.hpp"
+#include "test_util.hpp"
+
+namespace kspot::core {
+namespace {
+
+using kspot::testing::TestBed;
+
+QuerySpec NodeSpec(int k) {
+  QuerySpec spec;
+  spec.k = k;
+  spec.agg = agg::AggKind::kAvg;
+  spec.grouping = Grouping::kNode;
+  spec.domain_min = 0.0;
+  spec.domain_max = 100.0;
+  return spec;
+}
+
+std::set<sim::GroupId> GroupSet(const TopKResult& r) {
+  std::set<sim::GroupId> s;
+  for (const auto& item : r.items) s.insert(item.group);
+  return s;
+}
+
+TEST(FilaTest, ExactSetOnConstantData) {
+  auto bed = TestBed::Grid(25, 4, 307);
+  std::vector<double> values(25, 0.0);
+  for (size_t i = 1; i < 25; ++i) values[i] = static_cast<double>(i * 3 % 50) + 10.0;
+  data::ConstantGenerator gen(values);
+  data::ConstantGenerator ogen(values);
+  QuerySpec spec = NodeSpec(4);
+  Fila fila(bed.net.get(), &gen, spec);
+  Oracle oracle(&bed.topology, &ogen, spec);
+  for (sim::Epoch e = 0; e < 10; ++e) {
+    TopKResult got = fila.RunEpoch(e);
+    EXPECT_EQ(GroupSet(got), GroupSet(oracle.TopK(e))) << "epoch " << e;
+  }
+  // Constant data: after initialization nobody violates a filter.
+  EXPECT_EQ(fila.reports(), 0);
+}
+
+TEST(FilaTest, TracksSetUnderSlowDrift) {
+  auto bed = TestBed::Grid(25, 4, 311);
+  data::RandomWalkGenerator gen(25, data::Modality::kSound, 0.8, util::Rng(53));
+  data::RandomWalkGenerator ogen(25, data::Modality::kSound, 0.8, util::Rng(53));
+  QuerySpec spec = NodeSpec(3);
+  Fila fila(bed.net.get(), &gen, spec);
+  Oracle oracle(&bed.topology, &ogen, spec);
+  size_t exact = 0;
+  const sim::Epoch epochs = 40;
+  for (sim::Epoch e = 0; e < epochs; ++e) {
+    TopKResult got = fila.RunEpoch(e);
+    exact += GroupSet(got) == GroupSet(oracle.TopK(e));
+  }
+  // Filter semantics are exact under lossless links; allow a few boundary
+  // ties where the oracle's id-tiebreak differs.
+  EXPECT_GE(exact, epochs - 2);
+}
+
+TEST(FilaTest, QuietOnStableDataChattyOnVolatile) {
+  auto run_cost = [&](double sigma) {
+    auto bed = TestBed::Grid(25, 4, 313);
+    data::RandomWalkGenerator gen(25, data::Modality::kSound, sigma, util::Rng(59));
+    Fila fila(bed.net.get(), &gen, NodeSpec(3));
+    for (sim::Epoch e = 0; e < 30; ++e) fila.RunEpoch(e);
+    return bed.net->total().messages;
+  };
+  uint64_t calm = run_cost(0.05);
+  uint64_t wild = run_cost(8.0);
+  EXPECT_LT(calm, wild);
+}
+
+TEST(FilaTest, BeatsTagWhenDataIsStable) {
+  auto fila_bed = TestBed::Grid(36, 4, 317);
+  auto tag_bed = TestBed::Grid(36, 4, 317);
+  data::RandomWalkGenerator gen_f(36, data::Modality::kSound, 0.1, util::Rng(61));
+  data::RandomWalkGenerator gen_t(36, data::Modality::kSound, 0.1, util::Rng(61));
+  QuerySpec spec = NodeSpec(3);
+  Fila fila(fila_bed.net.get(), &gen_f, spec);
+  TagTopK tag(tag_bed.net.get(), &gen_t, spec);
+  for (sim::Epoch e = 0; e < 30; ++e) {
+    fila.RunEpoch(e);
+    tag.RunEpoch(e);
+  }
+  EXPECT_LT(fila_bed.net->total().messages, tag_bed.net->total().messages);
+}
+
+TEST(FilaTest, FilterUpdateCounterAdvances) {
+  auto bed = TestBed::Grid(16, 4, 331);
+  data::RandomWalkGenerator gen(16, data::Modality::kSound, 5.0, util::Rng(67));
+  Fila fila(bed.net.get(), &gen, NodeSpec(2));
+  for (sim::Epoch e = 0; e < 10; ++e) fila.RunEpoch(e);
+  EXPECT_GE(fila.filter_updates(), 1);
+  EXPECT_GT(fila.reports(), 0);
+}
+
+}  // namespace
+}  // namespace kspot::core

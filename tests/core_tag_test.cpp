@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "core/naive.hpp"
+#include "core/oracle.hpp"
+#include "core/tag.hpp"
+#include "test_util.hpp"
+
+namespace kspot::core {
+namespace {
+
+using kspot::testing::TestBed;
+
+QuerySpec SoundSpec(int k) {
+  QuerySpec spec;
+  spec.k = k;
+  spec.agg = agg::AggKind::kAvg;
+  spec.grouping = Grouping::kRoom;
+  spec.domain_min = 0.0;
+  spec.domain_max = 100.0;
+  return spec;
+}
+
+TEST(TagTest, Figure1CorrectAnswer) {
+  auto bed = TestBed::Figure1();
+  data::ConstantGenerator gen(sim::Figure1Readings());
+  TagTopK tag(bed.net.get(), &gen, SoundSpec(1));
+  TopKResult result = tag.RunEpoch(0);
+  ASSERT_EQ(result.items.size(), 1u);
+  // The correct answer of Section III-A: room C with average 75.
+  EXPECT_EQ(result.items[0].group, 2);
+  EXPECT_DOUBLE_EQ(result.items[0].value, 75.0);
+}
+
+TEST(TagTest, MatchesOracleOnRandomData) {
+  auto bed = TestBed::Grid(49, 9, 101);
+  data::UniformGenerator gen(bed.topology.num_nodes(), data::Modality::kSound, util::Rng(7));
+  data::UniformGenerator oracle_gen(bed.topology.num_nodes(), data::Modality::kSound,
+                                    util::Rng(7));
+  QuerySpec spec = SoundSpec(3);
+  TagTopK tag(bed.net.get(), &gen, spec);
+  Oracle oracle(&bed.topology, &oracle_gen, spec);
+  for (sim::Epoch e = 0; e < 10; ++e) {
+    TopKResult got = tag.RunEpoch(e);
+    TopKResult want = oracle.TopK(e);
+    EXPECT_TRUE(got.Matches(want)) << "epoch " << e << "\ngot:\n"
+                                   << got.ToString() << "want:\n"
+                                   << want.ToString();
+  }
+}
+
+TEST(TagTest, EveryNodeTransmitsEveryEpoch) {
+  auto bed = TestBed::Grid(36, 4, 103);
+  data::UniformGenerator gen(bed.topology.num_nodes(), data::Modality::kSound, util::Rng(9));
+  TagTopK tag(bed.net.get(), &gen, SoundSpec(2));
+  tag.RunEpoch(0);
+  EXPECT_EQ(bed.net->total().messages, bed.topology.num_nodes() - 1);
+  tag.RunEpoch(1);
+  EXPECT_EQ(bed.net->total().messages, 2 * (bed.topology.num_nodes() - 1));
+}
+
+TEST(TagTest, SupportsAllAggKinds) {
+  for (agg::AggKind kind : {agg::AggKind::kAvg, agg::AggKind::kSum, agg::AggKind::kMin,
+                            agg::AggKind::kMax, agg::AggKind::kCount}) {
+    auto bed = TestBed::Grid(25, 4, 107);
+    data::UniformGenerator gen(bed.topology.num_nodes(), data::Modality::kSound, util::Rng(11));
+    data::UniformGenerator ogen(bed.topology.num_nodes(), data::Modality::kSound, util::Rng(11));
+    QuerySpec spec = SoundSpec(2);
+    spec.agg = kind;
+    TagTopK tag(bed.net.get(), &gen, spec);
+    Oracle oracle(&bed.topology, &ogen, spec);
+    TopKResult got = tag.RunEpoch(0);
+    EXPECT_TRUE(got.Matches(oracle.TopK(0))) << agg::AggKindName(kind);
+  }
+}
+
+// -------------------------------------------------------------------- Naive
+
+TEST(NaiveTest, ReproducesFigure1Anomaly) {
+  auto bed = TestBed::Figure1();
+  data::ConstantGenerator gen(sim::Figure1Readings());
+  NaiveTopK naive(bed.net.get(), &gen, SoundSpec(1));
+  TopKResult result = naive.RunEpoch(0);
+  ASSERT_EQ(result.items.size(), 1u);
+  // The wrongful answer of Section III-A: (D, 76.5) because s4 eliminated
+  // (D, 39) — room D id is 3.
+  EXPECT_EQ(result.items[0].group, 3);
+  EXPECT_DOUBLE_EQ(result.items[0].value, 76.5);
+}
+
+TEST(NaiveTest, CheaperThanTagButSometimesWrong) {
+  size_t wrong = 0;
+  uint64_t naive_bytes = 0, tag_bytes = 0;
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    auto naive_bed = TestBed::Grid(49, 16, seed);
+    auto tag_bed = TestBed::Grid(49, 16, seed);
+    data::UniformGenerator gen_n(49, data::Modality::kSound, util::Rng(seed));
+    data::UniformGenerator gen_t(49, data::Modality::kSound, util::Rng(seed));
+    data::UniformGenerator gen_o(49, data::Modality::kSound, util::Rng(seed));
+    QuerySpec spec = SoundSpec(1);
+    NaiveTopK naive(naive_bed.net.get(), &gen_n, spec);
+    TagTopK tag(tag_bed.net.get(), &gen_t, spec);
+    Oracle oracle(&naive_bed.topology, &gen_o, spec);
+    TopKResult got = naive.RunEpoch(0);
+    tag.RunEpoch(0);
+    wrong += !got.Matches(oracle.TopK(0));
+    naive_bytes += naive_bed.net->total().payload_bytes;
+    tag_bytes += tag_bed.net->total().payload_bytes;
+  }
+  EXPECT_LT(naive_bytes, tag_bytes);
+  // With 16 rooms spread over a 49-node grid, greedy local cuts must
+  // misrank at least sometimes across 20 topologies.
+  EXPECT_GT(wrong, 0u);
+}
+
+}  // namespace
+}  // namespace kspot::core

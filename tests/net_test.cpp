@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "net/serializer.hpp"
+
+namespace kspot::net {
+namespace {
+
+TEST(SerializerTest, ScalarRoundTrip) {
+  Writer w;
+  w.PutU8(0xAB);
+  w.PutU16(0xBEEF);
+  w.PutU32(0xDEADBEEF);
+  w.PutI32(-12345);
+  w.PutU64(0x0123456789ABCDEFULL);
+  w.PutI64(-987654321012345LL);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.GetU8(), 0xAB);
+  EXPECT_EQ(r.GetU16(), 0xBEEF);
+  EXPECT_EQ(r.GetU32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.GetI32(), -12345);
+  EXPECT_EQ(r.GetU64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.GetI64(), -987654321012345LL);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(SerializerTest, LittleEndianLayout) {
+  Writer w;
+  w.PutU16(0x0102);
+  EXPECT_EQ(w.bytes()[0], 0x02);
+  EXPECT_EQ(w.bytes()[1], 0x01);
+}
+
+TEST(SerializerTest, StringRoundTrip) {
+  Writer w;
+  w.PutString("SELECT TOP 1");
+  w.PutString("");
+  Reader r(w.bytes());
+  EXPECT_EQ(r.GetString(), "SELECT TOP 1");
+  EXPECT_EQ(r.GetString(), "");
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(SerializerTest, OverrunSetsStickyError) {
+  Writer w;
+  w.PutU16(7);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.GetU32(), 0u);  // needs 4 bytes, only 2 available
+  EXPECT_FALSE(r.ok());
+  // Sticky: subsequent reads keep failing even if bytes would suffice.
+  EXPECT_EQ(r.GetU8(), 0u);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SerializerTest, GetBytesExactAndOverrun) {
+  Writer w;
+  uint8_t payload[4] = {1, 2, 3, 4};
+  w.PutBytes(payload, 4);
+  Reader r(w.bytes());
+  uint8_t out[4] = {0};
+  EXPECT_TRUE(r.GetBytes(out, 4));
+  EXPECT_EQ(out[3], 4);
+  EXPECT_FALSE(r.GetBytes(out, 1));
+}
+
+TEST(SerializerTest, TakeMovesBuffer) {
+  Writer w;
+  w.PutU32(5);
+  auto buf = w.Take();
+  EXPECT_EQ(buf.size(), 4u);
+}
+
+TEST(SerializerTest, PositionTracksReads) {
+  Writer w;
+  w.PutU32(1);
+  w.PutU32(2);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.position(), 0u);
+  r.GetU32();
+  EXPECT_EQ(r.position(), 4u);
+  EXPECT_EQ(r.remaining(), 4u);
+}
+
+}  // namespace
+}  // namespace kspot::net

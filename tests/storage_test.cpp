@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "storage/flash_sim.hpp"
+#include "storage/history_store.hpp"
+#include "storage/microhash.hpp"
+#include "storage/sliding_window.hpp"
+#include "util/fixed_point.hpp"
+#include "util/rng.hpp"
+
+namespace kspot::storage {
+namespace {
+
+// ------------------------------------------------------------ SlidingWindow
+
+TEST(SlidingWindowTest, FillsThenEvictsOldest) {
+  SlidingWindow<int> w(3);
+  EXPECT_TRUE(w.empty());
+  int evicted = -1;
+  EXPECT_FALSE(w.Push(1, &evicted));
+  EXPECT_FALSE(w.Push(2, &evicted));
+  EXPECT_FALSE(w.Push(3, &evicted));
+  EXPECT_TRUE(w.full());
+  EXPECT_TRUE(w.Push(4, &evicted));
+  EXPECT_EQ(evicted, 1);
+  EXPECT_EQ(w.Snapshot(), (std::vector<int>{2, 3, 4}));
+  EXPECT_EQ(w.Front(), 2);
+  EXPECT_EQ(w.Back(), 4);
+}
+
+TEST(SlidingWindowTest, AtIndexesFromOldest) {
+  SlidingWindow<int> w(4);
+  for (int i = 0; i < 10; ++i) w.Push(i);
+  EXPECT_EQ(w.At(0), 6);
+  EXPECT_EQ(w.At(3), 9);
+  EXPECT_EQ(w.size(), 4u);
+}
+
+TEST(SlidingWindowTest, ZeroCapacityClampsToOne) {
+  SlidingWindow<int> w(0);
+  EXPECT_EQ(w.capacity(), 1u);
+  w.Push(9);
+  EXPECT_EQ(w.Back(), 9);
+}
+
+TEST(SlidingWindowTest, ClearResets) {
+  SlidingWindow<int> w(2);
+  w.Push(1);
+  w.Push(2);
+  w.Clear();
+  EXPECT_TRUE(w.empty());
+  w.Push(5);
+  EXPECT_EQ(w.Front(), 5);
+}
+
+// ----------------------------------------------------------------- FlashSim
+
+TEST(FlashSimTest, AllocationAndAccounting) {
+  FlashModel model;
+  model.num_pages = 2;
+  FlashSim flash(model);
+  size_t p0 = flash.AllocatePage();
+  size_t p1 = flash.AllocatePage();
+  EXPECT_EQ(p0, 0u);
+  EXPECT_EQ(p1, 1u);
+  EXPECT_EQ(flash.AllocatePage(), static_cast<size_t>(-1));  // full
+  EXPECT_TRUE(flash.WritePage(p0, {1, 2, 3}));
+  EXPECT_EQ(flash.ReadPage(p0), (std::vector<uint8_t>{1, 2, 3}));
+  EXPECT_EQ(flash.writes(), 1u);
+  EXPECT_EQ(flash.reads(), 1u);
+  EXPECT_NEAR(flash.energy_j(), model.page_write_j + model.page_read_j, 1e-12);
+}
+
+TEST(FlashSimTest, RejectsInvalidOperations) {
+  FlashSim flash;
+  EXPECT_FALSE(flash.WritePage(0, {1}));        // not allocated
+  EXPECT_TRUE(flash.ReadPage(5).empty());       // not allocated
+  size_t p = flash.AllocatePage();
+  std::vector<uint8_t> oversized(flash.model().page_size_bytes + 1, 0);
+  EXPECT_FALSE(flash.WritePage(p, oversized));
+}
+
+// ---------------------------------------------------------------- MicroHash
+
+TEST(MicroHashTest, BucketMapping) {
+  FlashSim flash;
+  MicroHashIndex idx(&flash, 0.0, 100.0, 10);
+  EXPECT_EQ(idx.BucketOf(0.0), 0u);
+  EXPECT_EQ(idx.BucketOf(99.9), 9u);
+  EXPECT_EQ(idx.BucketOf(100.0), 9u);  // clamped
+  EXPECT_EQ(idx.BucketOf(-5.0), 0u);   // clamped
+  EXPECT_EQ(idx.BucketOf(55.0), 5u);
+}
+
+TEST(MicroHashTest, TopKMatchesNaiveScan) {
+  FlashSim flash;
+  MicroHashIndex idx(&flash, 0.0, 100.0, 16);
+  util::Rng rng(23);
+  std::vector<FlashRecord> all;
+  for (sim::Epoch e = 0; e < 500; ++e) {
+    double v = util::fixed_point::Quantize(rng.NextDouble(0, 100));
+    idx.Insert(e, v);
+    all.push_back(FlashRecord{e, util::fixed_point::Encode(v)});
+  }
+  std::sort(all.begin(), all.end(), [](const FlashRecord& a, const FlashRecord& b) {
+    if (a.value_fx != b.value_fx) return a.value_fx > b.value_fx;
+    return a.epoch < b.epoch;
+  });
+  for (size_t k : {1u, 5u, 20u}) {
+    auto got = idx.TopK(k);
+    ASSERT_EQ(got.size(), k);
+    for (size_t i = 0; i < k; ++i) {
+      EXPECT_EQ(got[i].value_fx, all[i].value_fx);
+      EXPECT_EQ(got[i].epoch, all[i].epoch);
+    }
+  }
+}
+
+TEST(MicroHashTest, TopKScanTouchesFewerPagesThanFullScan) {
+  FlashSim flash;
+  MicroHashIndex idx(&flash, 0.0, 100.0, 16);
+  util::Rng rng(29);
+  for (sim::Epoch e = 0; e < 2000; ++e) {
+    idx.Insert(e, util::fixed_point::Quantize(rng.NextDouble(0, 100)));
+  }
+  uint64_t before = flash.reads();
+  idx.TopK(5);
+  uint64_t topk_reads = flash.reads() - before;
+  before = flash.reads();
+  for (size_t b = 0; b < idx.num_buckets(); ++b) idx.ReadBucket(b);
+  uint64_t full_reads = flash.reads() - before;
+  EXPECT_LT(topk_reads * 4, full_reads);  // the index earns its keep
+}
+
+TEST(MicroHashTest, RecordsSurviveOpenPageAndFlush) {
+  FlashSim flash;
+  MicroHashIndex idx(&flash, 0.0, 100.0, 4);
+  // Insert fewer records than fit in one page: all stay in the open page.
+  idx.Insert(1, 90.0);
+  idx.Insert(2, 91.0);
+  auto top = idx.TopK(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].epoch, 2u);
+  EXPECT_EQ(flash.writes(), 0u);  // nothing flushed yet
+}
+
+// ------------------------------------------------------------- HistoryStore
+
+TEST(HistoryStoreTest, WindowSlidesAndArchives) {
+  HistoryStore store(4, /*archive_to_flash=*/true, 0.0, 100.0);
+  for (sim::Epoch e = 0; e < 10; ++e) {
+    store.Append(e, static_cast<double>(e * 10));
+  }
+  auto window = store.WindowValues();
+  EXPECT_EQ(window, (std::vector<double>{60, 70, 80, 90}));
+  // Evicted readings (0..50) are on flash; the archive's best is 50.
+  auto archived = store.ArchivedTopK(2);
+  ASSERT_EQ(archived.size(), 2u);
+  EXPECT_EQ(util::fixed_point::Decode(archived[0].value_fx), 50.0);
+  EXPECT_EQ(util::fixed_point::Decode(archived[1].value_fx), 40.0);
+}
+
+TEST(HistoryStoreTest, NoFlashMeansNoArchive) {
+  HistoryStore store(2, /*archive_to_flash=*/false, 0.0, 100.0);
+  for (sim::Epoch e = 0; e < 5; ++e) store.Append(e, 1.0 * e);
+  EXPECT_TRUE(store.ArchivedTopK(3).empty());
+  EXPECT_EQ(store.flash_energy_j(), 0.0);
+}
+
+TEST(StoreHistorySourceTest, ExposesWindows) {
+  std::vector<HistoryStore> stores;
+  for (int i = 0; i < 3; ++i) stores.emplace_back(3, false, 0.0, 100.0);
+  for (sim::Epoch e = 0; e < 3; ++e) {
+    stores[1].Append(e, 10.0 + e);
+    stores[2].Append(e, 20.0 + e);
+  }
+  StoreHistorySource source(&stores);
+  EXPECT_EQ(source.num_nodes(), 3u);
+  EXPECT_EQ(source.window_size(), 3u);
+  EXPECT_EQ(source.Window(2), (std::vector<double>{20, 21, 22}));
+}
+
+}  // namespace
+}  // namespace kspot::storage

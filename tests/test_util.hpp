@@ -1,0 +1,63 @@
+#pragma once
+
+#include <memory>
+
+#include "core/oracle.hpp"
+#include "core/query_spec.hpp"
+#include "data/generators.hpp"
+#include "sim/network.hpp"
+#include "sim/routing_tree.hpp"
+#include "sim/topology.hpp"
+#include "util/rng.hpp"
+
+namespace kspot::testing {
+
+/// A ready-to-run simulated deployment: topology + tree + network, with the
+/// lifetime plumbing tests shouldn't have to repeat.
+struct TestBed {
+  sim::Topology topology;
+  sim::RoutingTree tree;
+  std::unique_ptr<sim::Network> net;
+
+  static TestBed Grid(size_t nodes, size_t rooms, uint64_t seed,
+                      sim::NetworkOptions net_options = {}) {
+    TestBed bed;
+    sim::TopologyOptions topt;
+    topt.num_nodes = nodes;
+    topt.num_rooms = rooms;
+    bed.topology = sim::MakeGrid(topt);
+    util::Rng rng(seed);
+    bed.tree = sim::RoutingTree::BuildFirstHeard(bed.topology, rng);
+    bed.net = std::make_unique<sim::Network>(&bed.topology, &bed.tree, net_options,
+                                             util::Rng(seed ^ 0xBEEF));
+    return bed;
+  }
+
+  static TestBed Clustered(size_t nodes, size_t rooms, uint64_t seed,
+                           sim::NetworkOptions net_options = {}) {
+    TestBed bed;
+    sim::TopologyOptions topt;
+    topt.num_nodes = nodes;
+    topt.num_rooms = rooms;
+    util::Rng topo_rng(seed);
+    bed.topology = sim::MakeClusteredRooms(topt, topo_rng);
+    util::Rng rng(seed ^ 0x1234);
+    // Clustered deployments use the cluster-aware tree the KSpot server
+    // builds from the Configuration Panel's region assignments.
+    bed.tree = sim::RoutingTree::BuildClusterAware(bed.topology, rng);
+    bed.net = std::make_unique<sim::Network>(&bed.topology, &bed.tree, net_options,
+                                             util::Rng(seed ^ 0xBEEF));
+    return bed;
+  }
+
+  static TestBed Figure1(sim::NetworkOptions net_options = {}) {
+    TestBed bed;
+    bed.topology = sim::MakeFigure1();
+    bed.tree = sim::RoutingTree::FromParents(sim::MakeFigure1Parents());
+    bed.net = std::make_unique<sim::Network>(&bed.topology, &bed.tree, net_options,
+                                             util::Rng(42));
+    return bed;
+  }
+};
+
+}  // namespace kspot::testing
