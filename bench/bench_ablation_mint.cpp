@@ -1,115 +1,133 @@
 /// E12 — MINT design ablations (the choices DESIGN.md section 3 calls out):
 /// gamma/threshold suppression, closure pruning at inner nodes, delta-
-/// encoded view updates, and the tau hysteresis margin. Each row switches
-/// one mechanism off against the full configuration; answers stay exact in
-/// every configuration (verified against the oracle during the run).
-#include <cstdio>
-#include <iostream>
-
+/// encoded view updates, and the tau hysteresis margin. Each configuration
+/// switches one mechanism off against the full configuration; answers stay
+/// exact in every configuration (verified against the oracle during the
+/// run).
 #include "bench_util.hpp"
-#include "core/mint.hpp"
-#include "core/oracle.hpp"
-#include "core/tag.hpp"
-#include "util/string_util.hpp"
-#include "util/table_printer.hpp"
+#include "scenarios.hpp"
 
-using namespace kspot;
+namespace kspot::bench {
 
-int main() {
-  bench::Banner("E12", "MINT ablations (n=100, 16 rooms, K=3, 60 epochs, clustered)");
-  const size_t kNodes = 100;
-  const size_t kRooms = 16;
-  const size_t kEpochs = 60;
-  const uint64_t kSeed = 37;
+namespace {
 
-  core::QuerySpec spec;
-  spec.k = 3;
-  spec.agg = agg::AggKind::kAvg;
-  spec.grouping = core::Grouping::kRoom;
-  spec.domain_max = 100.0;
+/// One MINT-ablation trial on the shared clustered deployment; checks
+/// exactness against the oracle while accumulating traffic.
+runner::MetricList RunMintConfig(size_t nodes, size_t rooms, size_t epochs, uint64_t seed,
+                                 core::MintViews::Options options, bool cluster_tree) {
+  core::QuerySpec spec = RoomAvgSpec(3);
 
-  util::TablePrinter table({"configuration", "msgs/ep", "bytes/ep", "beacons", "repairs",
-                            "exact"});
+  sim::TopologyOptions topt;
+  topt.num_nodes = nodes;
+  topt.num_rooms = rooms;
+  util::Rng topo_rng(seed);
+  sim::Topology topology = sim::MakeClusteredRooms(topt, topo_rng);
+  util::Rng tree_rng(seed ^ 0x5151);
+  sim::RoutingTree tree = cluster_tree ? sim::RoutingTree::BuildClusterAware(topology, tree_rng)
+                                       : sim::RoutingTree::BuildFirstHeard(topology, tree_rng);
+  sim::Network net(&topology, &tree, {}, util::Rng(seed ^ 0xBEEF));
 
-  auto run = [&](const char* name, core::MintViews::Options options) {
-    auto bed = bench::Bed::Clustered(kNodes, kRooms, kSeed);
-    auto gen = bed.RoomData(kSeed);
-    auto oracle_gen = bed.RoomData(kSeed);
-    core::Oracle oracle(&bed.topology, oracle_gen.get(), spec);
-    core::MintViews mint(bed.net.get(), gen.get(), spec, options);
-    bool exact = true;
-    for (size_t e = 0; e < kEpochs; ++e) {
-      exact &= mint.RunEpoch(static_cast<sim::Epoch>(e))
-                   .Matches(oracle.TopK(static_cast<sim::Epoch>(e)));
-    }
-    table.AddRow(std::vector<std::string>{
-        name,
-        util::FormatDouble(static_cast<double>(bed.net->total().messages) / kEpochs, 1),
-        util::FormatDouble(static_cast<double>(bed.net->total().payload_bytes) / kEpochs, 0),
-        std::to_string(mint.beacon_count()), std::to_string(mint.repair_count()),
-        exact ? "yes" : "NO"});
-  };
-
-  core::MintViews::Options full;
-  run("full MINT", full);
-
-  core::MintViews::Options no_gamma = full;
-  no_gamma.gamma_suppression = false;
-  run("- gamma/threshold pruning", no_gamma);
-
-  core::MintViews::Options no_closure = full;
-  no_closure.closure_pruning = false;
-  run("- closure pruning", no_closure);
-
-  core::MintViews::Options no_delta = full;
-  no_delta.delta_updates = false;
-  run("- delta updates", no_delta);
-
-  core::MintViews::Options tight_margin = full;
-  tight_margin.tau_margin_fraction = 0.001;
-  run("tau margin 0.1%", tight_margin);
-
-  core::MintViews::Options wide_margin = full;
-  wide_margin.tau_margin_fraction = 0.10;
-  run("tau margin 10%", wide_margin);
-
-  // Routing-tree ablation: MINT on the plain first-heard tree (ignoring the
-  // Configuration Panel's cluster knowledge), so rooms need not form
-  // contiguous subtrees and groups close higher.
-  {
-    sim::TopologyOptions topt;
-    topt.num_nodes = kNodes;
-    topt.num_rooms = kRooms;
-    util::Rng topo_rng(kSeed);
-    sim::Topology topology = sim::MakeClusteredRooms(topt, topo_rng);
-    util::Rng tree_rng(kSeed ^ 0x5151);
-    sim::RoutingTree tree = sim::RoutingTree::BuildFirstHeard(topology, tree_rng);
-    sim::Network net(&topology, &tree, {}, util::Rng(kSeed ^ 0xBEEF));
-    std::vector<sim::GroupId> rooms;
-    for (sim::NodeId id = 0; id < topology.num_nodes(); ++id) rooms.push_back(topology.room(id));
-    data::RoomCorrelatedGenerator gen(rooms, data::Modality::kSound, 0.5, 0.5,
-                                      util::Rng(kSeed), 0.0, 1.0);
-    core::MintViews mint(&net, &gen, spec, full);
-    for (size_t e = 0; e < kEpochs; ++e) mint.RunEpoch(static_cast<sim::Epoch>(e));
-    table.AddRow(std::vector<std::string>{
-        "- cluster-aware tree",
-        util::FormatDouble(static_cast<double>(net.total().messages) / kEpochs, 1),
-        util::FormatDouble(static_cast<double>(net.total().payload_bytes) / kEpochs, 0),
-        std::to_string(mint.beacon_count()), std::to_string(mint.repair_count()), "yes"});
+  std::vector<sim::GroupId> rooms_of;
+  for (sim::NodeId id = 0; id < topology.num_nodes(); ++id) {
+    rooms_of.push_back(topology.room(id));
   }
+  data::RoomCorrelatedGenerator gen(rooms_of, data::Modality::kSound, 0.5, 0.5,
+                                    util::Rng(seed), 0.0, 1.0);
+  data::RoomCorrelatedGenerator oracle_gen(rooms_of, data::Modality::kSound, 0.5, 0.5,
+                                           util::Rng(seed), 0.0, 1.0);
+  core::Oracle oracle(&topology, &oracle_gen, spec);
 
-  // TAG for reference.
-  {
-    auto bed = bench::Bed::Clustered(kNodes, kRooms, kSeed);
-    auto gen = bed.RoomData(kSeed);
-    core::TagTopK tag(bed.net.get(), gen.get(), spec);
-    auto tag_run = bench::RunSnapshot(tag, *bed.net, nullptr, kEpochs);
-    table.AddRow(std::vector<std::string>{"TAG reference",
-                                          util::FormatDouble(tag_run.MsgsPerEpoch(), 1),
-                                          util::FormatDouble(tag_run.BytesPerEpoch(), 0), "0",
-                                          "0", "yes"});
+  core::MintViews mint(&net, &gen, spec, options);
+  bool exact = true;
+  for (size_t e = 0; e < epochs; ++e) {
+    exact &= mint.RunEpoch(static_cast<sim::Epoch>(e))
+                 .Matches(oracle.TopK(static_cast<sim::Epoch>(e)));
   }
-
-  table.Print(std::cout);
-  return 0;
+  double eps = static_cast<double>(epochs);
+  return {{"msgs_per_epoch", static_cast<double>(net.total().messages) / eps},
+          {"bytes_per_epoch", static_cast<double>(net.total().payload_bytes) / eps},
+          {"beacons", static_cast<double>(mint.beacon_count())},
+          {"repairs", static_cast<double>(mint.repair_count())},
+          {"exact", exact ? 1.0 : 0.0}};
 }
+
+}  // namespace
+
+void RegisterAblationMint(runner::ScenarioRegistry& registry) {
+  runner::Scenario s;
+  s.name = "ablation_mint";
+  s.id = "E12";
+  s.title = "MINT ablations (n=100, 16 rooms, K=3, 60 epochs, clustered)";
+  s.notes =
+      "Each row switches one mechanism off against the full configuration; the TAG\n"
+      "row is the no-suppression reference.";
+  s.make_trials = [](const runner::SweepOptions& opt) {
+    const size_t nodes = 100;
+    const size_t rooms = 16;
+    const size_t epochs = opt.quick ? 15 : 60;
+    const uint64_t seed = opt.seed != 0 ? opt.seed : 37;
+
+    struct Config {
+      const char* label;
+      core::MintViews::Options options;
+      bool cluster_tree;
+    };
+    core::MintViews::Options full;
+    core::MintViews::Options no_gamma = full;
+    no_gamma.gamma_suppression = false;
+    core::MintViews::Options no_closure = full;
+    no_closure.closure_pruning = false;
+    core::MintViews::Options no_delta = full;
+    no_delta.delta_updates = false;
+    core::MintViews::Options tight_margin = full;
+    tight_margin.tau_margin_fraction = 0.001;
+    core::MintViews::Options wide_margin = full;
+    wide_margin.tau_margin_fraction = 0.10;
+
+    std::vector<Config> configs = {{"full MINT", full, true},
+                                   {"- gamma/threshold pruning", no_gamma, true},
+                                   {"- closure pruning", no_closure, true},
+                                   {"- delta updates", no_delta, true},
+                                   {"tau margin 0.1%", tight_margin, true},
+                                   {"tau margin 10%", wide_margin, true},
+                                   {"- cluster-aware tree", full, false}};
+    if (opt.quick) configs.resize(3);
+
+    std::vector<runner::Trial> trials;
+    for (const Config& config : configs) {
+      runner::Trial t;
+      t.spec.algorithm = "MINT";
+      t.spec.seed = seed;
+      t.spec.params = {{"configuration", config.label}};
+      core::MintViews::Options options = config.options;
+      bool cluster_tree = config.cluster_tree;
+      t.run = [=]() -> runner::MetricList {
+        return RunMintConfig(nodes, rooms, epochs, seed, options, cluster_tree);
+      };
+      trials.push_back(std::move(t));
+    }
+
+    // TAG on the same deployment for reference.
+    runner::Trial tag;
+    tag.spec.algorithm = "TAG";
+    tag.spec.seed = seed;
+    tag.spec.params = {{"configuration", "TAG reference"}};
+    tag.run = [=]() -> runner::MetricList {
+      core::QuerySpec spec = RoomAvgSpec(3);
+      auto bed = Bed::Clustered(nodes, rooms, seed);
+      auto gen = bed.RoomData(seed);
+      core::TagTopK algo(bed.net.get(), gen.get(), spec);
+      SnapshotRun run = RunSnapshot(algo, *bed.net, nullptr, epochs);
+      return {{"msgs_per_epoch", run.MsgsPerEpoch()},
+              {"bytes_per_epoch", run.BytesPerEpoch()},
+              {"beacons", 0.0},
+              {"repairs", 0.0},
+              {"exact", 1.0}};
+    };
+    trials.push_back(std::move(tag));
+    return trials;
+  };
+  RegisterOrDie(registry, std::move(s));
+}
+
+}  // namespace kspot::bench

@@ -1,90 +1,63 @@
 /// E1 — reproduces Figure 1 of the paper: the 9-sensor / 4-room building
-/// with a TOP-1 AVG(sound) query. Shows the exact per-room aggregates, the
-/// wrongful naive answer (D, 76.5) versus the correct (C, 75), and the
-/// per-algorithm message/byte cost of answering the query.
-#include <cstdio>
-#include <iostream>
-
-#include "agg/group_view.hpp"
+/// with a TOP-1 AVG(sound) query. Each algorithm answers the constant scene
+/// for 10 epochs; the metrics expose the wrongful naive answer (D, 76.5)
+/// versus the correct (C, 75) and the per-algorithm message/byte cost.
 #include "bench_util.hpp"
-#include "core/mint.hpp"
-#include "core/naive.hpp"
-#include "core/oracle.hpp"
-#include "core/tag.hpp"
-#include "util/string_util.hpp"
-#include "util/table_printer.hpp"
+#include "scenarios.hpp"
 
-using namespace kspot;
+namespace kspot::bench {
 
-namespace {
+void RegisterFig1Scenario(runner::ScenarioRegistry& registry) {
+  runner::Scenario s;
+  s.name = "fig1_scenario";
+  s.id = "E1";
+  s.title = "Figure-1 scenario: TOP-1 AVG(sound) over 4 rooms, 9 sensors";
+  s.notes =
+      "Naive reports group 3 (room D, 76.5) because s4 wrongfully eliminated (D, 39) —\n"
+      "exactly the anomaly of Section III-A. MINT reports the correct group 2 (room C,\n"
+      "75) while transmitting nothing at all in steady state on this static scene.";
+  s.make_trials = [](const runner::SweepOptions& opt) {
+    const size_t epochs = opt.quick ? 5 : 10;
 
-core::QuerySpec Fig1Spec() {
-  core::QuerySpec spec;
-  spec.k = 1;
-  spec.agg = agg::AggKind::kAvg;
-  spec.grouping = core::Grouping::kRoom;
-  spec.domain_min = 0.0;
-  spec.domain_max = 100.0;
-  return spec;
-}
+    std::vector<runner::Trial> trials;
+    for (SnapshotAlgo algo : {SnapshotAlgo::kTag, SnapshotAlgo::kNaive, SnapshotAlgo::kMint}) {
+      runner::Trial t;
+      t.spec.algorithm = AlgoName(algo);
+      t.spec.seed = 42;  // Figure-1 beds are fully deterministic.
+      t.run = [=]() -> runner::MetricList {
+        core::QuerySpec spec = RoomAvgSpec(1);
+        data::ConstantGenerator oracle_gen(sim::Figure1Readings());
+        auto oracle_bed = Bed::Figure1();
+        core::Oracle oracle(&oracle_bed.topology, &oracle_gen, spec);
 
-}  // namespace
-
-int main() {
-  bench::Banner("E1", "Figure-1 scenario: TOP-1 AVG(sound) over 4 rooms, 9 sensors");
-
-  // Ground truth per room.
-  data::ConstantGenerator oracle_gen(sim::Figure1Readings());
-  auto fig_bed = bench::Bed::Figure1();
-  core::Oracle oracle(&fig_bed.topology, &oracle_gen, Fig1Spec());
-  std::printf("\nExact per-room averages (sink view V0):\n");
-  util::TablePrinter rooms({"room", "AVG(sound)"});
-  for (const auto& item : oracle.FullView(0).Ranked(agg::AggKind::kAvg)) {
-    rooms.AddRow(std::vector<std::string>{sim::Figure1RoomName(item.group),
-                                          util::FormatDouble(item.value)});
-  }
-  rooms.Print(std::cout);
-
-  // Run each algorithm over a few epochs of the constant scenario.
-  util::TablePrinter table({"algorithm", "answer", "value", "correct", "msgs/epoch",
-                            "bytes/epoch", "steady msgs/epoch", "steady bytes/epoch"});
-  const size_t kEpochs = 10;
-  auto run = [&](const char* name, auto make_algo) {
-    auto bed = bench::Bed::Figure1();
-    data::ConstantGenerator gen(sim::Figure1Readings());
-    auto algo = make_algo(bed, gen);
-    core::TopKResult last;
-    sim::TrafficCounters after_first;
-    for (size_t e = 0; e < kEpochs; ++e) {
-      last = algo->RunEpoch(static_cast<sim::Epoch>(e));
-      if (e == 0) after_first = bed.net->total();
+        auto bed = Bed::Figure1();
+        data::ConstantGenerator gen(sim::Figure1Readings());
+        auto algorithm = MakeSnapshotAlgo(algo, bed.net.get(), &gen, spec);
+        core::TopKResult last;
+        sim::TrafficCounters after_first;
+        for (size_t e = 0; e < epochs; ++e) {
+          last = algorithm->RunEpoch(static_cast<sim::Epoch>(e));
+          if (e == 0) after_first = bed.net->total();
+        }
+        auto steady = bed.net->total().Since(after_first);
+        bool correct = last.Matches(oracle.TopK(static_cast<sim::Epoch>(epochs - 1)));
+        return {{"answer_group", static_cast<double>(last.items.at(0).group)},
+                {"answer_value", last.items.at(0).value},
+                {"correct", correct ? 1.0 : 0.0},
+                {"msgs_per_epoch",
+                 static_cast<double>(bed.net->total().messages) / static_cast<double>(epochs)},
+                {"bytes_per_epoch", static_cast<double>(bed.net->total().payload_bytes) /
+                                        static_cast<double>(epochs)},
+                {"steady_msgs_per_epoch",
+                 static_cast<double>(steady.messages) / static_cast<double>(epochs - 1)},
+                {"steady_bytes_per_epoch",
+                 static_cast<double>(steady.payload_bytes) / static_cast<double>(epochs - 1)}};
+      };
+      trials.push_back(std::move(t));
     }
-    auto steady = bed.net->total().Since(after_first);
-    bool correct = last.Matches(oracle.TopK(kEpochs - 1));
-    table.AddRow(std::vector<std::string>{
-        name, sim::Figure1RoomName(last.items.at(0).group),
-        util::FormatDouble(last.items.at(0).value), correct ? "yes" : "NO",
-        util::FormatDouble(static_cast<double>(bed.net->total().messages) / kEpochs, 1),
-        util::FormatDouble(static_cast<double>(bed.net->total().payload_bytes) / kEpochs, 1),
-        util::FormatDouble(static_cast<double>(steady.messages) / (kEpochs - 1), 1),
-        util::FormatDouble(static_cast<double>(steady.payload_bytes) / (kEpochs - 1), 1)});
+    return trials;
   };
-
-  run("TAG (centralized top-k)", [&](bench::Bed& bed, data::DataGenerator& gen) {
-    return std::make_unique<core::TagTopK>(bed.net.get(), &gen, Fig1Spec());
-  });
-  run("Naive local pruning", [&](bench::Bed& bed, data::DataGenerator& gen) {
-    return std::make_unique<core::NaiveTopK>(bed.net.get(), &gen, Fig1Spec());
-  });
-  run("MINT (KSpot)", [&](bench::Bed& bed, data::DataGenerator& gen) {
-    return std::make_unique<core::MintViews>(bed.net.get(), &gen, Fig1Spec());
-  });
-
-  std::printf("\nPer-algorithm results over %zu epochs:\n", kEpochs);
-  table.Print(std::cout);
-  std::printf(
-      "\nNote: Naive reports (D, 76.5) because s4 wrongfully eliminated (D, 39) —\n"
-      "exactly the anomaly of Section III-A. MINT reports the correct (C, 75)\n"
-      "while transmitting nothing at all in steady state on this static scene.\n");
-  return 0;
+  RegisterOrDie(registry, std::move(s));
 }
+
+}  // namespace kspot::bench

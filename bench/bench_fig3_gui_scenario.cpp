@@ -1,57 +1,72 @@
 /// E2 — reproduces the Figure-3 GUI scenario: a TOP-3 query over a 14-node
-/// sensor network organized in 6 clusters, rendered through the Display
-/// Panel (KSpot Bullets) with the System Panel's live savings — the full
-/// demo loop of Section IV-B, in the terminal.
-#include <cstdio>
-#include <iostream>
+/// sensor network organized in 6 clusters, executed through the KSpot
+/// server with the System Panel's live savings accounting — the demo loop
+/// of Section IV-B, reduced to its metrics.
+#include <stdexcept>
 
-#include "kspot/display_panel.hpp"
+#include "bench_util.hpp"
 #include "kspot/scenario_config.hpp"
 #include "kspot/server.hpp"
+#include "scenarios.hpp"
 
-using namespace kspot;
+namespace kspot::bench {
 
-int main() {
-  std::printf("\n=== E2: Figure-3 GUI scenario — TOP-3 over 14 nodes in 6 clusters ===\n");
+namespace {
 
-  // 6 clusters; 14 sensors total: distribute 2-3 per cluster like the GUI
-  // screenshot. ConferenceFloor gives balanced rooms, so use 6 x 2 = 12 + 2
-  // extra nodes appended to the first clusters.
-  system::Scenario scenario = system::Scenario::ConferenceFloor(6, 2, 17);
+/// The GUI deployment: 6 clusters, 14 sensors total (2 per cluster plus 2
+/// extras near existing motes, like the screenshot).
+system::Scenario MakeFig3Deployment(uint64_t seed) {
+  system::Scenario scenario = system::Scenario::ConferenceFloor(6, 2, seed);
   for (int extra = 0; extra < 2; ++extra) {
-    system::Scenario::Node n = scenario.nodes[1 + extra];  // near an existing mote
+    system::Scenario::Node n = scenario.nodes[1 + extra];
     n.id = static_cast<sim::NodeId>(scenario.nodes.size());
     n.x += 1.5;
     n.y += 1.0;
     scenario.nodes.push_back(n);
   }
-
-  system::KSpotServer::Options opt;
-  opt.epochs = 30;
-  opt.seed = 2009;
-  system::KSpotServer server(scenario, opt);
-  system::DisplayPanel panel(&server.scenario(), 64, 16);
-
-  std::printf("\n%s", panel.RenderMap().c_str());
-
-  std::string bullets;
-  auto outcome = server.ExecuteStreaming(
-      "SELECT TOP 3 roomid, AVG(sound) FROM sensors GROUP BY roomid EPOCH DURATION 1 min",
-      [&](const core::TopKResult& r, const system::SystemPanel&) {
-        if (r.epoch % 10 == 0 || r.epoch + 1 == 30) {
-          std::printf("%s", panel.RenderBullets(r).c_str());
-        }
-      });
-  if (!outcome.ok()) {
-    std::printf("query failed: %s\n", outcome.status().message().c_str());
-    return 1;
-  }
-  std::printf("\n%s", outcome.value().panel.Render().c_str());
-  std::printf("\nAlgorithm: %s; %zu epochs; savings vs TAG: %.1f%% messages, %.1f%% bytes, "
-              "%.1f%% energy\n",
-              outcome.value().algorithm.c_str(), outcome.value().per_epoch.size(),
-              outcome.value().panel.MessageSavingsPercent(),
-              outcome.value().panel.ByteSavingsPercent(),
-              outcome.value().panel.EnergySavingsPercent());
-  return 0;
+  return scenario;
 }
+
+}  // namespace
+
+void RegisterFig3GuiScenario(runner::ScenarioRegistry& registry) {
+  runner::Scenario s;
+  s.name = "fig3_gui_scenario";
+  s.id = "E2";
+  s.title = "Figure-3 GUI scenario: TOP-3 over 14 nodes in 6 clusters";
+  s.notes =
+      "The full demo loop: parsed SQL in, MINT execution, System-Panel savings vs\n"
+      "the TAG shadow run.";
+  s.make_trials = [](const runner::SweepOptions& opt) {
+    const size_t epochs = opt.quick ? 10 : 30;
+    const uint64_t seed = opt.seed != 0 ? opt.seed : 2009;
+    const uint64_t floor_seed = 17;
+
+    std::vector<runner::Trial> trials;
+    runner::Trial t;
+    t.spec.algorithm = "MINT";
+    t.spec.seed = seed;
+    t.run = [=]() -> runner::MetricList {
+      system::Scenario scenario = MakeFig3Deployment(floor_seed);
+      system::KSpotServer::Options server_opt;
+      server_opt.epochs = epochs;
+      server_opt.seed = seed;
+      system::KSpotServer server(scenario, server_opt);
+      auto outcome = server.Execute(
+          "SELECT TOP 3 roomid, AVG(sound) FROM sensors GROUP BY roomid EPOCH DURATION 1 min");
+      if (!outcome.ok()) {
+        throw std::runtime_error("query failed: " + outcome.status().message());
+      }
+      const auto& result = outcome.value();
+      return {{"epochs", static_cast<double>(result.per_epoch.size())},
+              {"msg_savings_pct", result.panel.MessageSavingsPercent()},
+              {"byte_savings_pct", result.panel.ByteSavingsPercent()},
+              {"energy_savings_pct", result.panel.EnergySavingsPercent()}};
+    };
+    trials.push_back(std::move(t));
+    return trials;
+  };
+  RegisterOrDie(registry, std::move(s));
+}
+
+}  // namespace kspot::bench

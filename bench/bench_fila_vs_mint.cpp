@@ -4,66 +4,62 @@
 /// and MINT are both near-silent on stable data; as volatility grows FILA's
 /// filter violations and reassignment broadcasts erode its advantage, and
 /// TAG's flat cost becomes competitive.
-#include <cstdio>
-#include <iostream>
-
 #include "bench_util.hpp"
-#include "core/fila.hpp"
-#include "core/mint.hpp"
-#include "core/tag.hpp"
+#include "scenarios.hpp"
 #include "util/string_util.hpp"
-#include "util/table_printer.hpp"
 
-using namespace kspot;
+namespace kspot::bench {
 
-int main() {
-  bench::Banner("E8", "monitoring cost vs volatility (n=49, K=3, node ranking, 80 epochs)");
-  const size_t kNodes = 49;
-  const size_t kEpochs = 80;
-  const uint64_t kSeed = 23;
+void RegisterFilaVsMint(runner::ScenarioRegistry& registry) {
+  runner::Scenario s;
+  s.name = "fila_vs_mint";
+  s.id = "E8";
+  s.title = "monitoring cost vs volatility (n=49, K=3, node ranking, 80 epochs)";
+  s.notes =
+      "FILA monitors the top-k *set* (values may lag inside filters); MINT and\n"
+      "TAG report exact values every epoch.";
+  s.make_trials = [](const runner::SweepOptions& opt) {
+    const size_t nodes = 49;
+    const size_t epochs = opt.quick ? 15 : 80;
+    const uint64_t seed = opt.seed != 0 ? opt.seed : 23;
+    const std::vector<double> sigmas = opt.quick ? std::vector<double>{0.2, 2.0}
+                                                 : std::vector<double>{0.05, 0.2, 0.8, 2.0, 5.0};
 
-  core::QuerySpec spec;
-  spec.k = 3;
-  spec.agg = agg::AggKind::kAvg;
-  spec.grouping = core::Grouping::kNode;
-  spec.domain_max = 100.0;
+    std::vector<runner::Trial> trials;
+    for (double sigma : sigmas) {
+      for (SnapshotAlgo algo : {SnapshotAlgo::kTag, SnapshotAlgo::kFila, SnapshotAlgo::kMint}) {
+        runner::Trial t;
+        t.spec.algorithm = AlgoName(algo);
+        t.spec.seed = seed;
+        t.spec.params = {{"walk_sigma", util::FormatDouble(sigma, 2)}};
+        t.run = [=]() -> runner::MetricList {
+          core::QuerySpec spec;
+          spec.k = 3;
+          spec.agg = agg::AggKind::kAvg;
+          spec.grouping = core::Grouping::kNode;
+          spec.domain_max = 100.0;
 
-  util::TablePrinter table({"walk sigma", "TAG msgs/ep", "FILA msgs/ep", "MINT msgs/ep",
-                            "TAG bytes/ep", "FILA bytes/ep", "MINT bytes/ep",
-                            "FILA recall"});
-  for (double sigma : {0.05, 0.2, 0.8, 2.0, 5.0}) {
-    auto make_gen = [&] {
-      return data::RandomWalkGenerator(kNodes, data::Modality::kSound, sigma,
-                                       util::Rng(kSeed + 1), /*quantize_step=*/1.0);
-    };
-    auto tag_bed = bench::Bed::Grid(kNodes, 4, kSeed);
-    auto tag_gen = make_gen();
-    core::TagTopK tag(tag_bed.net.get(), &tag_gen, spec);
-    auto tag_run = bench::RunSnapshot(tag, *tag_bed.net, nullptr, kEpochs);
-
-    auto fila_bed = bench::Bed::Grid(kNodes, 4, kSeed);
-    auto fila_gen = make_gen();
-    auto fila_oracle_gen = make_gen();
-    core::Oracle fila_oracle(&fila_bed.topology, &fila_oracle_gen, spec);
-    core::Fila fila(fila_bed.net.get(), &fila_gen, spec);
-    auto fila_run = bench::RunSnapshot(fila, *fila_bed.net, &fila_oracle, kEpochs);
-
-    auto mint_bed = bench::Bed::Grid(kNodes, 4, kSeed);
-    auto mint_gen = make_gen();
-    core::MintViews mint(mint_bed.net.get(), &mint_gen, spec);
-    auto mint_run = bench::RunSnapshot(mint, *mint_bed.net, nullptr, kEpochs);
-
-    table.AddRow(std::vector<std::string>{
-        util::FormatDouble(sigma, 2), util::FormatDouble(tag_run.MsgsPerEpoch(), 1),
-        util::FormatDouble(fila_run.MsgsPerEpoch(), 1),
-        util::FormatDouble(mint_run.MsgsPerEpoch(), 1),
-        util::FormatDouble(tag_run.BytesPerEpoch(), 0),
-        util::FormatDouble(fila_run.BytesPerEpoch(), 0),
-        util::FormatDouble(mint_run.BytesPerEpoch(), 0),
-        util::FormatDouble(100.0 * fila_run.mean_recall, 1) + "%"});
-  }
-  table.Print(std::cout);
-  std::printf("\nFILA monitors the top-k *set* (values may lag inside filters); MINT and\n"
-              "TAG report exact values every epoch.\n");
-  return 0;
+          auto make_gen = [&] {
+            return data::RandomWalkGenerator(nodes, data::Modality::kSound, sigma,
+                                             util::Rng(seed + 1), /*quantize_step=*/1.0);
+          };
+          auto bed = Bed::Grid(nodes, 4, seed);
+          auto gen = make_gen();
+          std::unique_ptr<core::Oracle> oracle;
+          auto oracle_gen = make_gen();
+          if (AlgoIsApproximate(algo)) {
+            oracle = std::make_unique<core::Oracle>(&bed.topology, &oracle_gen, spec);
+          }
+          auto algorithm = MakeSnapshotAlgo(algo, bed.net.get(), &gen, spec);
+          SnapshotRun run = RunSnapshot(*algorithm, *bed.net, oracle.get(), epochs);
+          return SnapshotMetrics(run);
+        };
+        trials.push_back(std::move(t));
+      }
+    }
+    return trials;
+  };
+  RegisterOrDie(registry, std::move(s));
 }
+
+}  // namespace kspot::bench

@@ -4,25 +4,20 @@
 /// strawman), (b) local window aggregation + TAG, and (c) local window
 /// aggregation + MINT — the KSpot configuration. Expected shape: local
 /// aggregation alone collapses cost by ~W; MINT prunes further.
-#include <cstdio>
-#include <iostream>
+#include <optional>
 
 #include "bench_util.hpp"
-#include "core/mint.hpp"
-#include "core/tag.hpp"
 #include "data/windowed.hpp"
+#include "scenarios.hpp"
 #include "sim/waves.hpp"
-#include "util/string_util.hpp"
-#include "util/table_printer.hpp"
 
-using namespace kspot;
+namespace kspot::bench {
 
 namespace {
 
 /// The strawman: every epoch, every node relays its whole raw window
 /// (key u16 + value i32 per reading) to the sink, unmerged.
-uint64_t ShipWindowsBytesPerEpoch(bench::Bed& bed, data::DataGenerator& gen, size_t window,
-                                  size_t epochs) {
+uint64_t ShipWindowsBytesPerEpoch(Bed& bed, size_t window, size_t epochs) {
   using Entry = std::pair<uint16_t, int32_t>;
   using Msg = std::vector<Entry>;
   for (size_t e = 0; e < epochs; ++e) {
@@ -32,7 +27,6 @@ uint64_t ShipWindowsBytesPerEpoch(bench::Bed& bed, data::DataGenerator& gen, siz
       if (node != sim::kSinkId) {
         for (size_t t = 0; t < window; ++t) out.emplace_back(0, 0);
       }
-      (void)gen;
       return out;
     };
     auto bytes = [&](const Msg& m) -> size_t { return 5 + 6 * m.size(); };
@@ -43,48 +37,58 @@ uint64_t ShipWindowsBytesPerEpoch(bench::Bed& bed, data::DataGenerator& gen, siz
 
 }  // namespace
 
-int main() {
-  bench::Banner("E11", "WITH HISTORY horizontal queries: local filtering savings");
-  const size_t kNodes = 49;
-  const size_t kRooms = 8;
-  const size_t kEpochs = 40;
-  const uint64_t kSeed = 31;
+void RegisterHistoryLocal(runner::ScenarioRegistry& registry) {
+  runner::Scenario s;
+  s.name = "history_local";
+  s.id = "E11";
+  s.title = "WITH HISTORY horizontal queries: local filtering savings";
+  s.notes =
+      "Local search+filtering turns O(W) tuples per node per epoch into one\n"
+      "aggregate; window smoothing additionally stabilizes values, which MINT's\n"
+      "suppression exploits.";
+  s.make_trials = [](const runner::SweepOptions& opt) {
+    const size_t nodes = 49;
+    const size_t rooms = 8;
+    const size_t epochs = opt.quick ? 10 : 40;
+    const uint64_t seed = opt.seed != 0 ? opt.seed : 31;
+    const std::vector<size_t> windows = opt.quick ? std::vector<size_t>{8, 32}
+                                                  : std::vector<size_t>{8, 32, 128};
 
-  core::QuerySpec spec;
-  spec.k = 2;
-  spec.agg = agg::AggKind::kAvg;
-  spec.grouping = core::Grouping::kRoom;
-  spec.domain_max = 100.0;
-
-  util::TablePrinter table({"W", "ship-windows bytes/ep", "local+TAG bytes/ep",
-                            "local+MINT bytes/ep", "MINT vs ship savings"});
-  for (size_t window : {8, 32, 128}) {
-    auto ship_bed = bench::Bed::Clustered(kNodes, kRooms, kSeed);
-    auto ship_gen = ship_bed.RoomData(kSeed);
-    uint64_t ship = ShipWindowsBytesPerEpoch(ship_bed, *ship_gen, window, 5);
-
-    auto tag_bed = bench::Bed::Clustered(kNodes, kRooms, kSeed);
-    auto tag_inner = tag_bed.RoomData(kSeed);
-    data::WindowAggregateGenerator tag_gen(tag_inner.get(), kNodes, window, spec.agg);
-    core::TagTopK tag(tag_bed.net.get(), &tag_gen, spec);
-    auto tag_run = bench::RunSnapshot(tag, *tag_bed.net, nullptr, kEpochs);
-
-    auto mint_bed = bench::Bed::Clustered(kNodes, kRooms, kSeed);
-    auto mint_inner = mint_bed.RoomData(kSeed);
-    data::WindowAggregateGenerator mint_gen(mint_inner.get(), kNodes, window, spec.agg);
-    core::MintViews mint(mint_bed.net.get(), &mint_gen, spec);
-    auto mint_run = bench::RunSnapshot(mint, *mint_bed.net, nullptr, kEpochs);
-
-    double savings = 100.0 * (1.0 - mint_run.BytesPerEpoch() / static_cast<double>(ship));
-    table.AddRow(std::vector<std::string>{
-        std::to_string(window), std::to_string(ship),
-        util::FormatDouble(tag_run.BytesPerEpoch(), 0),
-        util::FormatDouble(mint_run.BytesPerEpoch(), 0),
-        util::FormatDouble(savings, 1) + "%"});
-  }
-  table.Print(std::cout);
-  std::printf("\nLocal search+filtering turns O(W) tuples per node per epoch into one\n"
-              "aggregate; window smoothing additionally stabilizes values, which MINT's\n"
-              "suppression exploits.\n");
-  return 0;
+    std::vector<runner::Trial> trials;
+    for (size_t window : windows) {
+      {
+        runner::Trial t;
+        t.spec.algorithm = "ship-windows";
+        t.spec.seed = seed;
+        t.spec.params = {{"window", std::to_string(window)}};
+        t.run = [=]() -> runner::MetricList {
+          auto bed = Bed::Clustered(nodes, rooms, seed);
+          uint64_t ship = ShipWindowsBytesPerEpoch(bed, window, 5);
+          return {{"bytes_per_epoch", static_cast<double>(ship)}};
+        };
+        trials.push_back(std::move(t));
+      }
+      for (SnapshotAlgo algo : {SnapshotAlgo::kTag, SnapshotAlgo::kMint}) {
+        runner::Trial t;
+        t.spec.algorithm = std::string("local+") + AlgoName(algo);
+        t.spec.seed = seed;
+        t.spec.params = {{"window", std::to_string(window)}};
+        t.run = [=]() -> runner::MetricList {
+          core::QuerySpec spec = RoomAvgSpec(2);
+          auto bed = Bed::Clustered(nodes, rooms, seed);
+          auto inner = bed.RoomData(seed);
+          data::WindowAggregateGenerator gen(inner.get(), nodes, window, spec.agg);
+          auto algorithm = MakeSnapshotAlgo(algo, bed.net.get(), &gen, spec);
+          SnapshotRun run = RunSnapshot(*algorithm, *bed.net, nullptr, epochs);
+          return {{"bytes_per_epoch", run.BytesPerEpoch()},
+                  {"msgs_per_epoch", run.MsgsPerEpoch()}};
+        };
+        trials.push_back(std::move(t));
+      }
+    }
+    return trials;
+  };
+  RegisterOrDie(registry, std::move(s));
 }
+
+}  // namespace kspot::bench

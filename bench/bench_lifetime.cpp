@@ -3,78 +3,57 @@
 /// (the standard WSN lifetime metric). Expected shape: MINT's suppression
 /// extends lifetime by a factor comparable to its energy savings, with the
 /// sink's children being the first casualties under TAG.
-#include <cstdio>
-#include <iostream>
-
 #include "bench_util.hpp"
-#include "core/mint.hpp"
-#include "core/tag.hpp"
+#include "scenarios.hpp"
 #include "util/string_util.hpp"
-#include "util/table_printer.hpp"
 
-using namespace kspot;
+namespace kspot::bench {
 
-namespace {
+void RegisterLifetime(runner::ScenarioRegistry& registry) {
+  runner::Scenario s;
+  s.name = "lifetime";
+  s.id = "E5";
+  s.title = "network lifetime with 0.2 J radio budgets (n=100, 16 rooms, K=3)";
+  s.notes =
+      "first_death_epoch is the standard WSN lifetime metric; the ratio between the\n"
+      "MINT and TAG rows is the lifetime extension factor.";
+  s.make_trials = [](const runner::SweepOptions& opt) {
+    const size_t nodes = 100;
+    const size_t rooms = 16;
+    const size_t max_epochs = opt.quick ? 4000 : 40000;
+    const double battery_j = opt.quick ? 0.02 : 0.2;
+    const uint64_t seed = opt.seed != 0 ? opt.seed : 13;
 
-struct LifetimeResult {
-  size_t first_death_epoch;
-  size_t alive_after;
-  double total_energy_j;
-};
-
-template <typename Algo>
-LifetimeResult RunUntilFirstDeath(bench::Bed& bed, data::DataGenerator& gen,
-                                  const core::QuerySpec& spec, size_t max_epochs) {
-  Algo algo(bed.net.get(), &gen, spec);
-  size_t n = bed.topology.num_nodes();
-  for (size_t e = 0; e < max_epochs; ++e) {
-    algo.RunEpoch(static_cast<sim::Epoch>(e));
-    if (bed.net->AliveCount() < n) {
-      return {e, bed.net->AliveCount(), bed.net->total().energy_j()};
+    std::vector<runner::Trial> trials;
+    for (SnapshotAlgo algo : {SnapshotAlgo::kTag, SnapshotAlgo::kMint}) {
+      runner::Trial t;
+      t.spec.algorithm = AlgoName(algo);
+      t.spec.seed = seed;
+      t.spec.params = {{"battery_j", util::FormatDouble(battery_j, 2)}};
+      t.run = [=]() -> runner::MetricList {
+        core::QuerySpec spec = RoomAvgSpec(3);
+        sim::NetworkOptions net_opt;
+        net_opt.battery_j = battery_j;  // small budget so death occurs within the run
+        auto bed = Bed::Grid(nodes, rooms, seed, net_opt);
+        auto gen = bed.RoomData(seed);
+        auto algorithm = MakeSnapshotAlgo(algo, bed.net.get(), gen.get(), spec);
+        size_t first_death = max_epochs;
+        for (size_t e = 0; e < max_epochs; ++e) {
+          algorithm->RunEpoch(static_cast<sim::Epoch>(e));
+          if (bed.net->AliveCount() < nodes) {
+            first_death = e;
+            break;
+          }
+        }
+        return {{"first_death_epoch", static_cast<double>(first_death)},
+                {"alive_after", static_cast<double>(bed.net->AliveCount())},
+                {"energy_spent_j", bed.net->total().energy_j()}};
+      };
+      trials.push_back(std::move(t));
     }
-  }
-  return {max_epochs, bed.net->AliveCount(), bed.net->total().energy_j()};
+    return trials;
+  };
+  RegisterOrDie(registry, std::move(s));
 }
 
-}  // namespace
-
-int main() {
-  bench::Banner("E5", "network lifetime with 0.2 J radio budgets (n=100, 16 rooms, K=3)");
-  const size_t kNodes = 100;
-  const size_t kRooms = 16;
-  const size_t kMaxEpochs = 40000;
-  const uint64_t kSeed = 13;
-
-  core::QuerySpec spec;
-  spec.k = 3;
-  spec.agg = agg::AggKind::kAvg;
-  spec.grouping = core::Grouping::kRoom;
-  spec.domain_max = 100.0;
-
-  sim::NetworkOptions opt;
-  opt.battery_j = 0.2;  // small budget so death occurs within the run
-
-  util::TablePrinter table(
-      {"algorithm", "first death (epoch)", "alive after", "energy spent (J)"});
-
-  auto tag_bed = bench::Bed::Grid(kNodes, kRooms, kSeed, opt);
-  auto tag_gen = tag_bed.RoomData(kSeed);
-  LifetimeResult tag = RunUntilFirstDeath<core::TagTopK>(tag_bed, *tag_gen, spec, kMaxEpochs);
-  table.AddRow(std::vector<std::string>{"TAG", std::to_string(tag.first_death_epoch),
-                                        std::to_string(tag.alive_after),
-                                        util::FormatDouble(tag.total_energy_j, 2)});
-
-  auto mint_bed = bench::Bed::Grid(kNodes, kRooms, kSeed, opt);
-  auto mint_gen = mint_bed.RoomData(kSeed);
-  LifetimeResult mint =
-      RunUntilFirstDeath<core::MintViews>(mint_bed, *mint_gen, spec, kMaxEpochs);
-  table.AddRow(std::vector<std::string>{"MINT", std::to_string(mint.first_death_epoch),
-                                        std::to_string(mint.alive_after),
-                                        util::FormatDouble(mint.total_energy_j, 2)});
-
-  table.Print(std::cout);
-  std::printf("\nLifetime extension: %.2fx (epochs until first node death).\n",
-              static_cast<double>(mint.first_death_epoch) /
-                  static_cast<double>(std::max<size_t>(1, tag.first_death_epoch)));
-  return 0;
-}
+}  // namespace kspot::bench

@@ -3,70 +3,69 @@
 /// for TAG and MINT. Expected shape: recall degrades gracefully with loss;
 /// retries buy recall back at a transmission premium; MINT's view caches
 /// make it somewhat more sensitive to loss than stateless TAG.
-#include <cstdio>
-#include <iostream>
-
 #include "bench_util.hpp"
-#include "core/mint.hpp"
-#include "core/tag.hpp"
-#include "util/string_util.hpp"
-#include "util/table_printer.hpp"
+#include "scenarios.hpp"
 
-using namespace kspot;
+namespace kspot::bench {
 
-int main() {
-  bench::Banner("E10", "recall & cost vs frame loss (n=49, 12 rooms, K=3, 50 epochs)");
-  const size_t kNodes = 49;
-  const size_t kRooms = 12;
-  const size_t kEpochs = 50;
-  const uint64_t kSeed = 29;
+void RegisterLoss(runner::ScenarioRegistry& registry) {
+  runner::Scenario s;
+  s.name = "loss";
+  s.id = "E10";
+  s.title = "recall & cost vs frame loss (n=49, 12 rooms, K=3, 50 epochs)";
+  s.make_trials = [](const runner::SweepOptions& opt) {
+    const size_t nodes = 49;
+    const size_t rooms = 12;
+    const size_t epochs = opt.quick ? 10 : 50;
+    const uint64_t seed = opt.seed != 0 ? opt.seed : 29;
 
-  core::QuerySpec spec;
-  spec.k = 3;
-  spec.agg = agg::AggKind::kAvg;
-  spec.grouping = core::Grouping::kRoom;
-  spec.domain_max = 100.0;
+    struct LossCase {
+      const char* label;
+      double iid;
+      double edge;
+    };
+    const std::vector<LossCase> cases =
+        opt.quick ? std::vector<LossCase>{{"0%", 0.0, 0.0}, {"10% iid", 0.1, 0.0}}
+                  : std::vector<LossCase>{{"0%", 0.0, 0.0},
+                                          {"5% iid", 0.05, 0.0},
+                                          {"10% iid", 0.1, 0.0},
+                                          {"20% iid", 0.2, 0.0},
+                                          {"gray zone", 0.0, 0.5}};
 
-  util::TablePrinter table({"loss model", "retries", "TAG recall", "MINT recall",
-                            "TAG msgs/ep", "MINT msgs/ep"});
-  struct LossCase {
-    const char* label;
-    double iid;
-    double edge;
-  };
-  const LossCase kCases[] = {
-      {"0%", 0.0, 0.0},         {"5% iid", 0.05, 0.0},  {"10% iid", 0.1, 0.0},
-      {"20% iid", 0.2, 0.0},    {"gray zone", 0.0, 0.5}};
-  for (const LossCase& c : kCases) {
-    for (int retries : {0, 3}) {
-      if (c.iid == 0.0 && c.edge == 0.0 && retries > 0) continue;
-      sim::NetworkOptions opt;
-      opt.loss_prob = c.iid;
-      opt.edge_max_loss = c.edge;
-      opt.max_retries = retries;
-
-      auto tag_bed = bench::Bed::Clustered(kNodes, kRooms, kSeed, opt);
-      auto tag_gen = tag_bed.RoomData(kSeed);
-      auto tag_oracle_gen = tag_bed.RoomData(kSeed);
-      core::Oracle tag_oracle(&tag_bed.topology, tag_oracle_gen.get(), spec);
-      core::TagTopK tag(tag_bed.net.get(), tag_gen.get(), spec);
-      auto tag_run = bench::RunSnapshot(tag, *tag_bed.net, &tag_oracle, kEpochs);
-
-      auto mint_bed = bench::Bed::Clustered(kNodes, kRooms, kSeed, opt);
-      auto mint_gen = mint_bed.RoomData(kSeed);
-      auto mint_oracle_gen = mint_bed.RoomData(kSeed);
-      core::Oracle mint_oracle(&mint_bed.topology, mint_oracle_gen.get(), spec);
-      core::MintViews mint(mint_bed.net.get(), mint_gen.get(), spec);
-      auto mint_run = bench::RunSnapshot(mint, *mint_bed.net, &mint_oracle, kEpochs);
-
-      table.AddRow(std::vector<std::string>{
-          c.label, std::to_string(retries),
-          util::FormatDouble(100.0 * tag_run.mean_recall, 1) + "%",
-          util::FormatDouble(100.0 * mint_run.mean_recall, 1) + "%",
-          util::FormatDouble(tag_run.MsgsPerEpoch(), 1),
-          util::FormatDouble(mint_run.MsgsPerEpoch(), 1)});
+    std::vector<runner::Trial> trials;
+    for (const LossCase& c : cases) {
+      for (int retries : {0, 3}) {
+        if (c.iid == 0.0 && c.edge == 0.0 && retries > 0) continue;
+        for (SnapshotAlgo algo : {SnapshotAlgo::kTag, SnapshotAlgo::kMint}) {
+          runner::Trial t;
+          t.spec.algorithm = AlgoName(algo);
+          t.spec.seed = seed;
+          t.spec.params = {{"loss_model", c.label}, {"retries", std::to_string(retries)}};
+          double iid = c.iid;
+          double edge = c.edge;
+          t.run = [=]() -> runner::MetricList {
+            core::QuerySpec spec = RoomAvgSpec(3);
+            sim::NetworkOptions net_opt;
+            net_opt.loss_prob = iid;
+            net_opt.edge_max_loss = edge;
+            net_opt.max_retries = retries;
+            auto bed = Bed::Clustered(nodes, rooms, seed, net_opt);
+            auto gen = bed.RoomData(seed);
+            // Under loss even the exact algorithms can miss answers, so every
+            // trial tracks recall against the oracle.
+            auto oracle_gen = bed.RoomData(seed);
+            core::Oracle oracle(&bed.topology, oracle_gen.get(), spec);
+            auto algorithm = MakeSnapshotAlgo(algo, bed.net.get(), gen.get(), spec);
+            SnapshotRun run = RunSnapshot(*algorithm, *bed.net, &oracle, epochs);
+            return SnapshotMetrics(run);
+          };
+          trials.push_back(std::move(t));
+        }
+      }
     }
-  }
-  table.Print(std::cout);
-  return 0;
+    return trials;
+  };
+  RegisterOrDie(registry, std::move(s));
 }
+
+}  // namespace kspot::bench

@@ -2,6 +2,11 @@
 /// partial-aggregate merging, group-view ranking, the wire codec, Bloom
 /// filter probes, the RNG, and MicroHash top-k scans. These bound the CPU
 /// cost a mote-class port would pay per epoch.
+///
+/// Unlike the E* experiments this is not a registry Scenario: it measures
+/// nanosecond-scale primitives, not sweep grids, so it stays on the
+/// google-benchmark harness. CMake builds it as `kspot_microbench` when the
+/// benchmark package is available and skips it quietly otherwise.
 #include <benchmark/benchmark.h>
 
 #include "agg/group_view.hpp"

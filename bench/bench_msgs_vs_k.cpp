@@ -3,64 +3,54 @@
 /// (wrong answers) and MINT, on a 100-node grid with 16 rooms. The expected
 /// shape: MINT's advantage is largest for small K and shrinks as K
 /// approaches the number of groups.
-#include <cstdio>
-#include <iostream>
-
 #include "bench_util.hpp"
-#include "core/mint.hpp"
-#include "core/naive.hpp"
-#include "core/tag.hpp"
-#include "util/string_util.hpp"
-#include "util/table_printer.hpp"
+#include "scenarios.hpp"
 
-using namespace kspot;
+namespace kspot::bench {
 
-int main() {
-  bench::Banner("E3", "messages & bytes per epoch vs K (n=100, 16 rooms, 60 epochs)");
-  const size_t kNodes = 100;
-  const size_t kRooms = 16;
-  const size_t kEpochs = 60;
-  const uint64_t kSeed = 7;
+void RegisterMsgsVsK(runner::ScenarioRegistry& registry) {
+  runner::Scenario s;
+  s.name = "msgs_vs_k";
+  s.id = "E3";
+  s.title = "messages & bytes per epoch vs K (n=100, 16 rooms, 60 epochs)";
+  s.notes =
+      "MINT and TAG are exact; Naive is cheap but its recall column shows the\n"
+      "price of wrongful local pruning (Section III-A).";
+  s.make_trials = [](const runner::SweepOptions& opt) {
+    const size_t nodes = 100;
+    const size_t rooms = 16;
+    const size_t epochs = opt.quick ? 10 : 60;
+    const uint64_t seed = opt.seed != 0 ? opt.seed : 7;
+    const std::vector<int> ks = opt.quick ? std::vector<int>{1, 4}
+                                          : std::vector<int>{1, 2, 4, 8, 16};
 
-  util::TablePrinter table({"K", "TAG msgs", "Naive msgs", "MINT msgs", "TAG bytes",
-                            "Naive bytes", "MINT bytes", "MINT savings", "Naive recall"});
-  for (int k : {1, 2, 4, 8, 16}) {
-    core::QuerySpec spec;
-    spec.k = k;
-    spec.agg = agg::AggKind::kAvg;
-    spec.grouping = core::Grouping::kRoom;
-    spec.domain_max = 100.0;
-
-    auto tag_bed = bench::Bed::Grid(kNodes, kRooms, kSeed);
-    auto tag_gen = tag_bed.RoomData(kSeed);
-    core::TagTopK tag(tag_bed.net.get(), tag_gen.get(), spec);
-    auto tag_run = bench::RunSnapshot(tag, *tag_bed.net, nullptr, kEpochs);
-
-    auto naive_bed = bench::Bed::Grid(kNodes, kRooms, kSeed);
-    auto naive_gen = naive_bed.RoomData(kSeed);
-    auto naive_oracle_gen = naive_bed.RoomData(kSeed);
-    core::Oracle naive_oracle(&naive_bed.topology, naive_oracle_gen.get(), spec);
-    core::NaiveTopK naive(naive_bed.net.get(), naive_gen.get(), spec);
-    auto naive_run = bench::RunSnapshot(naive, *naive_bed.net, &naive_oracle, kEpochs);
-
-    auto mint_bed = bench::Bed::Grid(kNodes, kRooms, kSeed);
-    auto mint_gen = mint_bed.RoomData(kSeed);
-    core::MintViews mint(mint_bed.net.get(), mint_gen.get(), spec);
-    auto mint_run = bench::RunSnapshot(mint, *mint_bed.net, nullptr, kEpochs);
-
-    double savings = 100.0 * (1.0 - mint_run.BytesPerEpoch() / tag_run.BytesPerEpoch());
-    table.AddRow(std::vector<std::string>{
-        std::to_string(k), util::FormatDouble(tag_run.MsgsPerEpoch(), 1),
-        util::FormatDouble(naive_run.MsgsPerEpoch(), 1),
-        util::FormatDouble(mint_run.MsgsPerEpoch(), 1),
-        util::FormatDouble(tag_run.BytesPerEpoch(), 0),
-        util::FormatDouble(naive_run.BytesPerEpoch(), 0),
-        util::FormatDouble(mint_run.BytesPerEpoch(), 0),
-        util::FormatDouble(savings, 1) + "%",
-        util::FormatDouble(100.0 * naive_run.mean_recall, 1) + "%"});
-  }
-  table.Print(std::cout);
-  std::printf("\nMINT and TAG are exact; Naive is cheap but its recall column shows the\n"
-              "price of wrongful local pruning (Section III-A).\n");
-  return 0;
+    std::vector<runner::Trial> trials;
+    for (int k : ks) {
+      for (SnapshotAlgo algo : {SnapshotAlgo::kTag, SnapshotAlgo::kNaive, SnapshotAlgo::kMint}) {
+        runner::Trial t;
+        t.spec.algorithm = AlgoName(algo);
+        t.spec.seed = seed;
+        t.spec.params = {{"k", std::to_string(k)}};
+        t.run = [=]() -> runner::MetricList {
+          core::QuerySpec spec = RoomAvgSpec(k);
+          auto bed = Bed::Grid(nodes, rooms, seed);
+          auto gen = bed.RoomData(seed);
+          std::unique_ptr<data::DataGenerator> oracle_gen;
+          std::unique_ptr<core::Oracle> oracle;
+          if (AlgoIsApproximate(algo)) {
+            oracle_gen = bed.RoomData(seed);
+            oracle = std::make_unique<core::Oracle>(&bed.topology, oracle_gen.get(), spec);
+          }
+          auto algorithm = MakeSnapshotAlgo(algo, bed.net.get(), gen.get(), spec);
+          SnapshotRun run = RunSnapshot(*algorithm, *bed.net, oracle.get(), epochs);
+          return SnapshotMetrics(run);
+        };
+        trials.push_back(std::move(t));
+      }
+    }
+    return trials;
+  };
+  RegisterOrDie(registry, std::move(s));
 }
+
+}  // namespace kspot::bench

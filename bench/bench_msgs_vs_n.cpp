@@ -2,53 +2,44 @@
 /// cost of TAG vs MINT as the deployment grows (K=5, rooms scale with n).
 /// Expected shape: both grow linearly in n, with MINT's bytes growing much
 /// slower because only candidate groups travel the upper tree.
-#include <cstdio>
-#include <iostream>
-
 #include "bench_util.hpp"
-#include "core/mint.hpp"
-#include "core/tag.hpp"
-#include "util/string_util.hpp"
-#include "util/table_printer.hpp"
+#include "scenarios.hpp"
 
-using namespace kspot;
+namespace kspot::bench {
 
-int main() {
-  bench::Banner("E4", "cost vs network size (K=5, 50 epochs, rooms ~ n/8)");
-  const size_t kEpochs = 50;
-  const uint64_t kSeed = 11;
+void RegisterMsgsVsN(runner::ScenarioRegistry& registry) {
+  runner::Scenario s;
+  s.name = "msgs_vs_n";
+  s.id = "E4";
+  s.title = "cost vs network size (K=5, 50 epochs, rooms ~ n/8)";
+  s.make_trials = [](const runner::SweepOptions& opt) {
+    const size_t epochs = opt.quick ? 10 : 50;
+    const uint64_t seed = opt.seed != 0 ? opt.seed : 11;
+    const std::vector<size_t> sizes = opt.quick ? std::vector<size_t>{25, 100}
+                                                : std::vector<size_t>{25, 49, 100, 196, 400};
 
-  util::TablePrinter table({"n", "rooms", "TAG msgs/ep", "MINT msgs/ep", "TAG bytes/ep",
-                            "MINT bytes/ep", "byte savings", "TAG mJ/ep", "MINT mJ/ep"});
-  for (size_t n : {25, 49, 100, 196, 400}) {
-    size_t rooms = std::max<size_t>(4, n / 8);
-    core::QuerySpec spec;
-    spec.k = 5;
-    spec.agg = agg::AggKind::kAvg;
-    spec.grouping = core::Grouping::kRoom;
-    spec.domain_max = 100.0;
-
-    auto tag_bed = bench::Bed::Grid(n, rooms, kSeed);
-    auto tag_gen = tag_bed.RoomData(kSeed);
-    core::TagTopK tag(tag_bed.net.get(), tag_gen.get(), spec);
-    auto tag_run = bench::RunSnapshot(tag, *tag_bed.net, nullptr, kEpochs);
-
-    auto mint_bed = bench::Bed::Grid(n, rooms, kSeed);
-    auto mint_gen = mint_bed.RoomData(kSeed);
-    core::MintViews mint(mint_bed.net.get(), mint_gen.get(), spec);
-    auto mint_run = bench::RunSnapshot(mint, *mint_bed.net, nullptr, kEpochs);
-
-    double savings = 100.0 * (1.0 - mint_run.BytesPerEpoch() / tag_run.BytesPerEpoch());
-    table.AddRow(std::vector<std::string>{
-        std::to_string(n), std::to_string(rooms),
-        util::FormatDouble(tag_run.MsgsPerEpoch(), 1),
-        util::FormatDouble(mint_run.MsgsPerEpoch(), 1),
-        util::FormatDouble(tag_run.BytesPerEpoch(), 0),
-        util::FormatDouble(mint_run.BytesPerEpoch(), 0),
-        util::FormatDouble(savings, 1) + "%",
-        util::FormatDouble(tag_run.EnergyPerEpochMilliJ(), 2),
-        util::FormatDouble(mint_run.EnergyPerEpochMilliJ(), 2)});
-  }
-  table.Print(std::cout);
-  return 0;
+    std::vector<runner::Trial> trials;
+    for (size_t n : sizes) {
+      size_t rooms = std::max<size_t>(4, n / 8);
+      for (SnapshotAlgo algo : {SnapshotAlgo::kTag, SnapshotAlgo::kMint}) {
+        runner::Trial t;
+        t.spec.algorithm = AlgoName(algo);
+        t.spec.seed = seed;
+        t.spec.params = {{"n", std::to_string(n)}, {"rooms", std::to_string(rooms)}};
+        t.run = [=]() -> runner::MetricList {
+          core::QuerySpec spec = RoomAvgSpec(5);
+          auto bed = Bed::Grid(n, rooms, seed);
+          auto gen = bed.RoomData(seed);
+          auto algorithm = MakeSnapshotAlgo(algo, bed.net.get(), gen.get(), spec);
+          SnapshotRun run = RunSnapshot(*algorithm, *bed.net, nullptr, epochs);
+          return SnapshotMetrics(run);
+        };
+        trials.push_back(std::move(t));
+      }
+    }
+    return trials;
+  };
+  RegisterOrDie(registry, std::move(s));
 }
+
+}  // namespace kspot::bench

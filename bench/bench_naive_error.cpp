@@ -1,62 +1,69 @@
 /// E9 — how often is the cheap-but-wrongful Naive local pruning actually
 /// wrong? Fraction of epochs with an incorrect top-k set / ranking across
 /// many random deployments, vs K. This motivates the gamma-descriptor
-/// machinery: the Figure-1 anomaly is not a corner case.
-#include <cstdio>
-#include <iostream>
-
+/// machinery: the Figure-1 anomaly is not a corner case. Each (K, topology)
+/// pair is its own trial, so the sweep parallelizes across deployments;
+/// aggregate the JSON per K to recover the paper-style summary table.
 #include "bench_util.hpp"
-#include "core/naive.hpp"
-#include "core/oracle.hpp"
-#include "util/string_util.hpp"
-#include "util/table_printer.hpp"
+#include "scenarios.hpp"
 
-using namespace kspot;
+namespace kspot::bench {
 
-int main() {
-  bench::Banner("E9", "Naive pruning error rate vs K (49 nodes, 16 rooms, 40 topologies)");
-  const size_t kNodes = 49;
-  const size_t kRooms = 16;
-  const size_t kEpochs = 10;
-  const size_t kTopologies = 40;
+void RegisterNaiveError(runner::ScenarioRegistry& registry) {
+  runner::Scenario s;
+  s.name = "naive_error";
+  s.id = "E9";
+  s.title = "Naive pruning error rate vs K (49 nodes, 16 rooms, random topologies)";
+  s.notes =
+      "wrong_ranking_rate counts value or order errors; wrong_set_rate counts epochs\n"
+      "where a true top-K group was missing entirely (the (D,76.5) failure).\n"
+      "Aggregate over the topology axis for the per-K error rates.";
+  s.make_trials = [](const runner::SweepOptions& opt) {
+    const size_t nodes = 49;
+    const size_t rooms = 16;
+    const size_t epochs = opt.quick ? 5 : 10;
+    const size_t topologies = opt.quick ? 6 : 40;
+    const uint64_t base_seed = opt.seed != 0 ? opt.seed : 1000;
+    const std::vector<int> ks = opt.quick ? std::vector<int>{1, 4}
+                                          : std::vector<int>{1, 2, 4, 8};
 
-  util::TablePrinter table({"K", "wrong-ranking epochs", "wrong-set epochs", "mean recall"});
-  for (int k : {1, 2, 4, 8}) {
-    core::QuerySpec spec;
-    spec.k = k;
-    spec.agg = agg::AggKind::kAvg;
-    spec.grouping = core::Grouping::kRoom;
-    spec.domain_max = 100.0;
-
-    size_t wrong_ranking = 0;
-    size_t wrong_set = 0;
-    size_t total = 0;
-    double recall_sum = 0.0;
-    for (uint64_t seed = 0; seed < kTopologies; ++seed) {
-      auto bed = bench::Bed::Clustered(kNodes, kRooms, 1000 + seed);
-      auto gen = bed.RoomData(seed, /*room_sigma=*/1.0, /*noise_sigma=*/4.0,
-                              /*global_sigma=*/0.0, /*quantize_step=*/0.0);
-      auto oracle_gen = bed.RoomData(seed, 1.0, 4.0, 0.0, 0.0);
-      core::Oracle oracle(&bed.topology, oracle_gen.get(), spec);
-      core::NaiveTopK naive(bed.net.get(), gen.get(), spec);
-      for (size_t e = 0; e < kEpochs; ++e) {
-        core::TopKResult got = naive.RunEpoch(static_cast<sim::Epoch>(e));
-        core::TopKResult want = oracle.TopK(static_cast<sim::Epoch>(e));
-        double recall = got.RecallAgainst(want);
-        wrong_ranking += !got.Matches(want);
-        wrong_set += recall < 1.0;
-        recall_sum += recall;
-        ++total;
+    std::vector<runner::Trial> trials;
+    for (int k : ks) {
+      for (uint64_t topo = 0; topo < topologies; ++topo) {
+        runner::Trial t;
+        t.spec.algorithm = "Naive";
+        t.spec.seed = base_seed + topo;
+        t.spec.params = {{"k", std::to_string(k)}, {"topology", std::to_string(topo)}};
+        t.run = [=]() -> runner::MetricList {
+          core::QuerySpec spec = RoomAvgSpec(k);
+          auto bed = Bed::Clustered(nodes, rooms, base_seed + topo);
+          auto gen = bed.RoomData(topo, /*room_sigma=*/1.0, /*noise_sigma=*/4.0,
+                                  /*global_sigma=*/0.0, /*quantize_step=*/0.0);
+          auto oracle_gen = bed.RoomData(topo, 1.0, 4.0, 0.0, 0.0);
+          core::Oracle oracle(&bed.topology, oracle_gen.get(), spec);
+          core::NaiveTopK naive(bed.net.get(), gen.get(), spec);
+          size_t wrong_ranking = 0;
+          size_t wrong_set = 0;
+          double recall_sum = 0.0;
+          for (size_t e = 0; e < epochs; ++e) {
+            core::TopKResult got = naive.RunEpoch(static_cast<sim::Epoch>(e));
+            core::TopKResult want = oracle.TopK(static_cast<sim::Epoch>(e));
+            double recall = got.RecallAgainst(want);
+            wrong_ranking += !got.Matches(want);
+            wrong_set += recall < 1.0;
+            recall_sum += recall;
+          }
+          double total = static_cast<double>(epochs);
+          return {{"wrong_ranking_rate", static_cast<double>(wrong_ranking) / total},
+                  {"wrong_set_rate", static_cast<double>(wrong_set) / total},
+                  {"mean_recall", recall_sum / total}};
+        };
+        trials.push_back(std::move(t));
       }
     }
-    table.AddRow(std::vector<std::string>{
-        std::to_string(k),
-        util::FormatDouble(100.0 * static_cast<double>(wrong_ranking) / total, 1) + "%",
-        util::FormatDouble(100.0 * static_cast<double>(wrong_set) / total, 1) + "%",
-        util::FormatDouble(100.0 * recall_sum / total, 1) + "%"});
-  }
-  table.Print(std::cout);
-  std::printf("\n'wrong ranking' counts value or order errors; 'wrong set' counts epochs\n"
-              "where a true top-K group was missing entirely (the (D,76.5) failure).\n");
-  return 0;
+    return trials;
+  };
+  RegisterOrDie(registry, std::move(s));
 }
+
+}  // namespace kspot::bench

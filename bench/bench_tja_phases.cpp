@@ -2,51 +2,55 @@
 /// union size o = |Lsink| as K grows, and the Bloom-filter compression
 /// ablation of the Lsink dissemination (the optimization of the original
 /// TJA paper). False positives cost extra HJ bytes but never correctness.
-#include <cstdio>
-#include <iostream>
-
 #include "bench_util.hpp"
 #include "core/tja.hpp"
-#include "util/string_util.hpp"
-#include "util/table_printer.hpp"
+#include "scenarios.hpp"
 
-using namespace kspot;
+namespace kspot::bench {
 
-namespace {
+void RegisterTjaPhases(runner::ScenarioRegistry& registry) {
+  runner::Scenario s;
+  s.name = "tja_phases";
+  s.id = "E7";
+  s.title = "TJA phase breakdown and Bloom ablation (n=100, W=256)";
+  s.notes =
+      "The Bloom variant compresses the downstream Lsink dissemination inside\n"
+      "the HJ phase; whether it wins depends on |Lsink| vs the filter size.";
+  s.make_trials = [](const runner::SweepOptions& opt) {
+    const size_t nodes = 100;
+    const size_t window = opt.quick ? 64 : 256;
+    const uint64_t seed = opt.seed != 0 ? opt.seed : 19;
+    const std::vector<int> ks = opt.quick ? std::vector<int>{1, 4}
+                                          : std::vector<int>{1, 4, 16};
 
-core::GeneratorHistory MakeHistory(const bench::Bed& bed, size_t window, uint64_t seed) {
-  return bench::MakeEventHistory(bed, window, seed);
-}
-
-}  // namespace
-
-int main() {
-  bench::Banner("E7", "TJA phase breakdown and Bloom ablation (n=100, W=256)");
-  const uint64_t kSeed = 19;
-  const size_t kWindow = 256;
-
-  util::TablePrinter table({"K", "bloom", "LB bytes", "HJ bytes", "total", "|Lsink|",
-                            "rounds"});
-  for (int k : {1, 4, 16}) {
-    for (bool bloom : {false, true}) {
-      auto bed = bench::Bed::Grid(100, 4, kSeed);
-      auto history = MakeHistory(bed, kWindow, kSeed);
-      core::HistoricOptions opt;
-      opt.k = k;
-      opt.use_bloom = bloom;
-      opt.bloom_fpr = 0.05;
-      core::Tja tja(bed.net.get(), &history, opt);
-      auto result = tja.Run();
-      table.AddRow(std::vector<std::string>{
-          std::to_string(k), bloom ? "yes" : "no",
-          std::to_string(bed.net->PhaseTotal("tja.lb").payload_bytes),
-          std::to_string(bed.net->PhaseTotal("tja.hj").payload_bytes),
-          std::to_string(bed.net->total().payload_bytes), std::to_string(result.lsink_size),
-          std::to_string(result.rounds)});
+    std::vector<runner::Trial> trials;
+    for (int k : ks) {
+      for (bool bloom : {false, true}) {
+        runner::Trial t;
+        t.spec.algorithm = "TJA";
+        t.spec.seed = seed;
+        t.spec.params = {{"k", std::to_string(k)}, {"bloom", bloom ? "yes" : "no"}};
+        t.run = [=]() -> runner::MetricList {
+          auto bed = Bed::Grid(nodes, 4, seed);
+          auto history = MakeEventHistory(bed, window, seed);
+          core::HistoricOptions hopt;
+          hopt.k = k;
+          hopt.use_bloom = bloom;
+          hopt.bloom_fpr = 0.05;
+          core::Tja tja(bed.net.get(), &history, hopt);
+          auto result = tja.Run();
+          return {{"lb_bytes", static_cast<double>(bed.net->PhaseTotal("tja.lb").payload_bytes)},
+                  {"hj_bytes", static_cast<double>(bed.net->PhaseTotal("tja.hj").payload_bytes)},
+                  {"total_bytes", static_cast<double>(bed.net->total().payload_bytes)},
+                  {"lsink_size", static_cast<double>(result.lsink_size)},
+                  {"rounds", static_cast<double>(result.rounds)}};
+        };
+        trials.push_back(std::move(t));
+      }
     }
-  }
-  table.Print(std::cout);
-  std::printf("\nThe Bloom variant compresses the downstream Lsink dissemination inside\n"
-              "the HJ phase; whether it wins depends on |Lsink| vs the filter size.\n");
-  return 0;
+    return trials;
+  };
+  RegisterOrDie(registry, std::move(s));
 }
+
+}  // namespace kspot::bench

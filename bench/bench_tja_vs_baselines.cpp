@@ -4,73 +4,104 @@
 /// keys) and CJA (raw centralized shipping). Expected shape: CJA >> TAG-H >
 /// TPUT > TJA, with TJA's advantage growing with the window and shrinking
 /// as K grows toward W.
-#include <cstdio>
-#include <iostream>
-
 #include "bench_util.hpp"
 #include "core/centralized.hpp"
 #include "core/tja.hpp"
 #include "core/tput.hpp"
-#include "util/string_util.hpp"
-#include "util/table_printer.hpp"
+#include "scenarios.hpp"
 
-using namespace kspot;
+namespace kspot::bench {
 
 namespace {
 
-/// Temporally correlated history: a building-wide walk + per-sensor noise on
-/// an integer grid (hot instants shared across nodes — TJA's regime).
-core::GeneratorHistory MakeHistory(const bench::Bed& bed, size_t window, uint64_t seed) {
-  return bench::MakeEventHistory(bed, window, seed);
+enum class HistoricAlgo { kTja, kTput, kTagH, kCja };
+
+const char* HistoricAlgoName(HistoricAlgo algo) {
+  switch (algo) {
+    case HistoricAlgo::kTja: return "TJA";
+    case HistoricAlgo::kTput: return "TPUT";
+    case HistoricAlgo::kTagH: return "TAG-H";
+    case HistoricAlgo::kCja: return "CJA";
+  }
+  return "?";
 }
 
 }  // namespace
 
-int main() {
-  bench::Banner("E6", "historic top-k bytes: TJA vs TPUT vs TAG-H vs CJA");
-  const uint64_t kSeed = 17;
+void RegisterTjaVsBaselines(runner::ScenarioRegistry& registry) {
+  runner::Scenario s;
+  s.name = "tja_vs_baselines";
+  s.id = "E6";
+  s.title = "historic top-k bytes: TJA vs TPUT vs TAG-H vs CJA";
+  s.notes =
+      "One-shot historic queries over buffered windows; lsink_size and rounds are\n"
+      "only reported by TJA.";
+  s.make_trials = [](const runner::SweepOptions& opt) {
+    const uint64_t seed = opt.seed != 0 ? opt.seed : 17;
+    const std::vector<size_t> sizes = opt.quick ? std::vector<size_t>{25}
+                                                : std::vector<size_t>{25, 100};
+    const std::vector<size_t> windows = opt.quick ? std::vector<size_t>{64}
+                                                  : std::vector<size_t>{64, 256};
+    const std::vector<int> ks = opt.quick ? std::vector<int>{1, 4}
+                                          : std::vector<int>{1, 2, 4, 8, 16};
 
-  for (size_t n : {25, 100}) {
-    for (size_t window : {64, 256}) {
-      std::printf("\n--- n=%zu sensors+sink, window W=%zu ---\n", n, window);
-      util::TablePrinter table({"K", "TJA bytes", "TPUT bytes", "TAG-H bytes", "CJA bytes",
-                                "TJA/TAG-H", "|Lsink|", "rounds"});
-      for (int k : {1, 2, 4, 8, 16}) {
-        core::HistoricOptions opt;
-        opt.k = k;
-
-        auto tja_bed = bench::Bed::Grid(n, 4, kSeed);
-        auto h1 = MakeHistory(tja_bed, window, kSeed);
-        core::Tja tja(tja_bed.net.get(), &h1, opt);
-        auto tja_result = tja.Run();
-
-        auto tput_bed = bench::Bed::Grid(n, 4, kSeed);
-        auto h2 = MakeHistory(tput_bed, window, kSeed);
-        core::Tput tput(tput_bed.net.get(), &h2, opt);
-        tput.Run();
-
-        auto tagh_bed = bench::Bed::Grid(n, 4, kSeed);
-        auto h3 = MakeHistory(tagh_bed, window, kSeed);
-        core::TagHistoric tagh(tagh_bed.net.get(), &h3, opt);
-        tagh.Run();
-
-        auto cja_bed = bench::Bed::Grid(n, 4, kSeed);
-        auto h4 = MakeHistory(cja_bed, window, kSeed);
-        core::Cja cja(cja_bed.net.get(), &h4, opt);
-        cja.Run();
-
-        double ratio = static_cast<double>(tja_bed.net->total().payload_bytes) /
-                       static_cast<double>(tagh_bed.net->total().payload_bytes);
-        table.AddRow(std::vector<std::string>{
-            std::to_string(k), std::to_string(tja_bed.net->total().payload_bytes),
-            std::to_string(tput_bed.net->total().payload_bytes),
-            std::to_string(tagh_bed.net->total().payload_bytes),
-            std::to_string(cja_bed.net->total().payload_bytes),
-            util::FormatDouble(ratio, 2), std::to_string(tja_result.lsink_size),
-            std::to_string(tja_result.rounds)});
+    std::vector<runner::Trial> trials;
+    for (size_t n : sizes) {
+      for (size_t window : windows) {
+        for (int k : ks) {
+          for (HistoricAlgo algo :
+               {HistoricAlgo::kTja, HistoricAlgo::kTput, HistoricAlgo::kTagH,
+                HistoricAlgo::kCja}) {
+            runner::Trial t;
+            t.spec.algorithm = HistoricAlgoName(algo);
+            t.spec.seed = seed;
+            t.spec.params = {{"n", std::to_string(n)},
+                             {"window", std::to_string(window)},
+                             {"k", std::to_string(k)}};
+            t.run = [=]() -> runner::MetricList {
+              auto bed = Bed::Grid(n, 4, seed);
+              auto history = MakeEventHistory(bed, window, seed);
+              core::HistoricOptions hopt;
+              hopt.k = k;
+              runner::MetricList metrics;
+              switch (algo) {
+                case HistoricAlgo::kTja: {
+                  core::Tja tja(bed.net.get(), &history, hopt);
+                  auto result = tja.Run();
+                  metrics.emplace_back("lsink_size", static_cast<double>(result.lsink_size));
+                  metrics.emplace_back("rounds", static_cast<double>(result.rounds));
+                  break;
+                }
+                case HistoricAlgo::kTput: {
+                  core::Tput tput(bed.net.get(), &history, hopt);
+                  tput.Run();
+                  break;
+                }
+                case HistoricAlgo::kTagH: {
+                  core::TagHistoric tagh(bed.net.get(), &history, hopt);
+                  tagh.Run();
+                  break;
+                }
+                case HistoricAlgo::kCja: {
+                  core::Cja cja(bed.net.get(), &history, hopt);
+                  cja.Run();
+                  break;
+                }
+              }
+              metrics.emplace_back("total_bytes",
+                                   static_cast<double>(bed.net->total().payload_bytes));
+              metrics.emplace_back("total_msgs",
+                                   static_cast<double>(bed.net->total().messages));
+              return metrics;
+            };
+            trials.push_back(std::move(t));
+          }
+        }
       }
-      table.Print(std::cout);
     }
-  }
-  return 0;
+    return trials;
+  };
+  RegisterOrDie(registry, std::move(s));
 }
+
+}  // namespace kspot::bench

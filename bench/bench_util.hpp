@@ -6,9 +6,14 @@
 #include <string>
 
 #include "core/epoch_algorithm.hpp"
+#include "core/fila.hpp"
 #include "core/history_source.hpp"
+#include "core/mint.hpp"
+#include "core/naive.hpp"
 #include "core/oracle.hpp"
+#include "core/tag.hpp"
 #include "data/generators.hpp"
+#include "runner/scenario.hpp"
 #include "sim/network.hpp"
 #include "sim/routing_tree.hpp"
 #include "sim/topology.hpp"
@@ -152,6 +157,58 @@ inline SnapshotRun RunSnapshot(core::EpochAlgorithm& algo, sim::Network& net,
 /// Prints the standard experiment banner.
 inline void Banner(const char* id, const char* title) {
   std::printf("\n=== %s: %s ===\n", id, title);
+}
+
+/// The continuous snapshot algorithms scenarios sweep over.
+enum class SnapshotAlgo { kTag, kNaive, kMint, kFila };
+
+/// Table/JSON label of an algorithm.
+inline const char* AlgoName(SnapshotAlgo algo) {
+  switch (algo) {
+    case SnapshotAlgo::kTag: return "TAG";
+    case SnapshotAlgo::kNaive: return "Naive";
+    case SnapshotAlgo::kMint: return "MINT";
+    case SnapshotAlgo::kFila: return "FILA";
+  }
+  return "?";
+}
+
+/// True when the algorithm can return inexact answers (so trials should
+/// track recall against the oracle).
+inline bool AlgoIsApproximate(SnapshotAlgo algo) {
+  return algo == SnapshotAlgo::kNaive || algo == SnapshotAlgo::kFila;
+}
+
+/// Instantiates an algorithm on an existing bed/generator.
+inline std::unique_ptr<core::EpochAlgorithm> MakeSnapshotAlgo(SnapshotAlgo algo,
+                                                              sim::Network* net,
+                                                              data::DataGenerator* gen,
+                                                              const core::QuerySpec& spec) {
+  switch (algo) {
+    case SnapshotAlgo::kTag: return std::make_unique<core::TagTopK>(net, gen, spec);
+    case SnapshotAlgo::kNaive: return std::make_unique<core::NaiveTopK>(net, gen, spec);
+    case SnapshotAlgo::kMint: return std::make_unique<core::MintViews>(net, gen, spec);
+    case SnapshotAlgo::kFila: return std::make_unique<core::Fila>(net, gen, spec);
+  }
+  return nullptr;
+}
+
+/// The common room-grouped AVG spec used across scenarios.
+inline core::QuerySpec RoomAvgSpec(int k, double domain_max = 100.0) {
+  core::QuerySpec spec;
+  spec.k = k;
+  spec.agg = agg::AggKind::kAvg;
+  spec.grouping = core::Grouping::kRoom;
+  spec.domain_max = domain_max;
+  return spec;
+}
+
+/// The standard per-trial metric set of a snapshot run.
+inline runner::MetricList SnapshotMetrics(const SnapshotRun& run) {
+  return {{"msgs_per_epoch", run.MsgsPerEpoch()},
+          {"bytes_per_epoch", run.BytesPerEpoch()},
+          {"energy_mj_per_epoch", run.EnergyPerEpochMilliJ()},
+          {"recall", run.mean_recall}};
 }
 
 }  // namespace kspot::bench

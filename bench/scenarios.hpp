@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "runner/scenario_registry.hpp"
+
+namespace kspot::bench {
+
+/// Registration failures (duplicate names, missing factories) are
+/// programming errors in the catalogue: abort loudly instead of silently
+/// dropping a scenario from --list/--all.
+inline void RegisterOrDie(runner::ScenarioRegistry& registry, runner::Scenario scenario) {
+  util::Status status = registry.Register(std::move(scenario));
+  if (!status.ok()) {
+    std::fprintf(stderr, "scenario registration failed: %s\n", status.message().c_str());
+    std::abort();
+  }
+}
+
+// One registration function per experiment (E1..E12). Each lives in the
+// bench_*.cpp translation unit that used to be the experiment's standalone
+// main; the kspot_bench CLI multiplexes over the registry.
+void RegisterFig1Scenario(runner::ScenarioRegistry& registry);        // E1
+void RegisterFig3GuiScenario(runner::ScenarioRegistry& registry);     // E2
+void RegisterMsgsVsK(runner::ScenarioRegistry& registry);             // E3
+void RegisterMsgsVsN(runner::ScenarioRegistry& registry);             // E4
+void RegisterLifetime(runner::ScenarioRegistry& registry);            // E5
+void RegisterTjaVsBaselines(runner::ScenarioRegistry& registry);      // E6
+void RegisterTjaPhases(runner::ScenarioRegistry& registry);           // E7
+void RegisterFilaVsMint(runner::ScenarioRegistry& registry);          // E8
+void RegisterNaiveError(runner::ScenarioRegistry& registry);          // E9
+void RegisterLoss(runner::ScenarioRegistry& registry);                // E10
+void RegisterHistoryLocal(runner::ScenarioRegistry& registry);        // E11
+void RegisterAblationMint(runner::ScenarioRegistry& registry);        // E12
+
+/// Registers every bench scenario.
+inline void RegisterAllScenarios(runner::ScenarioRegistry& registry) {
+  RegisterFig1Scenario(registry);
+  RegisterFig3GuiScenario(registry);
+  RegisterMsgsVsK(registry);
+  RegisterMsgsVsN(registry);
+  RegisterLifetime(registry);
+  RegisterTjaVsBaselines(registry);
+  RegisterTjaPhases(registry);
+  RegisterFilaVsMint(registry);
+  RegisterNaiveError(registry);
+  RegisterLoss(registry);
+  RegisterHistoryLocal(registry);
+  RegisterAblationMint(registry);
+}
+
+}  // namespace kspot::bench

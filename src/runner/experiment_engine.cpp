@@ -1,0 +1,96 @@
+#include "runner/experiment_engine.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <thread>
+#include <utility>
+
+namespace kspot::runner {
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+bool ScenarioRun::AllOk() const {
+  for (const TrialResult& t : trials) {
+    if (!t.ok) return false;
+  }
+  return true;
+}
+
+ExperimentEngine::ExperimentEngine(Options options) : options_(options) {
+  if (options_.threads == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    options_.threads = hw == 0 ? 1 : hw;
+  }
+}
+
+ScenarioRun ExperimentEngine::Run(const Scenario& scenario) const {
+  auto sweep_start = std::chrono::steady_clock::now();
+
+  ScenarioRun run;
+  run.name = scenario.name;
+  run.id = scenario.id;
+  run.title = scenario.title;
+  run.notes = scenario.notes;
+  run.quick = options_.quick;
+  run.seed = options_.seed;
+  run.threads = options_.threads;
+
+  SweepOptions sweep;
+  sweep.quick = options_.quick;
+  sweep.seed = options_.seed;
+  std::vector<Trial> trials = scenario.make_trials(sweep);
+
+  run.trials.resize(trials.size());
+  for (size_t i = 0; i < trials.size(); ++i) {
+    trials[i].spec.scenario = scenario.name;
+    trials[i].spec.index = i;
+    run.trials[i].spec = trials[i].spec;
+  }
+
+  // Work-stealing by atomic counter: workers claim the next unclaimed index
+  // and write into their own result slot, so the output order is the
+  // enumeration order regardless of scheduling.
+  std::atomic<size_t> next{0};
+  auto worker = [&] {
+    while (true) {
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= trials.size()) return;
+      TrialResult& result = run.trials[i];
+      auto trial_start = std::chrono::steady_clock::now();
+      try {
+        result.metrics = trials[i].run();
+        result.ok = true;
+      } catch (const std::exception& e) {
+        result.ok = false;
+        result.error = e.what();
+      } catch (...) {
+        result.ok = false;
+        result.error = "unknown exception";
+      }
+      result.wall_ms = MsSince(trial_start);
+    }
+  };
+
+  size_t pool = std::min(options_.threads, trials.size());
+  if (pool <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(pool);
+    for (size_t t = 0; t < pool; ++t) workers.emplace_back(worker);
+    for (std::thread& t : workers) t.join();
+  }
+
+  run.wall_ms = MsSince(sweep_start);
+  return run;
+}
+
+}  // namespace kspot::runner

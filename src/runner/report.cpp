@@ -1,0 +1,181 @@
+#include "runner/report.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/string_util.hpp"
+#include "util/table_printer.hpp"
+
+namespace kspot::runner {
+
+namespace {
+
+/// Column layout shared by every row: the union of param and metric names in
+/// first-seen order (trials of one scenario normally agree; stragglers just
+/// leave cells empty).
+struct Columns {
+  std::vector<std::string> params;
+  std::vector<std::string> metrics;
+  bool any_algorithm = false;
+  bool any_error = false;
+};
+
+Columns CollectColumns(const ScenarioRun& run) {
+  Columns cols;
+  auto add_unique = [](std::vector<std::string>& v, const std::string& name) {
+    for (const std::string& existing : v) {
+      if (existing == name) return;
+    }
+    v.push_back(name);
+  };
+  for (const TrialResult& t : run.trials) {
+    for (const auto& [name, value] : t.spec.params) add_unique(cols.params, name);
+    for (const auto& [name, value] : t.metrics) add_unique(cols.metrics, name);
+    cols.any_algorithm |= !t.spec.algorithm.empty();
+    cols.any_error |= !t.ok;
+  }
+  return cols;
+}
+
+std::string FormatMetric(double v) {
+  if (std::fabs(v - std::round(v)) < 1e-9 && std::fabs(v) < 1e15) {
+    return util::FormatDouble(v, 0);
+  }
+  return util::FormatDouble(v, std::fabs(v) < 1.0 ? 4 : 2);
+}
+
+std::string FindCell(const MetricList& metrics, const std::string& name) {
+  for (const auto& [n, v] : metrics) {
+    if (n == name) return FormatMetric(v);
+  }
+  return "";
+}
+
+std::string FindParam(const ParamList& params, const std::string& name) {
+  for (const auto& [n, v] : params) {
+    if (n == name) return v;
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string RenderTable(const ScenarioRun& run) {
+  std::ostringstream os;
+  os << "\n=== " << run.id << ": " << run.title << " ===\n";
+  if (run.quick) os << "(quick mode: reduced axes and epochs)\n";
+
+  Columns cols = CollectColumns(run);
+  std::vector<std::string> headers = cols.params;
+  if (cols.any_algorithm) headers.push_back("algorithm");
+  headers.insert(headers.end(), cols.metrics.begin(), cols.metrics.end());
+  // A dedicated column (not a metric cell) so failures stay visible even
+  // when no trial produced metrics at all.
+  if (cols.any_error) headers.push_back("error");
+
+  util::TablePrinter table(headers);
+  for (const TrialResult& t : run.trials) {
+    std::vector<std::string> row;
+    row.reserve(headers.size());
+    for (const std::string& p : cols.params) row.push_back(FindParam(t.spec.params, p));
+    if (cols.any_algorithm) row.push_back(t.spec.algorithm);
+    for (const std::string& m : cols.metrics) {
+      row.push_back(t.ok ? FindCell(t.metrics, m) : "");
+    }
+    if (cols.any_error) row.push_back(t.ok ? "" : "ERROR: " + t.error);
+    table.AddRow(std::move(row));
+  }
+  table.Print(os);
+
+  if (!run.notes.empty()) os << "\n" << run.notes << "\n";
+  os << "\n[" << run.trials.size() << " trials, " << run.threads << " thread"
+     << (run.threads == 1 ? "" : "s") << ", " << util::FormatDouble(run.wall_ms, 0)
+     << " ms]\n";
+  return os.str();
+}
+
+void WriteJson(const ScenarioRun& run, std::ostream& os) {
+  util::JsonWriter w(os);
+  w.BeginObject();
+  w.Key("schema_version");
+  w.Value(1);
+  w.Key("generator");
+  w.Value("kspot_bench");
+  w.Key("scenario");
+  w.Value(run.name);
+  w.Key("id");
+  w.Value(run.id);
+  w.Key("title");
+  w.Value(run.title);
+  w.Key("quick");
+  w.Value(run.quick);
+  w.Key("seed");
+  w.Value(static_cast<uint64_t>(run.seed));
+  w.Key("threads");
+  w.Value(static_cast<uint64_t>(run.threads));
+  w.Key("wall_ms");
+  w.Value(run.wall_ms);
+  w.Key("trial_count");
+  w.Value(static_cast<uint64_t>(run.trials.size()));
+  w.Key("trials");
+  w.BeginArray();
+  for (const TrialResult& t : run.trials) {
+    w.BeginObject();
+    w.Key("index");
+    w.Value(static_cast<uint64_t>(t.spec.index));
+    w.Key("algorithm");
+    w.Value(t.spec.algorithm);
+    w.Key("seed");
+    w.Value(static_cast<uint64_t>(t.spec.seed));
+    w.Key("params");
+    w.BeginObject();
+    for (const auto& [name, value] : t.spec.params) {
+      w.Key(name);
+      w.Value(value);
+    }
+    w.EndObject();
+    w.Key("metrics");
+    w.BeginObject();
+    for (const auto& [name, value] : t.metrics) {
+      w.Key(name);
+      w.Value(value);
+    }
+    w.EndObject();
+    w.Key("ok");
+    w.Value(t.ok);
+    if (!t.ok) {
+      w.Key("error");
+      w.Value(t.error);
+    }
+    w.Key("wall_ms");
+    w.Value(t.wall_ms);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  os << "\n";
+}
+
+std::string ToJsonString(const ScenarioRun& run) {
+  std::ostringstream os;
+  WriteJson(run, os);
+  return os.str();
+}
+
+util::Status WriteJsonFile(const ScenarioRun& run, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return util::Status::Error("cannot open '" + path + "' for writing");
+  WriteJson(run, out);
+  out.flush();
+  if (!out) return util::Status::Error("write to '" + path + "' failed");
+  return util::Status::Ok();
+}
+
+std::string DefaultJsonFileName(const std::string& scenario_name) {
+  return "BENCH_" + scenario_name + ".json";
+}
+
+}  // namespace kspot::runner

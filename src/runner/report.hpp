@@ -1,0 +1,41 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "runner/experiment_engine.hpp"
+#include "util/status.hpp"
+
+namespace kspot::runner {
+
+/// Renders a sweep in the classic bench table form: banner line, one row per
+/// trial (param columns, algorithm, metric columns), and the scenario notes.
+std::string RenderTable(const ScenarioRun& run);
+
+/// Writes the structured result document (schema below) to `os`.
+///
+/// {
+///   "schema_version": 1,
+///   "generator": "kspot_bench",
+///   "scenario": "msgs_vs_k", "id": "E3", "title": "...",
+///   "quick": false, "seed": 0, "threads": 4,
+///   "wall_ms": 12.3, "trial_count": 15,
+///   "trials": [
+///     {"index": 0, "algorithm": "TAG", "seed": 7,
+///      "params": {"k": "1"},
+///      "metrics": {"msgs_per_epoch": 206.0, ...},
+///      "ok": true, "wall_ms": 1.9}
+///   ]
+/// }
+void WriteJson(const ScenarioRun& run, std::ostream& os);
+
+/// WriteJson to a string.
+std::string ToJsonString(const ScenarioRun& run);
+
+/// WriteJson to a file; fails when the file can't be opened.
+util::Status WriteJsonFile(const ScenarioRun& run, const std::string& path);
+
+/// The conventional result-file name for a scenario: "BENCH_<name>.json".
+std::string DefaultJsonFileName(const std::string& scenario_name);
+
+}  // namespace kspot::runner

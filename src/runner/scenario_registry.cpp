@@ -1,0 +1,38 @@
+#include "runner/scenario_registry.hpp"
+
+namespace kspot::runner {
+
+util::Status ScenarioRegistry::Register(Scenario scenario) {
+  if (scenario.name.empty()) {
+    return util::Status::Error("scenario name must not be empty");
+  }
+  if (!scenario.make_trials) {
+    return util::Status::Error("scenario '" + scenario.name + "' has no trial factory");
+  }
+  auto [it, inserted] = scenarios_.emplace(scenario.name, std::move(scenario));
+  if (!inserted) {
+    return util::Status::Error("scenario '" + it->first + "' registered twice");
+  }
+  return util::Status::Ok();
+}
+
+const Scenario* ScenarioRegistry::Find(const std::string& name) const {
+  auto it = scenarios_.find(name);
+  return it == scenarios_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> ScenarioRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(scenarios_.size());
+  for (const auto& [name, scenario] : scenarios_) names.push_back(name);
+  return names;
+}
+
+std::vector<const Scenario*> ScenarioRegistry::All() const {
+  std::vector<const Scenario*> all;
+  all.reserve(scenarios_.size());
+  for (const auto& [name, scenario] : scenarios_) all.push_back(&scenario);
+  return all;
+}
+
+}  // namespace kspot::runner

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runner/scenario.hpp"
+#include "util/status.hpp"
+
+namespace kspot::runner {
+
+/// Name -> Scenario catalogue. The bench programs register themselves here
+/// (see bench/scenarios.hpp) and the kspot_bench CLI resolves --scenario
+/// arguments against it. Registries are plain values so tests can build
+/// private ones; the CLI uses one it fills at startup.
+class ScenarioRegistry {
+ public:
+  /// Adds a scenario. Fails when the name is empty, has no trial factory,
+  /// or is already taken.
+  util::Status Register(Scenario scenario);
+
+  /// Looks a scenario up by name; nullptr when unknown.
+  const Scenario* Find(const std::string& name) const;
+
+  /// All registered names, sorted.
+  std::vector<std::string> Names() const;
+
+  /// All scenarios in name order.
+  std::vector<const Scenario*> All() const;
+
+  size_t size() const { return scenarios_.size(); }
+
+ private:
+  std::map<std::string, Scenario> scenarios_;
+};
+
+}  // namespace kspot::runner

@@ -1,0 +1,120 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace kspot::util {
+
+/// A parsed JSON document: null / bool / number / string / array / object.
+/// Object member order is preserved (experiment schemas are written and
+/// compared in a stable order). Used by the experiment engine's result
+/// sink and by tests that round-trip the BENCH_*.json schema.
+class JsonValue {
+ public:
+  enum class Kind : uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double v);
+  static JsonValue String(std::string s);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  /// Parses a JSON document. Rejects trailing garbage.
+  static StatusOr<JsonValue> Parse(std::string_view text);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Value accessors; each requires the matching kind.
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& array_items() const { return array_; }
+  const std::vector<std::pair<std::string, JsonValue>>& object_members() const {
+    return object_;
+  }
+
+  /// Object lookup; returns nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Appends to an array value.
+  void Append(JsonValue v) { array_.push_back(std::move(v)); }
+
+  /// Sets (or replaces) an object member, keeping insertion order.
+  void Set(std::string key, JsonValue v);
+
+  /// Serializes compactly (no whitespace).
+  std::string Dump() const;
+  void DumpTo(std::ostream& os) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// Streaming JSON emitter with correct escaping and comma placement, for
+/// writing experiment results without materializing a JsonValue tree.
+///
+///   JsonWriter w(os);
+///   w.BeginObject();
+///   w.Key("scenario"); w.Value("msgs_vs_k");
+///   w.Key("trials"); w.BeginArray(); ... w.EndArray();
+///   w.EndObject();
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Emits an object key; must be followed by exactly one value.
+  void Key(std::string_view key);
+
+  void Value(std::string_view v);
+  void Value(const char* v) { Value(std::string_view(v)); }
+  void Value(double v);
+  void Value(int v) { Value(static_cast<double>(v)); }
+  void Value(uint64_t v);
+  void Value(bool v);
+  void Null();
+
+ private:
+  void MaybeComma();
+  std::ostream& os_;
+  /// One entry per open container: true when a value has already been
+  /// written at this level (so the next one needs a comma).
+  std::vector<bool> needs_comma_;
+  bool after_key_ = false;
+};
+
+/// Escapes `s` as a JSON string literal including the surrounding quotes.
+std::string JsonEscape(std::string_view s);
+
+/// Formats a double the way JSON expects: integral values without a
+/// fractional part, everything else with enough digits to round-trip.
+std::string JsonNumber(double v);
+
+}  // namespace kspot::util

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "runner/experiment_engine.hpp"
+#include "runner/scenario_registry.hpp"
+#include "scenarios.hpp"
+#include "util/rng.hpp"
+
+namespace kspot::runner {
+namespace {
+
+Scenario ToyScenario(size_t trial_count) {
+  Scenario s;
+  s.name = "toy";
+  s.id = "T0";
+  s.title = "toy sweep";
+  s.make_trials = [trial_count](const SweepOptions& opt) {
+    std::vector<Trial> trials;
+    for (size_t i = 0; i < trial_count; ++i) {
+      Trial t;
+      t.spec.algorithm = i % 2 == 0 ? "A" : "B";
+      t.spec.seed = opt.seed != 0 ? opt.seed : 100 + i;
+      t.spec.params = {{"i", std::to_string(i)}};
+      uint64_t seed = t.spec.seed + i;
+      t.run = [seed]() -> MetricList {
+        util::Rng rng(seed);
+        double acc = 0.0;
+        for (int n = 0; n < 1000; ++n) acc += rng.NextDouble();
+        return {{"acc", acc}, {"first", static_cast<double>(util::Rng(seed).NextU64())}};
+      };
+      trials.push_back(std::move(t));
+    }
+    return trials;
+  };
+  return s;
+}
+
+// ---------------------------------------------------------------- registry
+
+TEST(ScenarioRegistryTest, RegisterFindEnumerate) {
+  ScenarioRegistry registry;
+  EXPECT_TRUE(registry.Register(ToyScenario(1)).ok());
+  EXPECT_EQ(registry.size(), 1u);
+  ASSERT_NE(registry.Find("toy"), nullptr);
+  EXPECT_EQ(registry.Find("toy")->id, "T0");
+  EXPECT_EQ(registry.Find("nope"), nullptr);
+  EXPECT_EQ(registry.Names(), std::vector<std::string>{"toy"});
+}
+
+TEST(ScenarioRegistryTest, RejectsDuplicatesAndInvalid) {
+  ScenarioRegistry registry;
+  EXPECT_TRUE(registry.Register(ToyScenario(1)).ok());
+  EXPECT_FALSE(registry.Register(ToyScenario(1)).ok());  // duplicate name
+
+  Scenario unnamed;
+  unnamed.make_trials = [](const SweepOptions&) { return std::vector<Trial>{}; };
+  EXPECT_FALSE(registry.Register(unnamed).ok());
+
+  Scenario no_factory;
+  no_factory.name = "empty";
+  EXPECT_FALSE(registry.Register(no_factory).ok());
+}
+
+TEST(ScenarioRegistryTest, BenchCatalogueRegistersAtLeastTwelve) {
+  ScenarioRegistry registry;
+  bench::RegisterAllScenarios(registry);
+  EXPECT_GE(registry.size(), 12u);
+  // The names the CLI and CI depend on.
+  for (const char* name :
+       {"fig1_scenario", "fig3_gui_scenario", "msgs_vs_k", "msgs_vs_n", "lifetime",
+        "tja_vs_baselines", "tja_phases", "fila_vs_mint", "naive_error", "loss",
+        "history_local", "ablation_mint"}) {
+    EXPECT_NE(registry.Find(name), nullptr) << name;
+  }
+  // Ids are unique.
+  std::set<std::string> ids;
+  for (const Scenario* s : registry.All()) ids.insert(s->id);
+  EXPECT_EQ(ids.size(), registry.size());
+}
+
+// ------------------------------------------------------------------ engine
+
+TEST(ExperimentEngineTest, PreservesEnumerationOrderAndSpecs) {
+  ExperimentEngine engine({.threads = 4});
+  ScenarioRun run = engine.Run(ToyScenario(9));
+  ASSERT_EQ(run.trials.size(), 9u);
+  EXPECT_TRUE(run.AllOk());
+  for (size_t i = 0; i < run.trials.size(); ++i) {
+    EXPECT_EQ(run.trials[i].spec.index, i);
+    EXPECT_EQ(run.trials[i].spec.scenario, "toy");
+    EXPECT_EQ(run.trials[i].spec.params[0].second, std::to_string(i));
+  }
+}
+
+TEST(ExperimentEngineTest, CapturesTrialExceptions) {
+  Scenario s;
+  s.name = "throwing";
+  s.make_trials = [](const SweepOptions&) {
+    std::vector<Trial> trials;
+    Trial good;
+    good.run = []() -> MetricList { return {{"v", 1.0}}; };
+    trials.push_back(std::move(good));
+    Trial bad;
+    bad.run = []() -> MetricList { throw std::runtime_error("kaboom"); };
+    trials.push_back(std::move(bad));
+    return trials;
+  };
+  ExperimentEngine engine({.threads = 2});
+  ScenarioRun run = engine.Run(s);
+  ASSERT_EQ(run.trials.size(), 2u);
+  EXPECT_TRUE(run.trials[0].ok);
+  EXPECT_FALSE(run.trials[1].ok);
+  EXPECT_EQ(run.trials[1].error, "kaboom");
+  EXPECT_FALSE(run.AllOk());
+}
+
+/// Metrics must be a pure function of the trial spec: any thread count
+/// produces byte-identical metric sequences.
+void ExpectIdenticalRuns(const ScenarioRun& a, const ScenarioRun& b) {
+  ASSERT_EQ(a.trials.size(), b.trials.size());
+  for (size_t i = 0; i < a.trials.size(); ++i) {
+    SCOPED_TRACE("trial " + std::to_string(i));
+    EXPECT_EQ(a.trials[i].spec.algorithm, b.trials[i].spec.algorithm);
+    EXPECT_EQ(a.trials[i].spec.params, b.trials[i].spec.params);
+    EXPECT_EQ(a.trials[i].spec.seed, b.trials[i].spec.seed);
+    EXPECT_EQ(a.trials[i].ok, b.trials[i].ok);
+    ASSERT_EQ(a.trials[i].metrics.size(), b.trials[i].metrics.size());
+    for (size_t m = 0; m < a.trials[i].metrics.size(); ++m) {
+      EXPECT_EQ(a.trials[i].metrics[m].first, b.trials[i].metrics[m].first);
+      // Bit-exact, not approximate: trials own their Rng/Network state.
+      EXPECT_EQ(a.trials[i].metrics[m].second, b.trials[i].metrics[m].second);
+    }
+  }
+}
+
+TEST(ExperimentEngineTest, ToyDeterministicAcrossThreadCounts) {
+  ScenarioRun single = ExperimentEngine({.threads = 1}).Run(ToyScenario(16));
+  ScenarioRun pooled = ExperimentEngine({.threads = 8}).Run(ToyScenario(16));
+  EXPECT_EQ(single.threads, 1u);
+  EXPECT_EQ(pooled.threads, 8u);
+  ExpectIdenticalRuns(single, pooled);
+}
+
+/// The real catalogue: a full simulator scenario (beds, networks, oracles)
+/// run quick through 1 and 8 workers must agree bit-for-bit.
+TEST(ExperimentEngineTest, RealScenarioDeterministicAcrossThreadCounts) {
+  ScenarioRegistry registry;
+  bench::RegisterAllScenarios(registry);
+  const Scenario* scenario = registry.Find("msgs_vs_k");
+  ASSERT_NE(scenario, nullptr);
+
+  ScenarioRun single = ExperimentEngine({.threads = 1, .quick = true}).Run(*scenario);
+  ScenarioRun pooled = ExperimentEngine({.threads = 8, .quick = true}).Run(*scenario);
+  EXPECT_TRUE(single.AllOk());
+  ExpectIdenticalRuns(single, pooled);
+}
+
+TEST(ExperimentEngineTest, SeedOverrideReachesTrials) {
+  ExperimentEngine engine({.threads = 2, .seed = 424242});
+  ScenarioRun run = engine.Run(ToyScenario(3));
+  for (const TrialResult& t : run.trials) EXPECT_EQ(t.spec.seed, 424242u);
+}
+
+TEST(ExperimentEngineTest, ZeroThreadsMeansHardwareConcurrency) {
+  ExperimentEngine engine({.threads = 0});
+  EXPECT_GE(engine.options().threads, 1u);
+}
+
+}  // namespace
+}  // namespace kspot::runner
