@@ -43,9 +43,8 @@ runner::MetricList RunMintConfig(size_t nodes, size_t rooms, size_t epochs, uint
     exact &= mint.RunEpoch(static_cast<sim::Epoch>(e))
                  .Matches(oracle.TopK(static_cast<sim::Epoch>(e)));
   }
-  double eps = static_cast<double>(epochs);
-  return {{"msgs_per_epoch", static_cast<double>(net.total().messages) / eps},
-          {"bytes_per_epoch", static_cast<double>(net.total().payload_bytes) / eps},
+  return {{"msgs_per_epoch", PerEpoch(net.total().messages, epochs)},
+          {"bytes_per_epoch", PerEpoch(net.total().payload_bytes, epochs)},
           {"beacons", static_cast<double>(mint.beacon_count())},
           {"repairs", static_cast<double>(mint.repair_count())},
           {"exact", exact ? 1.0 : 0.0}};

@@ -44,14 +44,10 @@ void RegisterFig1Scenario(runner::ScenarioRegistry& registry) {
         return {{"answer_group", static_cast<double>(last.items.at(0).group)},
                 {"answer_value", last.items.at(0).value},
                 {"correct", correct ? 1.0 : 0.0},
-                {"msgs_per_epoch",
-                 static_cast<double>(bed.net->total().messages) / static_cast<double>(epochs)},
-                {"bytes_per_epoch", static_cast<double>(bed.net->total().payload_bytes) /
-                                        static_cast<double>(epochs)},
-                {"steady_msgs_per_epoch",
-                 static_cast<double>(steady.messages) / static_cast<double>(epochs - 1)},
-                {"steady_bytes_per_epoch",
-                 static_cast<double>(steady.payload_bytes) / static_cast<double>(epochs - 1)}};
+                {"msgs_per_epoch", PerEpoch(bed.net->total().messages, epochs)},
+                {"bytes_per_epoch", PerEpoch(bed.net->total().payload_bytes, epochs)},
+                {"steady_msgs_per_epoch", SteadyPerEpoch(steady.messages, epochs)},
+                {"steady_bytes_per_epoch", SteadyPerEpoch(steady.payload_bytes, epochs)}};
       };
       trials.push_back(std::move(t));
     }

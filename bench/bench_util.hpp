@@ -104,6 +104,30 @@ inline core::GeneratorHistory MakeEventHistory(const Bed& bed, size_t window, ui
   return core::GeneratorHistory(&gen, n, 0, window);
 }
 
+/// Per-epoch rate with the zero-epoch guard — the "x / epochs" every
+/// experiment table formats. One shared copy; the per-bench locals that
+/// used to duplicate this arithmetic are gone.
+inline double PerEpoch(double amount, size_t epochs) {
+  return epochs > 0 ? amount / static_cast<double>(epochs) : 0.0;
+}
+inline double PerEpoch(uint64_t amount, size_t epochs) {
+  return PerEpoch(static_cast<double>(amount), epochs);
+}
+
+/// Steady-state rate: per epoch after the first (creation) epoch.
+inline double SteadyPerEpoch(uint64_t amount, size_t epochs) {
+  return epochs > 1 ? static_cast<double>(amount) / static_cast<double>(epochs - 1) : 0.0;
+}
+
+/// The msgs/bytes/energy columns every traffic table reports for counters
+/// accumulated over `epochs`.
+inline runner::MetricList TrafficPerEpochMetrics(const sim::TrafficCounters& total,
+                                                 size_t epochs) {
+  return {{"msgs_per_epoch", PerEpoch(total.messages, epochs)},
+          {"bytes_per_epoch", PerEpoch(total.payload_bytes, epochs)},
+          {"energy_mj_per_epoch", PerEpoch(1e3 * total.energy_j(), epochs)}};
+}
+
 /// Outcome of running a snapshot algorithm for a number of epochs.
 struct SnapshotRun {
   sim::TrafficCounters total;      ///< Whole-run traffic.
@@ -111,24 +135,11 @@ struct SnapshotRun {
   size_t epochs = 0;
   double mean_recall = 1.0;        ///< vs the oracle (1.0 when exact).
 
-  double MsgsPerEpoch() const {
-    return epochs ? static_cast<double>(total.messages) / static_cast<double>(epochs) : 0;
-  }
-  double BytesPerEpoch() const {
-    return epochs ? static_cast<double>(total.payload_bytes) / static_cast<double>(epochs) : 0;
-  }
-  double SteadyMsgsPerEpoch() const {
-    return epochs > 1 ? static_cast<double>(steady.messages) / static_cast<double>(epochs - 1)
-                      : 0;
-  }
-  double SteadyBytesPerEpoch() const {
-    return epochs > 1
-               ? static_cast<double>(steady.payload_bytes) / static_cast<double>(epochs - 1)
-               : 0;
-  }
-  double EnergyPerEpochMilliJ() const {
-    return epochs ? 1e3 * total.energy_j() / static_cast<double>(epochs) : 0;
-  }
+  double MsgsPerEpoch() const { return PerEpoch(total.messages, epochs); }
+  double BytesPerEpoch() const { return PerEpoch(total.payload_bytes, epochs); }
+  double SteadyMsgsPerEpoch() const { return SteadyPerEpoch(steady.messages, epochs); }
+  double SteadyBytesPerEpoch() const { return SteadyPerEpoch(steady.payload_bytes, epochs); }
+  double EnergyPerEpochMilliJ() const { return PerEpoch(1e3 * total.energy_j(), epochs); }
 };
 
 /// Runs `algo` for `epochs` epochs on `net`, comparing against `oracle`
@@ -205,10 +216,9 @@ inline core::QuerySpec RoomAvgSpec(int k, double domain_max = 100.0) {
 
 /// The standard per-trial metric set of a snapshot run.
 inline runner::MetricList SnapshotMetrics(const SnapshotRun& run) {
-  return {{"msgs_per_epoch", run.MsgsPerEpoch()},
-          {"bytes_per_epoch", run.BytesPerEpoch()},
-          {"energy_mj_per_epoch", run.EnergyPerEpochMilliJ()},
-          {"recall", run.mean_recall}};
+  runner::MetricList metrics = TrafficPerEpochMetrics(run.total, run.epochs);
+  metrics.emplace_back("recall", run.mean_recall);
+  return metrics;
 }
 
 }  // namespace kspot::bench

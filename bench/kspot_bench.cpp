@@ -170,23 +170,23 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Every requested name is validated even when --all also appeared, so a
+  // typo in a CI script fails loudly instead of being masked by the
+  // catch-all.
   std::vector<const runner::Scenario*> selected;
-  if (cli.all) {
-    selected = registry.All();
-  } else {
-    for (const std::string& name : cli.scenarios) {
-      const runner::Scenario* s = registry.Find(name);
-      if (s == nullptr) {
-        std::fprintf(stderr, "kspot_bench: unknown scenario '%s'; known scenarios:\n",
-                     name.c_str());
-        for (const std::string& known : registry.Names()) {
-          std::fprintf(stderr, "  %s\n", known.c_str());
-        }
-        return 2;
+  for (const std::string& name : cli.scenarios) {
+    const runner::Scenario* s = registry.Find(name);
+    if (s == nullptr) {
+      std::fprintf(stderr, "kspot_bench: unknown scenario '%s'; known scenarios:\n",
+                   name.c_str());
+      for (const std::string& known : registry.Names()) {
+        std::fprintf(stderr, "  %s\n", known.c_str());
       }
-      selected.push_back(s);
+      return 2;
     }
+    selected.push_back(s);
   }
+  if (cli.all) selected = registry.All();
 
   if (!cli.json_dir.empty()) {
     // Create it before any trial runs so a typo doesn't cost a full sweep.

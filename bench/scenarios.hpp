@@ -33,6 +33,9 @@ void RegisterNaiveError(runner::ScenarioRegistry& registry);          // E9
 void RegisterLoss(runner::ScenarioRegistry& registry);                // E10
 void RegisterHistoryLocal(runner::ScenarioRegistry& registry);        // E11
 void RegisterAblationMint(runner::ScenarioRegistry& registry);        // E12
+void RegisterChurnLifetime(runner::ScenarioRegistry& registry);       // E13
+void RegisterChurnAccuracy(runner::ScenarioRegistry& registry);       // E14
+void RegisterRepairCost(runner::ScenarioRegistry& registry);          // E15
 
 /// Registers every bench scenario.
 inline void RegisterAllScenarios(runner::ScenarioRegistry& registry) {
@@ -48,6 +51,9 @@ inline void RegisterAllScenarios(runner::ScenarioRegistry& registry) {
   RegisterLoss(registry);
   RegisterHistoryLocal(registry);
   RegisterAblationMint(registry);
+  RegisterChurnLifetime(registry);
+  RegisterChurnAccuracy(registry);
+  RegisterRepairCost(registry);
 }
 
 }  // namespace kspot::bench

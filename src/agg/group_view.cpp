@@ -26,6 +26,12 @@ PartialAgg GroupView::Get(sim::GroupId group) const {
   return it == entries_.end() ? PartialAgg{} : it->second;
 }
 
+uint32_t GroupView::ContributorCount() const {
+  uint32_t count = 0;
+  for (const auto& [group, partial] : entries_) count += partial.count;
+  return count;
+}
+
 std::vector<RankedItem> GroupView::Ranked(AggKind kind) const {
   std::vector<RankedItem> out;
   out.reserve(entries_.size());

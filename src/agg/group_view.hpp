@@ -49,6 +49,10 @@ class GroupView {
   /// True when no groups are present.
   bool empty() const { return entries_.empty(); }
 
+  /// Total readings merged across all groups — how many sensors contributed
+  /// to this view (the TopKResult::contributors accounting).
+  uint32_t ContributorCount() const;
+
   /// Underlying ordered entries (group -> partial).
   const std::map<sim::GroupId, PartialAgg>& entries() const { return entries_; }
 

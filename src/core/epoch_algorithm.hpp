@@ -26,6 +26,12 @@ class EpochAlgorithm {
   /// Produces the ranked answer of `epoch`. Epochs must be non-decreasing.
   virtual TopKResult RunEpoch(sim::Epoch epoch) = 0;
 
+  /// Invoked by the churn driver (fault::ChurnEngine) after tree membership
+  /// changed — node death, recovery, subtree re-attachment. Stateful
+  /// implementations evict whatever they cached against the old tree; the
+  /// default is a no-op for the stateless algorithms.
+  virtual void OnTopologyChanged() {}
+
   /// The network the algorithm communicates on.
   sim::Network& net() { return *net_; }
   /// The data source.

@@ -265,6 +265,7 @@ TopKResult MintViews::EvaluateAtSink(sim::Epoch epoch, agg::GroupView sink_view)
   // every contribution >= tau survived pruning, so a merged value >= tau is
   // the true maximum.
   std::vector<agg::RankedItem> candidates;
+  uint32_t contributors = sink_view.ContributorCount();
   for (const auto& [g, partial] : sink_view.entries()) {
     bool complete = spec_.agg == agg::AggKind::kMax || partial.count >= TotalCount(g);
     if (!complete) continue;
@@ -281,10 +282,12 @@ TopKResult MintViews::EvaluateAtSink(sim::Epoch epoch, agg::GroupView sink_view)
     ++repair_count_;
     agg::GroupView full = FullWaveRebuildingState(epoch, "mint.repair");
     candidates = full.Ranked(spec_.agg);
+    contributors = full.ContributorCount();
   }
 
   TopKResult result;
   result.epoch = epoch;
+  result.contributors = contributors;
   for (size_t i = 0; i < candidates.size() && i < static_cast<size_t>(spec_.k); ++i) {
     result.items.push_back(candidates[i]);
   }
@@ -302,6 +305,7 @@ TopKResult MintViews::RunCreation(sim::Epoch epoch) {
 
   TopKResult result;
   result.epoch = epoch;
+  result.contributors = full.ContributorCount();
   result.items = full.TopK(spec_.agg, static_cast<size_t>(spec_.k));
   auto ranked = full.Ranked(spec_.agg);
   if (ranked.size() >= static_cast<size_t>(spec_.k) && options_.gamma_suppression) {
@@ -319,6 +323,17 @@ TopKResult MintViews::RunEpoch(sim::Epoch epoch) {
   if (!created_) return RunCreation(epoch);
   agg::GroupView sink_view = RunUpdateWave(epoch);
   return EvaluateAtSink(epoch, std::move(sink_view));
+}
+
+void MintViews::OnTopologyChanged() {
+  for (auto& counts : subtree_count_) counts.clear();
+  for (auto& view : last_sent_) view.clear();
+  for (auto& view : child_view_) view.clear();
+  std::fill(tau_valid_at_.begin(), tau_valid_at_.end(), 0);
+  pruning_tau_valid_ = false;
+  have_last_kth_ = false;
+  if (created_) ++churn_rebuild_count_;
+  created_ = false;  // next RunEpoch re-creates over the survivors
 }
 
 }  // namespace kspot::core

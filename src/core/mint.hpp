@@ -69,8 +69,19 @@ class MintViews : public EpochAlgorithm {
   std::string name() const override { return "MINT"; }
   TopKResult RunEpoch(sim::Epoch epoch) override;
 
+  /// Stale-view eviction after churn: every cached child view, delta
+  /// baseline, subtree cardinality and installed threshold may reference
+  /// nodes that left (or re-entered) the tree, and the global group
+  /// cardinalities n_g change with the population. Everything is dropped
+  /// and the next epoch re-runs the creation phase over the surviving
+  /// topology, re-counting n_g so completeness checks and gamma bounds hold
+  /// on the survivors.
+  void OnTopologyChanged() override;
+
   /// Number of probe/repair rounds triggered so far (cost visibility).
   int repair_count() const { return repair_count_; }
+  /// Number of churn-forced view rebuilds (OnTopologyChanged after creation).
+  int churn_rebuild_count() const { return churn_rebuild_count_; }
   /// Number of tau beacons broadcast so far.
   int beacon_count() const { return beacon_count_; }
   /// Current pruning threshold in force at the nodes; meaningful once
@@ -86,6 +97,7 @@ class MintViews : public EpochAlgorithm {
   bool created_ = false;
   int repair_count_ = 0;
   int beacon_count_ = 0;
+  int churn_rebuild_count_ = 0;
   size_t total_groups_ = 0;
 
   /// Global group cardinalities n_g (disseminated in the creation phase).

@@ -6,17 +6,28 @@ Oracle::Oracle(const sim::Topology* topology, data::DataGenerator* gen, QuerySpe
     : topology_(topology), gen_(gen), spec_(spec) {}
 
 agg::GroupView Oracle::FullView(sim::Epoch epoch) const {
+  return FullViewOver(epoch, [](sim::NodeId) { return true; });
+}
+
+agg::GroupView Oracle::FullViewOver(sim::Epoch epoch, const Contributes& contributes) const {
   agg::GroupView view;
   for (sim::NodeId id = 1; id < topology_->num_nodes(); ++id) {
+    if (!contributes(id)) continue;
     view.AddReading(spec_.GroupOf(*topology_, id), gen_->Value(id, epoch));
   }
   return view;
 }
 
 TopKResult Oracle::TopK(sim::Epoch epoch) const {
+  return TopKOver(epoch, [](sim::NodeId) { return true; });
+}
+
+TopKResult Oracle::TopKOver(sim::Epoch epoch, const Contributes& contributes) const {
   TopKResult result;
   result.epoch = epoch;
-  result.items = FullView(epoch).TopK(spec_.agg, static_cast<size_t>(spec_.k));
+  agg::GroupView view = FullViewOver(epoch, contributes);
+  result.contributors = view.ContributorCount();
+  result.items = view.TopK(spec_.agg, static_cast<size_t>(spec_.k));
   return result;
 }
 

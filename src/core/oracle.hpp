@@ -1,5 +1,7 @@
 #pragma once
 
+#include <functional>
+
 #include "agg/group_view.hpp"
 #include "core/query_spec.hpp"
 #include "core/result.hpp"
@@ -17,11 +19,23 @@ class Oracle {
   /// `topology` and `gen` must outlive the oracle.
   Oracle(const sim::Topology* topology, data::DataGenerator* gen, QuerySpec spec);
 
+  /// Predicate selecting the sensors a restricted ground truth aggregates
+  /// over (e.g. the population that survived churn).
+  using Contributes = std::function<bool(sim::NodeId)>;
+
   /// The complete aggregated view of `epoch` (all sensors, all groups).
   agg::GroupView FullView(sim::Epoch epoch) const;
 
+  /// The aggregated view of `epoch` restricted to sensors where
+  /// `contributes` is true — the ground truth a fault-tolerant algorithm is
+  /// held to once nodes have died or detached.
+  agg::GroupView FullViewOver(sim::Epoch epoch, const Contributes& contributes) const;
+
   /// The exact top-k answer of `epoch`.
   TopKResult TopK(sim::Epoch epoch) const;
+
+  /// The exact top-k answer of `epoch` over the restricted population.
+  TopKResult TopKOver(sim::Epoch epoch, const Contributes& contributes) const;
 
   /// The exact k-th best final value of `epoch` (the MINT threshold tau);
   /// returns domain_min when fewer than k groups exist.

@@ -28,6 +28,23 @@ double TopKResult::RecallAgainst(const TopKResult& truth) const {
   return static_cast<double>(hit) / static_cast<double>(truth.items.size());
 }
 
+double TopKResult::RankDistanceFrom(const TopKResult& truth) const {
+  if (truth.items.empty()) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < truth.items.size(); ++i) {
+    size_t j = 0;
+    for (; j < items.size(); ++j) {
+      if (items[j].group == truth.items[i].group) break;
+    }
+    if (j == items.size()) {
+      sum += static_cast<double>(truth.items.size());
+    } else {
+      sum += static_cast<double>(i > j ? i - j : j - i);
+    }
+  }
+  return sum / static_cast<double>(truth.items.size());
+}
+
 std::string TopKResult::ToString() const {
   std::ostringstream oss;
   for (size_t i = 0; i < items.size(); ++i) {

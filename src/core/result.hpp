@@ -14,6 +14,10 @@ struct TopKResult {
   sim::Epoch epoch = 0;
   /// Ranked items, best first; at most K entries.
   std::vector<agg::RankedItem> items;
+  /// Sensors whose readings reached the sink view this answer was ranked
+  /// from. Under churn this is the surviving (alive and routable)
+  /// population, so consumers can tell a quiet network from a shrunken one.
+  uint32_t contributors = 0;
 
   /// True when both results rank the same groups in the same order with
   /// values equal within `tol`.
@@ -22,6 +26,13 @@ struct TopKResult {
   /// Fraction of `truth`'s groups present in this result's groups (set
   /// recall; 1.0 when `truth` is empty). Order-insensitive.
   double RecallAgainst(const TopKResult& truth) const;
+
+  /// Mean rank displacement against `truth`: for each of `truth`'s groups,
+  /// the distance between its rank there and its rank here, counting a
+  /// missing group as a displacement of |truth| (the worst case); averaged
+  /// over `truth`'s size. 0 = identical ranking order; 0 when `truth` is
+  /// empty.
+  double RankDistanceFrom(const TopKResult& truth) const;
 
   /// Renders "1. group=3 value=75.00" lines for logs and examples.
   std::string ToString() const;

@@ -28,6 +28,7 @@ TopKResult TagTopK::RunEpoch(sim::Epoch epoch) {
   agg::GroupView view = CollectFullView(*net_, *gen_, spec_, epoch);
   TopKResult result;
   result.epoch = epoch;
+  result.contributors = view.ContributorCount();
   result.items = view.TopK(spec_.agg, static_cast<size_t>(spec_.k));
   return result;
 }

@@ -1,0 +1,98 @@
+#include "fault/fault_plan.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/rng.hpp"
+
+namespace kspot::fault {
+
+const char* FaultEventKindName(FaultEvent::Kind kind) {
+  switch (kind) {
+    case FaultEvent::Kind::kCrash: return "crash";
+    case FaultEvent::Kind::kRecover: return "recover";
+    case FaultEvent::Kind::kDegradeStart: return "degrade-start";
+    case FaultEvent::Kind::kDegradeEnd: return "degrade-end";
+  }
+  return "?";
+}
+
+FaultPlan FaultPlan::Generate(const sim::Topology& topology, const FaultPlanOptions& options,
+                              uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  util::Rng rng(seed ^ 0xFA17'F1A6'0D15'EA5EULL);
+  size_t n = topology.num_nodes();
+  size_t sensors = topology.num_sensors();
+  size_t max_down = static_cast<size_t>(options.max_down_fraction * static_cast<double>(sensors));
+
+  std::vector<uint8_t> down(n, 0);
+  std::vector<uint8_t> degraded(n, 0);
+  std::vector<sim::Epoch> up_at(n, 0);
+  std::vector<sim::Epoch> clean_at(n, 0);
+  size_t down_count = 0;
+
+  // The process is simulated epoch by epoch so the draws see the evolving
+  // down/degraded population; epoch 0 stays clean.
+  for (sim::Epoch e = 1; e < options.horizon; ++e) {
+    for (sim::NodeId node = 1; node < n; ++node) {
+      if (down[node] && up_at[node] == e) {
+        down[node] = 0;
+        --down_count;
+      }
+      if (degraded[node] && clean_at[node] == e) degraded[node] = 0;
+    }
+    for (sim::NodeId node = 1; node < n; ++node) {
+      if (!down[node] && down_count < max_down && rng.NextBernoulli(options.crash_prob)) {
+        plan.events.push_back({e, FaultEvent::Kind::kCrash, node, 0.0});
+        down[node] = 1;
+        ++down_count;
+        if (options.mean_downtime > 0) {
+          sim::Epoch downtime =
+              1 + static_cast<sim::Epoch>(rng.NextBounded(2 * options.mean_downtime));
+          sim::Epoch back = e + downtime;
+          if (back < options.horizon) {
+            plan.events.push_back({back, FaultEvent::Kind::kRecover, node, 0.0});
+            up_at[node] = back;
+          }
+          // Recoveries past the horizon never happen: the node stays down.
+        }
+      }
+      if (!down[node] && !degraded[node] && rng.NextBernoulli(options.degrade_prob)) {
+        plan.events.push_back(
+            {e, FaultEvent::Kind::kDegradeStart, node, options.degrade_extra_loss});
+        degraded[node] = 1;
+        sim::Epoch end = e + std::max<sim::Epoch>(1, options.degrade_duration);
+        if (end < options.horizon) {
+          plan.events.push_back({end, FaultEvent::Kind::kDegradeEnd, node, 0.0});
+          clean_at[node] = end;
+        }
+      }
+    }
+  }
+  // Future-dated recoveries/episode-ends were appended out of epoch order;
+  // a stable sort restores it while keeping the within-epoch insertion
+  // order (scheduled returns before the epoch's fresh crashes).
+  std::stable_sort(plan.events.begin(), plan.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+  return plan;
+}
+
+size_t FaultPlan::CountKind(FaultEvent::Kind kind) const {
+  size_t count = 0;
+  for (const FaultEvent& ev : events) {
+    if (ev.kind == kind) ++count;
+  }
+  return count;
+}
+
+std::string FaultPlan::Summary() const {
+  std::ostringstream oss;
+  oss << CountKind(FaultEvent::Kind::kCrash) << " crashes, "
+      << CountKind(FaultEvent::Kind::kRecover) << " recoveries, "
+      << CountKind(FaultEvent::Kind::kDegradeStart) << " degradation episodes over "
+      << events.size() << " events (seed " << seed << ")";
+  return oss.str();
+}
+
+}  // namespace kspot::fault

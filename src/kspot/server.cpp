@@ -9,6 +9,7 @@
 #include "core/oracle.hpp"
 #include "core/tag.hpp"
 #include "data/windowed.hpp"
+#include "fault/churn_engine.hpp"
 
 namespace kspot::system {
 
@@ -73,6 +74,7 @@ sim::NetworkOptions KSpotServer::NetOptions() const {
   sim::NetworkOptions opts;
   opts.loss_prob = options_.loss_prob;
   opts.max_retries = options_.max_retries;
+  opts.battery_j = options_.battery_j;
   return opts;
 }
 
@@ -148,10 +150,16 @@ RunOutcome KSpotServer::RunSnapshot(const query::ParsedQuery& parsed, bool mint,
   outcome.query_class = query::Classify(parsed);
   core::QuerySpec spec = SpecFromQuery(parsed, scenario_);
 
+  // Churn mutates the routing tree, so each run (KSpot and the shadow
+  // baseline) repairs its own private copy; the server's pristine tree_
+  // stays the per-query starting point.
+  sim::RoutingTree tree = tree_;
+  sim::RoutingTree baseline_tree = tree_;
+
   // KSpot network + generator, and an identically seeded shadow pair for
   // the TAG baseline so the System Panel compares like with like.
   auto gen = MakeGenerator(options_.seed);
-  sim::Network net(&topology_, &tree_, NetOptions(), util::Rng(options_.seed ^ 0x77));
+  sim::Network net(&topology_, &tree, NetOptions(), util::Rng(options_.seed ^ 0x77));
   std::unique_ptr<core::EpochAlgorithm> algo;
   if (mint) {
     algo = std::make_unique<core::MintViews>(&net, gen.get(), spec);
@@ -161,20 +169,59 @@ RunOutcome KSpotServer::RunSnapshot(const query::ParsedQuery& parsed, bool mint,
   outcome.algorithm = algo->name();
 
   auto baseline_gen = MakeGenerator(options_.seed);
-  sim::Network baseline_net(&topology_, &tree_, NetOptions(), util::Rng(options_.seed ^ 0x77));
+  sim::Network baseline_net(&topology_, &baseline_tree, NetOptions(),
+                            util::Rng(options_.seed ^ 0x77));
   core::TagTopK baseline(&baseline_net, baseline_gen.get(), spec);
+
+  // The same FaultPlan hits both runs: crashes and degradations are
+  // exogenous, only battery deaths may diverge with each run's traffic.
+  std::unique_ptr<fault::ChurnEngine> churn;
+  std::unique_ptr<fault::ChurnEngine> baseline_churn;
+  if (options_.enable_churn) {
+    fault::FaultPlanOptions churn_opt = options_.churn;
+    // horizon 0 = auto: the plan covers the whole run. An explicit horizon
+    // is honored (clamped to the run length — later events could never
+    // fire anyway).
+    if (churn_opt.horizon == 0 || churn_opt.horizon > options_.epochs) {
+      churn_opt.horizon = static_cast<sim::Epoch>(options_.epochs);
+    }
+    fault::FaultPlan plan =
+        fault::FaultPlan::Generate(topology_, churn_opt, options_.seed ^ 0xFA11);
+    churn = std::make_unique<fault::ChurnEngine>(&net, &tree, plan);
+    if (options_.run_baseline) {
+      baseline_churn =
+          std::make_unique<fault::ChurnEngine>(&baseline_net, &baseline_tree, plan);
+    }
+  }
 
   sim::TrafficCounters last{};
   sim::TrafficCounters baseline_last{};
   for (size_t e = 0; e < options_.epochs; ++e) {
     auto epoch = static_cast<sim::Epoch>(e);
+    if (churn) {
+      fault::ChurnReport report = churn->BeginEpoch(epoch);
+      if (report.topology_changed) algo->OnTopologyChanged();
+    }
     core::TopKResult result = algo->RunEpoch(epoch);
     outcome.panel.RecordKspotEpoch(net.total().Since(last));
     last = net.total();
     if (options_.run_baseline) {
+      if (baseline_churn) {
+        fault::ChurnReport report = baseline_churn->BeginEpoch(epoch);
+        if (report.topology_changed) baseline.OnTopologyChanged();
+      }
       baseline.RunEpoch(epoch);
       outcome.panel.RecordBaselineEpoch(baseline_net.total().Since(baseline_last));
       baseline_last = baseline_net.total();
+    }
+    if (churn) {
+      SystemPanel::NodeStatus status;
+      status.total = topology_.num_nodes();
+      status.up = net.AliveCount();
+      status.detached = churn->detached_count();
+      status.repair_events = churn->repair_events();
+      status.repair_messages = churn->repair_messages();
+      outcome.panel.RecordNodeStatus(status);
     }
     if (cb) cb(result, outcome.panel);
     outcome.per_epoch.push_back(std::move(result));

@@ -10,6 +10,7 @@
 #include "core/select.hpp"
 #include "core/tja.hpp"
 #include "data/generators.hpp"
+#include "fault/fault_plan.hpp"
 #include "kspot/node_runtime.hpp"
 #include "kspot/scenario_config.hpp"
 #include "kspot/system_panel.hpp"
@@ -51,6 +52,17 @@ class KSpotServer {
     double loss_prob = 0.0;
     /// Link-layer retries.
     int max_retries = 0;
+    /// Per-node battery budget, joules; <= 0 means unlimited.
+    double battery_j = 0.0;
+    /// Fault & churn injection for continuous (snapshot) queries: when
+    /// enabled, a FaultPlan is drawn from `churn` and the run's seed, the
+    /// same plan hits the KSpot run and the TAG shadow baseline, and the
+    /// System Panel surfaces the live node status. A `churn.horizon` of 0
+    /// (the default) means "the whole run"; an explicit horizon is honored.
+    /// Historic one-shot queries ignore churn (they run over
+    /// already-buffered windows).
+    bool enable_churn = false;
+    fault::FaultPlanOptions churn;
     /// Data generator factory; defaults to a room-correlated walk matching
     /// the scenario's modality.
     std::function<std::unique_ptr<data::DataGenerator>(const Scenario&, uint64_t seed)>

@@ -15,6 +15,8 @@ void SystemPanel::RecordBaselineEpoch(const sim::TrafficCounters& epoch_delta) {
   baseline_.Add(epoch_delta);
 }
 
+void SystemPanel::RecordNodeStatus(const NodeStatus& status) { node_status_ = status; }
+
 double SystemPanel::MessageSavingsPercent() const {
   return core::CostReport::SavingsPercent(static_cast<double>(baseline_.messages),
                                           static_cast<double>(kspot_.messages));
@@ -41,6 +43,12 @@ std::string SystemPanel::Render() const {
   oss << "  energy (J)  " << util::FormatDouble(kspot_.energy_j(), 4) << "      "
       << util::FormatDouble(baseline_.energy_j(), 4) << "      "
       << util::FormatDouble(EnergySavingsPercent(), 1) << "%\n";
+  if (node_status_.total > 0) {
+    oss << "  nodes up    " << node_status_.up << "/" << node_status_.total;
+    if (node_status_.detached > 0) oss << " (" << node_status_.detached << " detached)";
+    oss << "   tree repairs " << node_status_.repair_events << " ("
+        << node_status_.repair_messages << " msgs)\n";
+  }
   return oss.str();
 }
 

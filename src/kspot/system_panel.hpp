@@ -15,10 +15,25 @@ class SystemPanel {
  public:
   SystemPanel() = default;
 
+  /// Live node-status block (churn runs): how much of the deployment is up
+  /// and routable, and what the in-network tree repairs have cost so far.
+  struct NodeStatus {
+    size_t total = 0;            ///< Deployed nodes (including the sink).
+    size_t up = 0;               ///< Alive (admin-up with battery left).
+    size_t detached = 0;         ///< Alive but without a route to the sink.
+    size_t repair_events = 0;    ///< Epochs that forced a tree repair.
+    uint64_t repair_messages = 0;///< Join-handshake messages those repairs cost.
+  };
+
   /// Records one epoch of KSpot traffic (counters since the previous call).
   void RecordKspotEpoch(const sim::TrafficCounters& epoch_delta);
   /// Records one epoch of baseline traffic.
   void RecordBaselineEpoch(const sim::TrafficCounters& epoch_delta);
+  /// Records the current node status (latest snapshot wins).
+  void RecordNodeStatus(const NodeStatus& status);
+
+  /// Latest node status; total == 0 until a churn run records one.
+  const NodeStatus& node_status() const { return node_status_; }
 
   /// Cumulative KSpot traffic.
   const sim::TrafficCounters& kspot_total() const { return kspot_; }
@@ -38,6 +53,7 @@ class SystemPanel {
  private:
   sim::TrafficCounters kspot_;
   sim::TrafficCounters baseline_;
+  NodeStatus node_status_;
   size_t epochs_ = 0;
 };
 

@@ -31,6 +31,8 @@ Network::Network(const Topology* topology, const RoutingTree* tree, NetworkOptio
       options_(options),
       rng_(rng),
       meters_(topology->num_nodes(), EnergyMeter(options.battery_j)),
+      up_(topology->num_nodes(), 1),
+      extra_loss_(topology->num_nodes(), 0.0),
       sent_by_(topology->num_nodes(), 0) {}
 
 void Network::SetPhase(std::string phase) { phase_ = std::move(phase); }
@@ -42,8 +44,8 @@ TrafficCounters Network::PhaseTotal(const std::string& phase) const {
 
 size_t Network::AliveCount() const {
   size_t n = 0;
-  for (const auto& m : meters_) {
-    if (m.alive()) ++n;
+  for (size_t i = 0; i < meters_.size(); ++i) {
+    if (NodeAlive(static_cast<NodeId>(i))) ++n;
   }
   return n;
 }
@@ -59,6 +61,11 @@ double Network::LinkLossProb(NodeId from, NodeId to) const {
       double edge = options_.edge_max_loss * t * t;
       p = p + (1.0 - p) * edge;
     }
+  }
+  // Degradation episodes at either endpoint compound independently with the
+  // link's baseline loss (each is one more way a frame can die).
+  for (double extra : {extra_loss_[from], extra_loss_[to]}) {
+    if (extra > 0.0) p = p + (1.0 - p) * std::min(1.0, extra);
   }
   return p;
 }
@@ -79,20 +86,20 @@ void Network::ChargeTx(NodeId sender, size_t payload_bytes, TrafficCounters& cou
 bool Network::UnicastToParent(NodeId child, size_t payload_bytes) {
   NodeId parent = tree_->parent(child);
   if (parent == kNoNode) return false;
-  if (!meters_[child].alive()) return false;
+  if (!NodeAlive(child)) return false;
   TrafficCounters delta;
   bool delivered = false;
   // Per-frame loss: the message survives an attempt only if every fragment does.
   size_t frames = options_.radio.FramesForPayload(payload_bytes);
   double link_loss = LinkLossProb(child, parent);
   for (int attempt = 0; attempt <= options_.max_retries && !delivered; ++attempt) {
-    if (!meters_[child].alive()) break;
+    if (!NodeAlive(child)) break;
     ChargeTx(child, payload_bytes, delta);
     bool lost = false;
     for (size_t f = 0; f < frames && !lost; ++f) {
       lost = rng_.NextBernoulli(link_loss);
     }
-    if (!lost && meters_[parent].alive()) {
+    if (!lost && NodeAlive(parent)) {
       double rx_j = options_.energy.RxEnergy(options_.radio.AirtimeSeconds(payload_bytes));
       meters_[parent].AddRx(rx_j);
       delta.rx_energy_j += rx_j;
@@ -106,6 +113,7 @@ bool Network::UnicastToParent(NodeId child, size_t payload_bytes) {
 }
 
 bool Network::UnicastUpPath(NodeId from, size_t payload_bytes) {
+  if (!tree_->attached(from)) return false;  // stranded by churn: no route
   NodeId cur = from;
   while (cur != kSinkId) {
     if (!UnicastToParent(cur, payload_bytes)) return false;
@@ -115,6 +123,7 @@ bool Network::UnicastUpPath(NodeId from, size_t payload_bytes) {
 }
 
 bool Network::UnicastDownPath(NodeId target, size_t payload_bytes) {
+  if (!tree_->attached(target)) return false;  // stranded by churn: no route
   // Collect the sink -> target path, then charge each hop as a unicast with
   // the same loss/retry discipline as the upward direction.
   std::vector<NodeId> path;
@@ -123,7 +132,7 @@ bool Network::UnicastDownPath(NodeId target, size_t payload_bytes) {
   for (size_t i = path.size(); i-- > 1;) {
     NodeId sender = path[i];
     NodeId receiver = path[i - 1];
-    if (!meters_[sender].alive()) return false;
+    if (!NodeAlive(sender)) return false;
     TrafficCounters delta;
     bool delivered = false;
     size_t frames = options_.radio.FramesForPayload(payload_bytes);
@@ -134,7 +143,7 @@ bool Network::UnicastDownPath(NodeId target, size_t payload_bytes) {
       for (size_t f = 0; f < frames && !lost; ++f) {
         lost = rng_.NextBernoulli(link_loss);
       }
-      if (!lost && meters_[receiver].alive()) {
+      if (!lost && NodeAlive(receiver)) {
         double rx_j = options_.energy.RxEnergy(options_.radio.AirtimeSeconds(payload_bytes));
         meters_[receiver].AddRx(rx_j);
         delta.rx_energy_j += rx_j;
@@ -153,13 +162,13 @@ std::vector<NodeId> Network::BroadcastToChildren(NodeId node, size_t payload_byt
   std::vector<NodeId> delivered;
   const auto& kids = tree_->children(node);
   if (kids.empty()) return delivered;
-  if (!meters_[node].alive()) return delivered;
+  if (!NodeAlive(node)) return delivered;
   TrafficCounters delta;
   ChargeTx(node, payload_bytes, delta);
   size_t frames = options_.radio.FramesForPayload(payload_bytes);
   double rx_airtime = options_.radio.AirtimeSeconds(payload_bytes);
   for (NodeId child : kids) {
-    if (!meters_[child].alive()) continue;
+    if (!NodeAlive(child)) continue;
     bool lost = false;
     double link_loss = LinkLossProb(node, child);
     for (size_t f = 0; f < frames && !lost; ++f) {
@@ -175,6 +184,17 @@ std::vector<NodeId> Network::BroadcastToChildren(NodeId node, size_t payload_byt
   by_phase_[phase_].Add(delta);
   events_.AdvanceTo(events_.now() + options_.radio.AirtimeMicros(payload_bytes));
   return delivered;
+}
+
+void Network::DeliverControl(NodeId from, NodeId to, size_t payload_bytes) {
+  TrafficCounters delta;
+  ChargeTx(from, payload_bytes, delta);
+  double rx_j = options_.energy.RxEnergy(options_.radio.AirtimeSeconds(payload_bytes));
+  meters_[to].AddRx(rx_j);
+  delta.rx_energy_j += rx_j;
+  total_.Add(delta);
+  by_phase_[phase_].Add(delta);
+  events_.AdvanceTo(events_.now() + options_.radio.AirtimeMicros(payload_bytes));
 }
 
 }  // namespace kspot::sim

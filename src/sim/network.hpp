@@ -100,10 +100,30 @@ class Network {
   EnergyMeter& meter(NodeId id) { return meters_[id]; }
   const EnergyMeter& meter(NodeId id) const { return meters_[id]; }
 
-  /// True while `id` has battery left.
-  bool NodeAlive(NodeId id) const { return meters_[id].alive(); }
+  /// Administrative up/down control (crash-fault injection). A node taken
+  /// down neither sends nor receives until brought back up; its battery
+  /// ledger is untouched, so crash and battery death stay distinguishable.
+  void SetNodeUp(NodeId id, bool up) { up_[id] = up ? 1 : 0; }
+  /// True unless the node was administratively taken down.
+  bool NodeUp(NodeId id) const { return up_[id] != 0; }
+
+  /// Extra per-frame loss applied to every link touching `id` (link-quality
+  /// degradation episodes); compounds with the baseline loss model.
+  void SetNodeExtraLoss(NodeId id, double extra_loss) { extra_loss_[id] = extra_loss; }
+  /// The degradation episode loss currently in force at `id` (0 = none).
+  double NodeExtraLoss(NodeId id) const { return extra_loss_[id]; }
+
+  /// True while `id` is administratively up and has battery left.
+  bool NodeAlive(NodeId id) const { return up_[id] != 0 && meters_[id].alive(); }
   /// Number of alive nodes.
   size_t AliveCount() const;
+
+  /// Charges one delivered control message from `from` to `to` (tree-repair
+  /// join handshakes). Repair control traffic rides link-layer ARQ until it
+  /// gets through, so it is charged at nominal cost without a loss draw —
+  /// the repaired tree and the counters stay in lockstep. Both endpoints
+  /// must be alive.
+  void DeliverControl(NodeId from, NodeId to, size_t payload_bytes);
 
   /// Messages transmitted by each node (for hotspot analysis near the sink).
   uint64_t MessagesSentBy(NodeId id) const { return sent_by_[id]; }
@@ -132,6 +152,8 @@ class Network {
   util::Rng rng_;
   EventQueue events_;
   std::vector<EnergyMeter> meters_;
+  std::vector<uint8_t> up_;
+  std::vector<double> extra_loss_;
   std::vector<uint64_t> sent_by_;
   TrafficCounters total_;
   std::map<std::string, TrafficCounters> by_phase_;

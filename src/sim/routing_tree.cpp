@@ -2,8 +2,48 @@
 
 #include <algorithm>
 #include <deque>
+#include <utility>
 
 namespace kspot::sim {
+
+namespace {
+
+/// One round of the cluster-aware first-heard adoption discipline: every
+/// node in `frontier` beacons (in rng-shuffled order, modeling radio/arrival
+/// nondeterminism); each node for which `wants_parent` holds and that heard
+/// one or more beacons adopts a same-room non-sink broadcaster when it heard
+/// one, the first heard otherwise. Returns the (node, parent) adoptions in
+/// node order. Shared by BuildClusterAware and Repair so the re-attachment
+/// rule can never drift from the construction rule.
+std::vector<std::pair<NodeId, NodeId>> ClusterAwareAdoptionRound(
+    const Topology& topology, const std::vector<std::vector<NodeId>>& adj,
+    std::vector<NodeId> frontier, const std::function<bool(NodeId)>& wants_parent,
+    util::Rng& rng) {
+  rng.Shuffle(frontier);
+  size_t n = topology.num_nodes();
+  std::vector<std::vector<NodeId>> heard(n);
+  for (NodeId u : frontier) {
+    for (NodeId v : adj[u]) {
+      if (wants_parent(v)) heard[v].push_back(u);
+    }
+  }
+  std::vector<std::pair<NodeId, NodeId>> adoptions;
+  for (NodeId v = 0; v < n; ++v) {
+    if (heard[v].empty()) continue;
+    NodeId pick = kNoNode;
+    for (NodeId u : heard[v]) {
+      if (topology.room(u) == topology.room(v) && u != kSinkId) {
+        pick = u;
+        break;
+      }
+    }
+    if (pick == kNoNode) pick = heard[v].front();
+    adoptions.emplace_back(v, pick);
+  }
+  return adoptions;
+}
+
+}  // namespace
 
 RoutingTree RoutingTree::BuildFirstHeard(const Topology& topology, util::Rng& rng) {
   auto adj = topology.BuildAdjacency();
@@ -45,31 +85,14 @@ RoutingTree RoutingTree::BuildClusterAware(const Topology& topology, util::Rng& 
   // the node filters on it).
   std::vector<NodeId> frontier = {kSinkId};
   while (!frontier.empty()) {
-    std::vector<NodeId> shuffled = frontier;
-    rng.Shuffle(shuffled);
-    // Collect, per undecided node, the broadcasters it heard this round.
-    std::vector<std::vector<NodeId>> heard(n);
-    for (NodeId u : shuffled) {
-      for (NodeId v : adj[u]) {
-        if (!joined[v]) heard[v].push_back(u);
-      }
-    }
-    std::vector<NodeId> next;
-    for (NodeId v = 0; v < n; ++v) {
-      if (joined[v] || heard[v].empty()) continue;
-      NodeId pick = kNoNode;
-      for (NodeId u : heard[v]) {
-        if (topology.room(u) == topology.room(v) && u != kSinkId) {
-          pick = u;
-          break;
-        }
-      }
-      if (pick == kNoNode) pick = heard[v].front();
-      parents[v] = pick;
+    auto adoptions = ClusterAwareAdoptionRound(
+        topology, adj, std::move(frontier), [&](NodeId v) { return !joined[v]; }, rng);
+    frontier.clear();
+    for (const auto& [v, parent] : adoptions) {
+      parents[v] = parent;
       joined[v] = true;
-      next.push_back(v);
+      frontier.push_back(v);
     }
-    frontier = std::move(next);
   }
   return FromParents(std::move(parents));
 }
@@ -107,20 +130,26 @@ void RoutingTree::FinishConstruction() {
   size_t n = parents_.size();
   children_.assign(n, {});
   depths_.assign(n, 0);
+  attached_.assign(n, 0);
   for (size_t i = 0; i < n; ++i) {
     if (parents_[i] != kNoNode) children_[parents_[i]].push_back(static_cast<NodeId>(i));
   }
   for (auto& c : children_) std::sort(c.begin(), c.end());
-  // Depths via pre-order walk from the sink.
+  // Depths via pre-order walk from the sink. Nodes stranded by churn (no
+  // parent chain to the sink) are never visited: they keep depth 0, stay out
+  // of pre/post order and report attached() == false, so the epoch waves
+  // simply skip them.
   pre_order_.clear();
   pre_order_.reserve(n);
   std::vector<NodeId> stack = {kSinkId};
+  attached_[kSinkId] = 1;
   while (!stack.empty()) {
     NodeId u = stack.back();
     stack.pop_back();
     pre_order_.push_back(u);
     for (auto it = children_[u].rbegin(); it != children_[u].rend(); ++it) {
       depths_[*it] = depths_[u] + 1;
+      attached_[*it] = 1;
       stack.push_back(*it);
     }
   }
@@ -130,6 +159,99 @@ void RoutingTree::FinishConstruction() {
   // simple trick: children-before-parent ordering by sorting pre_order_
   // reversed works because pre_order_ lists every parent before its children.
   post_order_.assign(pre_order_.rbegin(), pre_order_.rend());
+}
+
+RepairReport RoutingTree::Repair(const Topology& topology,
+                                 const std::function<bool(NodeId)>& is_up, util::Rng& rng) {
+  return Repair(topology, topology.BuildAdjacency(), is_up, rng);
+}
+
+RepairReport RoutingTree::Repair(const Topology& topology,
+                                 const std::vector<std::vector<NodeId>>& adj,
+                                 const std::function<bool(NodeId)>& is_up, util::Rng& rng) {
+  size_t n = parents_.size();
+  RepairReport report;
+  // Phase 1 — strip the dead. A dead node leaves the tree entirely; its
+  // children lose their parent and become orphan-subtree roots.
+  for (size_t i = 0; i < n; ++i) {
+    NodeId v = static_cast<NodeId>(i);
+    if (v == kSinkId) continue;
+    if (!is_up(v)) {
+      if (parents_[v] != kNoNode) {
+        parents_[v] = kNoNode;
+        ++report.dead_removed;
+        report.changed = true;
+      }
+      continue;
+    }
+    if (parents_[v] != kNoNode && !is_up(parents_[v])) {
+      parents_[v] = kNoNode;
+      report.changed = true;
+    }
+  }
+  // Remaining parent edges connect up nodes only; the attached component is
+  // whatever still reaches the sink over them.
+  std::vector<std::vector<NodeId>> kids(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (parents_[i] != kNoNode) kids[parents_[i]].push_back(static_cast<NodeId>(i));
+  }
+  std::vector<uint8_t> att(n, 0);
+  {
+    std::vector<NodeId> stack = {kSinkId};
+    att[kSinkId] = 1;
+    while (!stack.empty()) {
+      NodeId u = stack.back();
+      stack.pop_back();
+      for (NodeId c : kids[u]) {
+        att[c] = 1;
+        stack.push_back(c);
+      }
+    }
+  }
+  // Phase 2 — first-heard-from re-attachment rounds, using the same
+  // adoption discipline the cluster-aware build uses: a detached up node
+  // that hears beacons adopts a same-room broadcaster when one exists and
+  // the first heard otherwise, then its intact subtree rides along and
+  // beacons next round.
+  std::vector<NodeId> frontier;
+  for (size_t i = 0; i < n; ++i) {
+    if (att[i]) frontier.push_back(static_cast<NodeId>(i));
+  }
+  while (!frontier.empty()) {
+    auto adoptions = ClusterAwareAdoptionRound(
+        topology, adj, std::move(frontier),
+        [&](NodeId v) { return is_up(v) && !att[v]; }, rng);
+    frontier.clear();
+    std::vector<NodeId> joined;
+    for (const auto& [v, parent] : adoptions) {
+      parents_[v] = parent;
+      report.reattached.push_back({v, parent});
+      report.changed = true;
+      joined.push_back(v);
+    }
+    // A joiner's surviving subtree is attached with it; all of the newly
+    // attached beacon in the next round.
+    for (NodeId root : joined) {
+      std::vector<NodeId> stack = {root};
+      while (!stack.empty()) {
+        NodeId u = stack.back();
+        stack.pop_back();
+        if (att[u]) continue;
+        att[u] = 1;
+        frontier.push_back(u);
+        for (NodeId c : kids[u]) {
+          // The old edge still holds only if c was not itself re-parented
+          // this round (it then roots its own attached subtree).
+          if (parents_[c] == u) stack.push_back(c);
+        }
+      }
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (is_up(static_cast<NodeId>(i)) && !att[i]) ++report.detached;
+  }
+  FinishConstruction();
+  return report;
 }
 
 size_t RoutingTree::SubtreeSize(NodeId id) const {

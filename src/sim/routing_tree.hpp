@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "sim/topology.hpp"
@@ -7,6 +8,25 @@
 #include "util/rng.hpp"
 
 namespace kspot::sim {
+
+/// One parent adoption performed by RoutingTree::Repair (the join handshake
+/// the fault layer charges to the radio).
+struct RepairOp {
+  NodeId node = kNoNode;        ///< The re-attaching node.
+  NodeId new_parent = kNoNode;  ///< The parent it adopted.
+};
+
+/// What one RoutingTree::Repair pass did to the tree.
+struct RepairReport {
+  /// Parent adoptions in attachment order (round by round).
+  std::vector<RepairOp> reattached;
+  /// Dead nodes stripped out of the tree by this pass.
+  size_t dead_removed = 0;
+  /// Up nodes left without a path to the sink (physically partitioned).
+  size_t detached = 0;
+  /// True when any parent edge changed.
+  bool changed = false;
+};
 
 /// Sink-rooted routing tree over a topology.
 ///
@@ -36,8 +56,35 @@ class RoutingTree {
   /// Builds a tree from an explicit parent vector (parents[sink] == kNoNode).
   static RoutingTree FromParents(std::vector<NodeId> parents);
 
+  /// In-network tree repair after node churn. Strips nodes where `is_up` is
+  /// false out of the tree; their orphaned subtrees then re-attach with the
+  /// same first-heard-from discipline the tree was built with: round by
+  /// round, every attached node beacons, and a detached node that hears one
+  /// or more beacons adopts a same-room broadcaster when it heard one
+  /// (preserving cluster-awareness) and the first-heard one otherwise. A
+  /// re-attaching node brings its intact subtree along, so deep orphan
+  /// subtrees keep their shape. Up nodes with no physical path to the
+  /// attached component stay detached (parent == kNoNode) and are excluded
+  /// from pre/post order until a later repair reconnects them. The sink must
+  /// be up. Deterministic given `rng`.
+  RepairReport Repair(const Topology& topology, const std::function<bool(NodeId)>& is_up,
+                      util::Rng& rng);
+
+  /// Repair overload taking the topology's adjacency (`Topology::BuildAdjacency`)
+  /// precomputed — callers that repair repeatedly (the ChurnEngine) avoid the
+  /// O(n^2) rebuild per call.
+  RepairReport Repair(const Topology& topology, const std::vector<std::vector<NodeId>>& adj,
+                      const std::function<bool(NodeId)>& is_up, util::Rng& rng);
+
   /// Parent of `id`; kNoNode for the sink.
   NodeId parent(NodeId id) const { return parents_[id]; }
+
+  /// True when `id` currently has a parent chain reaching the sink. Always
+  /// true for the sink; false for nodes stranded by churn until repaired.
+  bool attached(NodeId id) const { return attached_[id] != 0; }
+
+  /// Number of attached nodes (== pre_order().size()).
+  size_t AttachedCount() const { return pre_order_.size(); }
 
   /// Children of `id`, ascending.
   const std::vector<NodeId>& children(NodeId id) const { return children_[id]; }
@@ -67,6 +114,7 @@ class RoutingTree {
   std::vector<int> depths_;
   std::vector<NodeId> post_order_;
   std::vector<NodeId> pre_order_;
+  std::vector<uint8_t> attached_;
   int max_depth_ = 0;
 
   void FinishConstruction();

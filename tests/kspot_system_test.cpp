@@ -183,6 +183,41 @@ TEST(ServerTest, SurfacesQueryErrors) {
       server.Execute("SELECT TOP 2 roomid, AVG(sound) FROM sensors").ok());  // no GROUP BY
 }
 
+TEST(ServerTest, ChurnOptionsDriveFaultInjectionAndNodeStatus) {
+  // Moderate churn: at high crash rates MINT's per-repair view rebuilds
+  // erode its savings (that trade-off is E14's subject, not this test's).
+  KSpotServer::Options opt = SmallRun(40);
+  opt.enable_churn = true;
+  opt.churn.crash_prob = 0.005;
+  opt.churn.mean_downtime = 8;
+  KSpotServer server(Scenario::ConferenceFloor(6, 3, 5), opt);
+  auto outcome =
+      server.Execute("SELECT TOP 3 roomid, AVG(sound) FROM sensors GROUP BY roomid");
+  ASSERT_TRUE(outcome.ok()) << outcome.status().message();
+  const RunOutcome& r = outcome.value();
+  EXPECT_EQ(r.per_epoch.size(), 40u);
+  // The System Panel surfaces node status once churn ran.
+  const SystemPanel::NodeStatus& status = r.panel.node_status();
+  EXPECT_EQ(status.total, server.scenario().nodes.size());
+  EXPECT_GT(status.up, 0u);
+  EXPECT_GT(status.repair_events, 0u);
+  EXPECT_GT(status.repair_messages, 0u);
+  EXPECT_NE(r.panel.Render().find("nodes up"), std::string::npos);
+  EXPECT_NE(r.panel.Render().find("tree repairs"), std::string::npos);
+  // Repair traffic is charged: the same plan hits both runs, and MINT still
+  // undercuts the TAG shadow baseline.
+  EXPECT_LT(r.cost.payload_bytes, r.baseline_cost.payload_bytes);
+}
+
+TEST(ServerTest, ChurnDisabledLeavesPanelStatusEmpty) {
+  KSpotServer server(Scenario::ConferenceFloor(4, 3, 5), SmallRun(5));
+  auto outcome =
+      server.Execute("SELECT TOP 2 roomid, AVG(sound) FROM sensors GROUP BY roomid");
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value().panel.node_status().total, 0u);
+  EXPECT_EQ(outcome.value().panel.Render().find("nodes up"), std::string::npos);
+}
+
 TEST(ServerTest, StreamingCallbackFiresPerEpoch) {
   KSpotServer server(Scenario::ConferenceFloor(4, 3, 5), SmallRun(6));
   size_t calls = 0;

@@ -63,15 +63,16 @@ TEST(ScenarioRegistryTest, RejectsDuplicatesAndInvalid) {
   EXPECT_FALSE(registry.Register(no_factory).ok());
 }
 
-TEST(ScenarioRegistryTest, BenchCatalogueRegistersAtLeastTwelve) {
+TEST(ScenarioRegistryTest, BenchCatalogueRegistersAtLeastFifteen) {
   ScenarioRegistry registry;
   bench::RegisterAllScenarios(registry);
-  EXPECT_GE(registry.size(), 12u);
+  EXPECT_GE(registry.size(), 15u);
   // The names the CLI and CI depend on.
   for (const char* name :
        {"fig1_scenario", "fig3_gui_scenario", "msgs_vs_k", "msgs_vs_n", "lifetime",
         "tja_vs_baselines", "tja_phases", "fila_vs_mint", "naive_error", "loss",
-        "history_local", "ablation_mint"}) {
+        "history_local", "ablation_mint", "churn_lifetime", "churn_accuracy",
+        "repair_cost"}) {
     EXPECT_NE(registry.Find(name), nullptr) << name;
   }
   // Ids are unique.
@@ -143,18 +144,44 @@ TEST(ExperimentEngineTest, ToyDeterministicAcrossThreadCounts) {
   ExpectIdenticalRuns(single, pooled);
 }
 
-/// The real catalogue: a full simulator scenario (beds, networks, oracles)
-/// run quick through 1 and 8 workers must agree bit-for-bit.
-TEST(ExperimentEngineTest, RealScenarioDeterministicAcrossThreadCounts) {
+/// The real catalogue: full simulator scenarios (beds, networks, oracles —
+/// including the churn scenarios, whose trials additionally own FaultPlan /
+/// ChurnEngine / tree-repair state) run quick through 1 and 8 workers must
+/// agree bit-for-bit.
+TEST(ExperimentEngineTest, RealScenariosDeterministicAcrossThreadCounts) {
   ScenarioRegistry registry;
   bench::RegisterAllScenarios(registry);
-  const Scenario* scenario = registry.Find("msgs_vs_k");
-  ASSERT_NE(scenario, nullptr);
+  for (const char* name : {"msgs_vs_k", "churn_lifetime", "churn_accuracy", "repair_cost"}) {
+    SCOPED_TRACE(name);
+    const Scenario* scenario = registry.Find(name);
+    ASSERT_NE(scenario, nullptr);
 
-  ScenarioRun single = ExperimentEngine({.threads = 1, .quick = true}).Run(*scenario);
-  ScenarioRun pooled = ExperimentEngine({.threads = 8, .quick = true}).Run(*scenario);
-  EXPECT_TRUE(single.AllOk());
-  ExpectIdenticalRuns(single, pooled);
+    ScenarioRun single = ExperimentEngine({.threads = 1, .quick = true}).Run(*scenario);
+    ScenarioRun pooled = ExperimentEngine({.threads = 8, .quick = true}).Run(*scenario);
+    EXPECT_TRUE(single.AllOk());
+    ExpectIdenticalRuns(single, pooled);
+  }
+}
+
+/// E13's headline claim: under an identical FaultPlan, MINT's first battery
+/// death comes later than TAG's.
+TEST(ExperimentEngineTest, ChurnLifetimeShowsMintOutlivingTag) {
+  ScenarioRegistry registry;
+  bench::RegisterAllScenarios(registry);
+  const Scenario* scenario = registry.Find("churn_lifetime");
+  ASSERT_NE(scenario, nullptr);
+  ScenarioRun run = ExperimentEngine({.threads = 4, .quick = true}).Run(*scenario);
+  ASSERT_TRUE(run.AllOk());
+  double tag_death = 0, mint_death = 0;
+  for (const TrialResult& t : run.trials) {
+    for (const auto& [metric, value] : t.metrics) {
+      if (metric != "first_battery_death_epoch") continue;
+      if (t.spec.algorithm == "TAG") tag_death = value;
+      if (t.spec.algorithm == "MINT") mint_death = value;
+    }
+  }
+  EXPECT_GT(tag_death, 0.0);
+  EXPECT_GT(mint_death, tag_death);
 }
 
 TEST(ExperimentEngineTest, SeedOverrideReachesTrials) {
