@@ -32,7 +32,20 @@ struct ChurnRunConfig {
   double battery_j = 0.0;
   bool track_accuracy = false;
   bool stop_at_battery_death = false;
+  /// Query the algorithms answer; FILA requires node grouping.
+  core::QuerySpec spec = RoomAvgSpec(3);
 };
+
+/// Node-ranking spec for the FILA churn rows (FILA monitors individual
+/// sensors, Grouping::kNode).
+core::QuerySpec NodeTopKSpec(int k) {
+  core::QuerySpec spec;
+  spec.k = k;
+  spec.agg = agg::AggKind::kAvg;
+  spec.grouping = core::Grouping::kNode;
+  spec.domain_max = 100.0;
+  return spec;
+}
 
 struct ChurnRunStats {
   size_t epochs_run = 0;
@@ -50,10 +63,14 @@ struct ChurnRunStats {
   /// (churn-free) creation wave is excluded so the metric isolates what the
   /// run's dynamics cost.
   uint64_t rebuild_msgs = 0;
+  /// MINT-only repair-mode counters (0 for other algorithms).
+  int mint_full_rebuilds = 0;
+  int mint_incremental_repairs = 0;
+  int mint_probe_repairs = 0;
 };
 
 ChurnRunStats RunChurn(SnapshotAlgo algo, const ChurnRunConfig& cfg) {
-  core::QuerySpec spec = RoomAvgSpec(3);
+  const core::QuerySpec& spec = cfg.spec;
   sim::NetworkOptions net_opt;
   net_opt.battery_j = cfg.battery_j;
   auto bed = Bed::Grid(cfg.nodes, cfg.rooms, cfg.seed, net_opt);
@@ -81,7 +98,7 @@ ChurnRunStats RunChurn(SnapshotAlgo algo, const ChurnRunConfig& cfg) {
         break;
       }
     }
-    if (report.topology_changed) algorithm->OnTopologyChanged();
+    if (report.topology_changed) algorithm->OnTopologyChanged(report.delta);
     core::TopKResult got = algorithm->RunEpoch(epoch);
     if (cfg.track_accuracy) {
       // Ground truth over the population that could possibly contribute:
@@ -106,6 +123,11 @@ ChurnRunStats RunChurn(SnapshotAlgo algo, const ChurnRunConfig& cfg) {
   stats.alive_at_end = bed.net->AliveCount();
   stats.total = bed.net->total();
   stats.rebuild_msgs = rebuild_msgs_so_far() - initial_creation_msgs;
+  if (const auto* mint = dynamic_cast<const core::MintViews*>(algorithm.get())) {
+    stats.mint_full_rebuilds = mint->churn_rebuild_count();
+    stats.mint_incremental_repairs = mint->incremental_repair_count();
+    stats.mint_probe_repairs = mint->repair_count();
+  }
   return stats;
 }
 
@@ -187,12 +209,17 @@ void RegisterChurnAccuracy(runner::ScenarioRegistry& registry) {
 
     std::vector<runner::Trial> trials;
     for (const Level& level : levels) {
-      for (SnapshotAlgo algo : {SnapshotAlgo::kTag, SnapshotAlgo::kMint}) {
+      // FILA rides the sweep with a node-ranking query (its setting); it was
+      // the last algorithm ignoring OnTopologyChanged, so its rows double as
+      // churn-eviction coverage.
+      for (SnapshotAlgo algo :
+           {SnapshotAlgo::kTag, SnapshotAlgo::kMint, SnapshotAlgo::kFila}) {
         runner::Trial t;
         t.spec.algorithm = AlgoName(algo);
         t.spec.seed = base.seed;
         t.spec.params = {{"churn", level.label}};
         ChurnRunConfig cfg = base;
+        if (algo == SnapshotAlgo::kFila) cfg.spec = NodeTopKSpec(3);
         cfg.fopt.horizon = static_cast<sim::Epoch>(cfg.epochs);
         cfg.fopt.crash_prob = level.crash_prob;
         cfg.fopt.mean_downtime = 15;
@@ -253,6 +280,9 @@ void RegisterRepairCost(runner::ScenarioRegistry& registry) {
                 {"reattached_nodes", static_cast<double>(st.reattached)},
                 {"mean_detached_fraction", PerEpoch(st.detached_fraction_sum, st.epochs_run)},
                 {"mint_rebuild_msgs_per_epoch", PerEpoch(st.rebuild_msgs, st.epochs_run)},
+                {"mint_incremental_repairs", static_cast<double>(st.mint_incremental_repairs)},
+                {"mint_probe_repairs", static_cast<double>(st.mint_probe_repairs)},
+                {"mint_full_rebuilds", static_cast<double>(st.mint_full_rebuilds)},
                 {"msgs_per_epoch", PerEpoch(st.total.messages, st.epochs_run)}};
       };
       trials.push_back(std::move(t));

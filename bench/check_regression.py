@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Gate on E16 (throughput) wall-clock regressions.
+
+Compares a freshly produced BENCH_throughput.json against the committed
+baseline (bench/baseline/BENCH_E16_throughput.json by default) and fails
+when any sweep point's epochs_per_sec dropped by more than the tolerance
+(default 25%, override with --tolerance or KSPOT_E16_TOLERANCE).
+
+The baseline is machine-dependent: refresh it (run the scenario with
+--quick --threads 1 and copy the JSON) whenever CI hardware changes, and
+always alongside intentional perf-trade commits.
+
+Usage:
+  python3 bench/check_regression.py --current bench-json-e16/BENCH_throughput.json
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_points(path):
+    """Returns {(param tuple): epochs_per_sec} for every ok trial."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    points = {}
+    for trial in doc.get("trials", []):
+        if not trial.get("ok", False):
+            continue
+        key = tuple(sorted((k, str(v)) for k, v in dict(trial["params"]).items()))
+        metrics = dict(trial["metrics"])
+        if "epochs_per_sec" in metrics:
+            points[key] = float(metrics["epochs_per_sec"])
+    return points
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", default="bench/baseline/BENCH_E16_throughput.json")
+    parser.add_argument("--current", required=True)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("KSPOT_E16_TOLERANCE", "0.25")),
+        help="maximum allowed fractional epochs/sec drop (default 0.25)",
+    )
+    args = parser.parse_args()
+
+    baseline = load_points(args.baseline)
+    current = load_points(args.current)
+    if not baseline:
+        print(f"error: no usable trials in baseline {args.baseline}", file=sys.stderr)
+        return 2
+    if not current:
+        print(f"error: no usable trials in {args.current}", file=sys.stderr)
+        return 2
+
+    failures = []
+    missing = []
+    compared = 0
+    for key, base_eps in sorted(baseline.items()):
+        if key not in current:
+            missing.append(key)
+            continue
+        compared += 1
+        cur_eps = current[key]
+        ratio = cur_eps / base_eps if base_eps > 0 else float("inf")
+        status = "ok"
+        if ratio < 1.0 - args.tolerance:
+            status = "REGRESSION"
+            failures.append((key, base_eps, cur_eps, ratio))
+        print(
+            f"{dict(key)}: baseline {base_eps:.1f} eps, current {cur_eps:.1f} eps "
+            f"({ratio:.2f}x) {status}"
+        )
+
+    if missing:
+        print(
+            f"error: {len(missing)} baseline sweep point(s) missing from the "
+            f"current run (sweep changed? refresh {args.baseline}):",
+            file=sys.stderr,
+        )
+        for key in missing:
+            print(f"  {dict(key)}", file=sys.stderr)
+        return 2
+    if compared == 0:
+        print("error: no comparable sweep points; gate would be vacuous", file=sys.stderr)
+        return 2
+    if failures:
+        print(
+            f"\n{len(failures)} point(s) regressed by more than "
+            f"{args.tolerance:.0%} epochs/sec:",
+            file=sys.stderr,
+        )
+        for key, base_eps, cur_eps, ratio in failures:
+            print(
+                f"  {dict(key)}: {base_eps:.1f} -> {cur_eps:.1f} eps ({ratio:.2f}x)",
+                file=sys.stderr,
+            )
+        return 1
+    print("\nno epochs/sec regression beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,6 +36,7 @@ void RegisterAblationMint(runner::ScenarioRegistry& registry);        // E12
 void RegisterChurnLifetime(runner::ScenarioRegistry& registry);       // E13
 void RegisterChurnAccuracy(runner::ScenarioRegistry& registry);       // E14
 void RegisterRepairCost(runner::ScenarioRegistry& registry);          // E15
+void RegisterThroughput(runner::ScenarioRegistry& registry);          // E16
 
 /// Registers every bench scenario.
 inline void RegisterAllScenarios(runner::ScenarioRegistry& registry) {
@@ -54,6 +55,7 @@ inline void RegisterAllScenarios(runner::ScenarioRegistry& registry) {
   RegisterChurnLifetime(registry);
   RegisterChurnAccuracy(registry);
   RegisterRepairCost(registry);
+  RegisterThroughput(registry);
 }
 
 }  // namespace kspot::bench

@@ -4,26 +4,96 @@
 
 namespace kspot::agg {
 
+namespace {
+
+bool EntryBefore(const GroupView::Entry& entry, sim::GroupId group) {
+  return entry.first < group;
+}
+
+}  // namespace
+
 bool RankHigher(const RankedItem& a, const RankedItem& b) {
   if (a.value != b.value) return a.value > b.value;
   return a.group < b.group;
 }
 
 void GroupView::AddReading(sim::GroupId group, double value) {
-  entries_[group].Merge(PartialAgg::FromValue(value));
+  MergePartial(group, PartialAgg::FromValue(value));
 }
 
 void GroupView::MergePartial(sim::GroupId group, const PartialAgg& partial) {
-  entries_[group].Merge(partial);
+  // Appends (the sorted-input case: codec decode, in-order building) hit the
+  // end() fast path and stay O(1) amortized.
+  auto it = std::lower_bound(entries_.begin(), entries_.end(), group, EntryBefore);
+  if (it != entries_.end() && it->first == group) {
+    it->second.Merge(partial);
+  } else {
+    entries_.insert(it, Entry{group, partial});
+  }
+}
+
+void GroupView::Set(sim::GroupId group, const PartialAgg& partial) {
+  auto it = std::lower_bound(entries_.begin(), entries_.end(), group, EntryBefore);
+  if (it != entries_.end() && it->first == group) {
+    it->second = partial;
+  } else {
+    entries_.insert(it, Entry{group, partial});
+  }
 }
 
 void GroupView::MergeView(const GroupView& other) {
-  for (const auto& [group, partial] : other.entries_) MergePartial(group, partial);
+  if (other.entries_.empty()) return;
+  if (entries_.empty()) {
+    entries_ = other.entries_;  // copy-assign reuses our capacity
+    return;
+  }
+  // Disjoint-range fast path: converge-casts over clustered trees often merge
+  // sibling subtrees whose group ranges do not interleave.
+  if (entries_.back().first < other.entries_.front().first) {
+    entries_.insert(entries_.end(), other.entries_.begin(), other.entries_.end());
+    return;
+  }
+  std::vector<Entry> merged;
+  merged.reserve(entries_.size() + other.entries_.size());
+  auto a = entries_.begin();
+  auto b = other.entries_.begin();
+  while (a != entries_.end() && b != other.entries_.end()) {
+    if (a->first < b->first) {
+      merged.push_back(std::move(*a++));
+    } else if (b->first < a->first) {
+      merged.push_back(*b++);
+    } else {
+      merged.push_back(std::move(*a++));
+      merged.back().second.Merge(b->second);
+      ++b;
+    }
+  }
+  merged.insert(merged.end(), std::make_move_iterator(a), std::make_move_iterator(entries_.end()));
+  merged.insert(merged.end(), b, other.entries_.end());
+  entries_ = std::move(merged);
+}
+
+void GroupView::MergeView(GroupView&& other) {
+  if (entries_.empty()) {
+    entries_ = std::move(other.entries_);
+    return;
+  }
+  MergeView(other);
 }
 
 PartialAgg GroupView::Get(sim::GroupId group) const {
-  auto it = entries_.find(group);
-  return it == entries_.end() ? PartialAgg{} : it->second;
+  const PartialAgg* found = Find(group);
+  return found == nullptr ? PartialAgg{} : *found;
+}
+
+const PartialAgg* GroupView::Find(sim::GroupId group) const {
+  auto it = std::lower_bound(entries_.begin(), entries_.end(), group, EntryBefore);
+  return it != entries_.end() && it->first == group ? &it->second : nullptr;
+}
+
+void GroupView::Erase(sim::GroupId group) {
+  auto it = std::lower_bound(entries_.begin(), entries_.end(), group, EntryBefore);
+  if (it != entries_.end() && it->first == group) entries_.erase(it);
 }
 
 uint32_t GroupView::ContributorCount() const {
@@ -43,19 +113,33 @@ std::vector<RankedItem> GroupView::Ranked(AggKind kind) const {
 }
 
 std::vector<RankedItem> GroupView::TopK(AggKind kind, size_t k) const {
-  std::vector<RankedItem> ranked = Ranked(kind);
-  if (ranked.size() > k) ranked.resize(k);
-  return ranked;
+  std::vector<RankedItem> out;
+  out.reserve(entries_.size());
+  for (const auto& [group, partial] : entries_) {
+    out.push_back(RankedItem{group, partial.Final(kind)});
+  }
+  // RankHigher is a strict total order (ties break on group id), so the k-set
+  // selected by nth_element and its sorted order are both unique — identical
+  // output to sorting everything and truncating.
+  if (out.size() > k) {
+    std::nth_element(out.begin(), out.begin() + static_cast<long>(k), out.end(), RankHigher);
+    out.resize(k);
+  }
+  std::sort(out.begin(), out.end(), RankHigher);
+  return out;
 }
 
 void GroupView::PruneToLocalTopK(AggKind kind, size_t k) {
   if (entries_.size() <= k) return;
   std::vector<RankedItem> keep = TopK(kind, k);
-  std::map<sim::GroupId, PartialAgg> pruned;
-  for (const RankedItem& item : keep) {
-    pruned[item.group] = entries_[item.group];
-  }
-  entries_ = std::move(pruned);
+  std::vector<sim::GroupId> keep_groups;
+  keep_groups.reserve(keep.size());
+  for (const RankedItem& item : keep) keep_groups.push_back(item.group);
+  std::sort(keep_groups.begin(), keep_groups.end());
+  auto removed = std::remove_if(entries_.begin(), entries_.end(), [&](const Entry& entry) {
+    return !std::binary_search(keep_groups.begin(), keep_groups.end(), entry.first);
+  });
+  entries_.erase(removed, entries_.end());
 }
 
 namespace codec {
@@ -111,6 +195,7 @@ bool ReadView(net::Reader& r, AggKind kind, GroupView* out) {
   // Decoded partials are only meaningful under the same `kind` they were
   // encoded with; fields not on the wire are defaulted.
   uint16_t n = r.GetU16();
+  out->Reserve(out->size() + n);
   for (uint16_t i = 0; i < n; ++i) {
     auto group = static_cast<sim::GroupId>(r.GetU16());
     PartialAgg p;

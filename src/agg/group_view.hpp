@@ -1,7 +1,7 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <utility>
 #include <vector>
 
 #include "agg/aggregate.hpp"
@@ -24,25 +24,53 @@ bool RankHigher(const RankedItem& a, const RankedItem& b);
 /// A materialized view V_i: the per-group partial aggregates a node (or the
 /// sink) holds. This is the object MINT's in-network hierarchy maintains —
 /// ancestor views are supersets of descendant views.
+///
+/// Storage is a flat vector sorted by group id (flat-map semantics): lookups
+/// binary-search, MergeView is a linear two-pointer merge, and iteration is a
+/// cache-friendly contiguous scan. Views are the per-node per-epoch message
+/// payload of every converge-cast, so the node-per-entry allocation of the
+/// previous std::map representation was the simulator's dominant allocator
+/// traffic. The ordering contract (entries ascending by group id; ranking by
+/// RankHigher) is identical to the map-based implementation, so all results
+/// are bit-identical.
 class GroupView {
  public:
+  using Entry = std::pair<sim::GroupId, PartialAgg>;
+
   /// Adds one sensor reading to `group`.
   void AddReading(sim::GroupId group, double value);
 
   /// Merges a partial for `group`.
   void MergePartial(sim::GroupId group, const PartialAgg& partial);
 
-  /// Merges a whole view.
+  /// Merges a whole view (linear two-pointer merge).
   void MergeView(const GroupView& other);
+
+  /// Merge overload that steals `other`'s storage when this view is empty —
+  /// the first child of every converge-cast merge.
+  void MergeView(GroupView&& other);
+
+  /// Overwrites (or inserts) the partial cached for `group` — the
+  /// materialized-view maintenance primitive MINT's delta application uses.
+  void Set(sim::GroupId group, const PartialAgg& partial);
 
   /// Partial for `group`; empty partial if absent.
   PartialAgg Get(sim::GroupId group) const;
 
+  /// Pointer to `group`'s partial, or nullptr when absent (no copy).
+  const PartialAgg* Find(sim::GroupId group) const;
+
   /// True when `group` is present.
-  bool Contains(sim::GroupId group) const { return entries_.count(group) > 0; }
+  bool Contains(sim::GroupId group) const { return Find(group) != nullptr; }
 
   /// Removes `group`; no-op when absent.
-  void Erase(sim::GroupId group) { entries_.erase(group); }
+  void Erase(sim::GroupId group);
+
+  /// Removes all groups (capacity is retained for reuse across epochs).
+  void clear() { entries_.clear(); }
+
+  /// Pre-sizes the backing storage.
+  void Reserve(size_t n) { entries_.reserve(n); }
 
   /// Number of groups.
   size_t size() const { return entries_.size(); }
@@ -53,13 +81,15 @@ class GroupView {
   /// to this view (the TopKResult::contributors accounting).
   uint32_t ContributorCount() const;
 
-  /// Underlying ordered entries (group -> partial).
-  const std::map<sim::GroupId, PartialAgg>& entries() const { return entries_; }
+  /// Underlying entries, ascending by group id.
+  const std::vector<Entry>& entries() const { return entries_; }
 
   /// Final values for all groups under `kind`, ranked best-first.
   std::vector<RankedItem> Ranked(AggKind kind) const;
 
-  /// The K best groups under `kind` (all groups if fewer than k).
+  /// The K best groups under `kind` (all groups if fewer than k). Partial
+  /// selection (nth_element) + sort of the prefix: same output as ranking
+  /// everything, without the full sort.
   std::vector<RankedItem> TopK(AggKind kind, size_t k) const;
 
   /// Keeps only the K best groups under `kind` (the *naive* local pruning of
@@ -68,7 +98,7 @@ class GroupView {
   void PruneToLocalTopK(AggKind kind, size_t k);
 
  private:
-  std::map<sim::GroupId, PartialAgg> entries_;
+  std::vector<Entry> entries_;
 };
 
 /// Wire codec for views. Entry layouts (little endian):

@@ -52,7 +52,7 @@ HistoricResult TagHistoric::Run() {
   net_->SetPhase("tagh.collect");
   auto produce = [&](sim::NodeId node, std::vector<Msg>&& inbox) -> std::optional<Msg> {
     Msg view;
-    for (Msg& child : inbox) view.MergeView(child);
+    for (Msg& child : inbox) view.MergeView(std::move(child));
     if (node != sim::kSinkId) {
       std::vector<double> w = history_->Window(node);
       for (size_t t = 0; t < w.size(); ++t) {

@@ -32,6 +32,16 @@ class EpochAlgorithm {
   /// default is a no-op for the stateless algorithms.
   virtual void OnTopologyChanged() {}
 
+  /// Delta-aware variant: `delta` names exactly the nodes that left the tree
+  /// and the orphan-subtree roots that re-attached, so stateful
+  /// implementations can repair their caches incrementally instead of
+  /// rebuilding from scratch (MINT's incremental creation repair, FILA's
+  /// targeted eviction). The default falls back to the full eviction above.
+  virtual void OnTopologyChanged(const sim::TopologyDelta& delta) {
+    (void)delta;
+    OnTopologyChanged();
+  }
+
   /// The network the algorithm communicates on.
   sim::Network& net() { return *net_; }
   /// The data source.

@@ -83,7 +83,8 @@ void Fila::MaybeReassignFilters() {
   bool tau_changed = new_tau != tau_;
   top_ = std::move(new_top);
   tau_ = new_tau;
-  if (!membership_changed && !tau_changed && initialized_) return;
+  if (!membership_changed && !tau_changed && !force_filter_broadcast_ && initialized_) return;
+  force_filter_broadcast_ = false;
 
   // One broadcast re-arms every node: it learns the separator and whether it
   // is on the upper side (member of the top-k list).
@@ -104,6 +105,58 @@ void Fila::MaybeReassignFilters() {
   ++filter_updates_;
 }
 
+void Fila::OnTopologyChanged() {
+  // Wipe everything; the next epoch's Initialize re-collects from the
+  // surviving population and re-arms every filter.
+  std::fill(cache_.begin(), cache_.end(), spec_.domain_min);
+  std::fill(upper_side_.begin(), upper_side_.end(), 0);
+  std::fill(node_tau_.begin(), node_tau_.end(), spec_.domain_min);
+  top_.clear();
+  tau_ = spec_.domain_min;
+  initialized_ = false;
+}
+
+void Fila::OnTopologyChanged(const sim::TopologyDelta& delta) {
+  if (!initialized_ || delta.empty()) {
+    if (!delta.empty()) OnTopologyChanged();
+    return;
+  }
+  const sim::RoutingTree& tree = net_->tree();
+  // Departed nodes: a stale cached reading must not keep a dead node ranked.
+  for (const auto& [node, old_parent] : delta.removed) {
+    (void)old_parent;
+    cache_[node] = spec_.domain_min;
+    top_.erase(node);
+  }
+  // Re-attached subtrees: both the cached readings and the installed filters
+  // date from before the orphaning, so evict the former and re-arm the
+  // latter. A node whose actual reading clears the fresh separator reports
+  // (and is probed back into the ranking) in the very next RunEpoch.
+  for (sim::NodeId root : delta.reattached) {
+    if (!tree.attached(root)) continue;
+    std::vector<sim::NodeId> stack = {root};
+    while (!stack.empty()) {
+      sim::NodeId m = stack.back();
+      stack.pop_back();
+      cache_[m] = spec_.domain_min;
+      top_.erase(m);
+      for (sim::NodeId c : tree.children(m)) stack.push_back(c);
+    }
+  }
+  // Detached survivors (up but unroutable — not in either delta list): they
+  // can neither report nor be probed, so a stale cached reading must not
+  // keep occupying a top-k slot. They re-enter the ranking when a later
+  // repair re-attaches them (their root lands in delta.reattached).
+  for (sim::NodeId id = 1; id < cache_.size(); ++id) {
+    if (!tree.attached(id)) {
+      cache_[id] = spec_.domain_min;
+      top_.erase(id);
+    }
+  }
+  force_filter_broadcast_ = true;
+  MaybeReassignFilters();
+}
+
 TopKResult Fila::RunEpoch(sim::Epoch epoch) {
   if (!initialized_) {
     Initialize(epoch);
@@ -115,13 +168,17 @@ TopKResult Fila::RunEpoch(sim::Epoch epoch) {
   net_->SetPhase("fila.report");
   std::set<sim::NodeId> reported;
   for (sim::NodeId id = 1; id < net_->topology().num_nodes(); ++id) {
+    // Dead or unroutable nodes can neither sample nor transmit; and the sink
+    // may only act (probe, re-arm) on reports it actually received, so
+    // `reported` tracks deliveries, not attempts.
+    if (!net_->NodeAlive(id) || !net_->tree().attached(id)) continue;
     double value = gen_->Value(id, epoch);
     bool violates = upper_side_[id] ? (value < node_tau_[id]) : (value > node_tau_[id]);
     if (!violates) continue;
     ++reports_;
-    reported.insert(id);
     if (net_->UnicastUpPath(id, kMsgHeaderBytes + kEntryBytes)) {
       cache_[id] = value;
+      reported.insert(id);
     }
   }
   if (!reported.empty()) {

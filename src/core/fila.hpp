@@ -31,6 +31,18 @@ class Fila : public EpochAlgorithm {
   std::string name() const override { return "FILA"; }
   TopKResult RunEpoch(sim::Epoch epoch) override;
 
+  /// Conservative churn response: drop the sink cache and every installed
+  /// filter; the next epoch re-runs the initial full collection over the
+  /// surviving population.
+  void OnTopologyChanged() override;
+
+  /// Targeted churn response: evict the cached readings of nodes that left
+  /// the tree (a dead node must not linger in the top-k on a stale value)
+  /// and of re-attached subtrees (whose filters and cached values date from
+  /// before they were orphaned), then force one filter re-arm broadcast so
+  /// every survivor holds the current separator.
+  void OnTopologyChanged(const sim::TopologyDelta& delta) override;
+
   /// Number of filter-update broadcasts so far.
   int filter_updates() const { return filter_updates_; }
   /// Number of node reports so far.
@@ -53,6 +65,10 @@ class Fila : public EpochAlgorithm {
   int filter_updates_ = 0;
   int reports_ = 0;
   int probes_ = 0;
+
+  /// Forces the next MaybeReassignFilters to broadcast even when membership
+  /// and separator are unchanged (re-attached nodes hold stale filters).
+  bool force_filter_broadcast_ = false;
 
   /// Epoch-0 full collection + first filter installation.
   void Initialize(sim::Epoch epoch);

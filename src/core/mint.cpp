@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 
-#include "sim/waves.hpp"
 #include "util/fixed_point.hpp"
 
 namespace kspot::core {
@@ -17,12 +16,9 @@ constexpr double kTauEps = 1e-6;
 /// Beacon payload: header + tau as fixed-point i64 + validity flag.
 constexpr size_t kBeaconBytes = kMsgHeaderBytes + 8 + 1;
 
-/// One delta update: entries that changed plus groups that disappeared.
-struct MintDelta {
-  sim::NodeId from = sim::kNoNode;
-  std::vector<std::pair<sim::GroupId, agg::PartialAgg>> changed;
-  std::vector<sim::GroupId> removed;
-};
+/// One hop of the post-churn cardinality-delta converge-cast: header +
+/// subtree-root id + one (group, cardinality-delta) entry.
+constexpr size_t kCardinalityDeltaBytes = kMsgHeaderBytes + 2 + 6;
 
 bool SamePartial(const agg::PartialAgg& a, const agg::PartialAgg& b) {
   return a.sum_fx == b.sum_fx && a.count == b.count && a.min_fx == b.min_fx &&
@@ -40,6 +36,7 @@ MintViews::MintViews(sim::Network* net, data::DataGenerator* gen, QuerySpec spec
   subtree_count_.resize(n);
   tau_at_.assign(n, 0.0);
   tau_valid_at_.assign(n, 0);
+  tau_version_at_.assign(n, 0);
   last_sent_.resize(n);
   child_view_.resize(n);
 }
@@ -55,7 +52,7 @@ agg::GroupView MintViews::FullWaveRebuildingState(sim::Epoch epoch, const char* 
   net_->SetPhase(phase);
   auto produce = [&](sim::NodeId node, std::vector<Msg>&& inbox) -> std::optional<Msg> {
     Msg view;
-    for (Msg& child : inbox) view.MergeView(child);
+    for (Msg& child : inbox) view.MergeView(std::move(child));
     if (node != sim::kSinkId) {
       view.AddReading(GroupOf(node), gen_->Value(node, epoch));
     }
@@ -67,19 +64,20 @@ agg::GroupView MintViews::FullWaveRebuildingState(sim::Epoch epoch, const char* 
       c = std::max(c, partial.count);
     }
     // Reset the view-maintenance caches: the parent now holds this full view.
-    last_sent_[node] = view.entries();
-    child_view_[node] = view.entries();
+    last_sent_[node] = view;
+    child_view_[node] = view;
     return view;
   };
   auto wire_bytes = [&](const Msg& m) {
     return kMsgHeaderBytes + agg::codec::ViewWireBytes(spec_.agg, m.size());
   };
-  auto sink = sim::UpWave<Msg>::Run(*net_, produce, wire_bytes);
+  auto sink = sim::UpWave<Msg>::Run(*net_, produce, wire_bytes, &full_wave_ws_);
   return sink.value_or(Msg{});
 }
 
 void MintViews::DisseminateState(bool include_cardinalities, const char* phase) {
   net_->SetPhase(phase);
+  ++tau_version_;
   // The beacon carries tau; the creation-phase variant additionally carries
   // the (group, cardinality) table so every node can evaluate closure and
   // the gamma bounds. Under node grouping the table is implicit (n_g == 1).
@@ -95,6 +93,7 @@ void MintViews::DisseminateState(bool include_cardinalities, const char* phase) 
     if (node == sim::kSinkId) {
       tau_at_[node] = pruning_tau_;
       tau_valid_at_[node] = pruning_tau_valid_ ? 1 : 0;
+      tau_version_at_[node] = tau_version_;
       return seed;
     }
     // Receiving nodes adopt the threshold; the cardinality table is modeled
@@ -102,6 +101,7 @@ void MintViews::DisseminateState(bool include_cardinalities, const char* phase) 
     // everywhere — the wire cost is what matters.
     tau_at_[node] = incoming->tau;
     tau_valid_at_[node] = incoming->tau_valid ? 1 : 0;
+    tau_version_at_[node] = tau_version_;
     return *incoming;
   };
   auto wire_bytes = [&](const Beacon& b) {
@@ -175,10 +175,11 @@ void MintViews::PruneView(sim::NodeId node, agg::GroupView& view) const {
   std::vector<sim::GroupId> to_erase;
   bool have_tau = tau_valid_at_[node] != 0;
   double tau = tau_at_[node];
+  const auto& counts = subtree_count_[node];
   for (const auto& [g, partial] : view.entries()) {
     uint32_t expected = 0;
-    auto it = subtree_count_[node].find(g);
-    if (it != subtree_count_[node].end()) expected = it->second;
+    auto it = counts.find(g);
+    if (it != counts.end()) expected = it->second;
     bool complete = partial.count >= expected;
     if (!complete && options_.closure_pruning && spec_.agg != agg::AggKind::kMax) {
       // A descendant pruned this group: it is provably outside the top-k,
@@ -193,45 +194,54 @@ void MintViews::PruneView(sim::NodeId node, agg::GroupView& view) const {
   for (sim::GroupId g : to_erase) view.Erase(g);
 }
 
-agg::GroupView MintViews::RunUpdateWave(sim::Epoch epoch) {
-  using Msg = MintDelta;
+agg::GroupView& MintViews::RunUpdateWave(sim::Epoch epoch) {
+  using Msg = Delta;
   net_->SetPhase("mint.update");
   auto produce = [&](sim::NodeId node, std::vector<Msg>&& inbox) -> std::optional<Msg> {
     // Apply the children's deltas to their cached views.
     for (Msg& delta : inbox) {
-      auto& cache = child_view_[delta.from];
-      for (auto& [g, partial] : delta.changed) cache[g] = partial;
-      for (sim::GroupId g : delta.removed) cache.erase(g);
+      agg::GroupView& cache = child_view_[delta.from];
+      for (auto& [g, partial] : delta.changed) cache.Set(g, partial);
+      for (sim::GroupId g : delta.removed) cache.Erase(g);
     }
-    // Rebuild this node's view from the cached child views + own reading.
-    agg::GroupView view;
-    for (sim::NodeId child : net_->tree().children(node)) {
-      for (const auto& [g, partial] : child_view_[child]) view.MergePartial(g, partial);
-    }
-    if (node != sim::kSinkId) {
-      view.AddReading(GroupOf(node), gen_->Value(node, epoch));
-      PruneView(node, view);
-    }
+    // Rebuild this node's view from the cached child views + own reading,
+    // into per-instance scratch reused across nodes and epochs.
+    agg::GroupView& view = update_scratch_;
+    view.clear();
+    for (sim::NodeId child : net_->tree().children(node)) view.MergeView(child_view_[child]);
     if (node == sim::kSinkId) {
-      return Msg{};  // value unused; sink result read from child_view_ merge below
+      // The sink's materialized view V_0 — its children's deltas were just
+      // applied, so the merge of their caches is current.
+      sink_view_ = view;
+      return Msg{};  // value unused; the sink transmits nothing
     }
-    // Delta against what the parent believes (the Update Phase proper).
+    view.AddReading(GroupOf(node), gen_->Value(node, epoch));
+    PruneView(node, view);
+    // Delta against what the parent believes (the Update Phase proper):
+    // both sides are sorted by group, so the diff is one linear walk.
     Msg delta;
     delta.from = node;
-    const auto& sent = last_sent_[node];
-    for (const auto& [g, partial] : view.entries()) {
-      auto it = sent.find(g);
-      if (it == sent.end() || !SamePartial(it->second, partial)) {
-        delta.changed.emplace_back(g, partial);
+    const auto& cur = view.entries();
+    const auto& sent = last_sent_[node].entries();
+    if (options_.delta_updates) {
+      size_t i = 0;
+      size_t j = 0;
+      while (i < cur.size() || j < sent.size()) {
+        if (j == sent.size() || (i < cur.size() && cur[i].first < sent[j].first)) {
+          delta.changed.push_back(cur[i]);
+          ++i;
+        } else if (i == cur.size() || sent[j].first < cur[i].first) {
+          delta.removed.push_back(sent[j].first);
+          ++j;
+        } else {
+          if (!SamePartial(cur[i].second, sent[j].second)) delta.changed.push_back(cur[i]);
+          ++i;
+          ++j;
+        }
       }
-    }
-    for (const auto& [g, partial] : sent) {
-      if (!view.Contains(g)) delta.removed.push_back(g);
-    }
-    if (!options_.delta_updates) {
-      // Ablation: full-view resend, no tombstones needed.
-      delta.changed.assign(view.entries().begin(), view.entries().end());
-      delta.removed.clear();
+    } else {
+      // Ablation: full-view resend, plus tombstones for vanished groups.
+      delta.changed.assign(cur.begin(), cur.end());
       for (const auto& [g, partial] : sent) {
         if (!view.Contains(g)) delta.removed.push_back(g);
       }
@@ -240,7 +250,7 @@ agg::GroupView MintViews::RunUpdateWave(sim::Epoch epoch) {
       // Nothing changed: the parent's cached V'_i is still current.
       return std::nullopt;
     }
-    last_sent_[node] = view.entries();
+    last_sent_[node] = view;
     return delta;
   };
   auto wire_bytes = [&](const Msg& m) {
@@ -249,17 +259,11 @@ agg::GroupView MintViews::RunUpdateWave(sim::Epoch epoch) {
     size_t tombstones = m.removed.empty() ? 0 : 2 + 2 * m.removed.size();
     return kMsgHeaderBytes + agg::codec::ViewWireBytes(spec_.agg, m.changed.size()) + tombstones;
   };
-  sim::UpWave<Msg>::Run(*net_, produce, wire_bytes);
-
-  // The sink's materialized view V_0 = merge of its children's cached views.
-  agg::GroupView sink_view;
-  for (sim::NodeId child : net_->tree().children(sim::kSinkId)) {
-    for (const auto& [g, partial] : child_view_[child]) sink_view.MergePartial(g, partial);
-  }
-  return sink_view;
+  sim::UpWave<Msg>::Run(*net_, produce, wire_bytes, &update_wave_ws_);
+  return sink_view_;
 }
 
-TopKResult MintViews::EvaluateAtSink(sim::Epoch epoch, agg::GroupView sink_view) {
+TopKResult MintViews::EvaluateAtSink(sim::Epoch epoch, const agg::GroupView& sink_view) {
   // Accept a group when its value is known exactly (complete merge) and it
   // clears the threshold in force at the nodes. MAX needs no completeness:
   // every contribution >= tau survived pruning, so a merged value >= tau is
@@ -321,8 +325,7 @@ TopKResult MintViews::RunCreation(sim::Epoch epoch) {
 
 TopKResult MintViews::RunEpoch(sim::Epoch epoch) {
   if (!created_) return RunCreation(epoch);
-  agg::GroupView sink_view = RunUpdateWave(epoch);
-  return EvaluateAtSink(epoch, std::move(sink_view));
+  return EvaluateAtSink(epoch, RunUpdateWave(epoch));
 }
 
 void MintViews::OnTopologyChanged() {
@@ -334,6 +337,111 @@ void MintViews::OnTopologyChanged() {
   have_last_kth_ = false;
   if (created_) ++churn_rebuild_count_;
   created_ = false;  // next RunEpoch re-creates over the survivors
+}
+
+void MintViews::RecountCardinalities() {
+  const sim::RoutingTree& tree = net_->tree();
+  size_t n = net_->topology().num_nodes();
+  total_count_.clear();
+  for (sim::NodeId id = 1; id < n; ++id) {
+    if (net_->NodeAlive(id) && tree.attached(id)) ++total_count_[GroupOf(id)];
+  }
+  total_groups_ = total_count_.size();
+  // Subtree cardinalities, accumulated leaves-first. Equals what a lossless
+  // creation wave would record; the churn layer's join handshakes and the
+  // report/retraction messages charged by the incremental repair are how the
+  // counts travel in protocol terms.
+  for (auto& counts : subtree_count_) counts.clear();
+  for (sim::NodeId node : tree.post_order()) {
+    auto& counts = subtree_count_[node];
+    for (sim::NodeId child : tree.children(node)) {
+      for (const auto& [g, c] : subtree_count_[child]) counts[g] += c;
+    }
+    if (node != sim::kSinkId && net_->NodeAlive(node)) ++counts[GroupOf(node)];
+  }
+}
+
+void MintViews::OnTopologyChanged(const sim::TopologyDelta& delta) {
+  if (!created_) return;  // nothing cached yet; creation covers the new tree
+  const sim::RoutingTree& tree = net_->tree();
+  size_t affected = delta.removed.size() + delta.reattached.size();
+  if (!options_.incremental_repair || delta.empty() ||
+      2 * affected >= std::max<size_t>(tree.AttachedCount(), 1)) {
+    // Massive churn: re-running the creation phase is cheaper than paying
+    // per-subtree repairs over most of the tree.
+    OnTopologyChanged();
+    return;
+  }
+  ++incremental_repair_count_;
+  net_->SetPhase("mint.repair");
+  // 1) Nodes that left the tree: evict their caches so a later re-attach
+  //    starts clean. The former parent (which observed the departure) is a
+  //    source of the cardinality-delta converge-cast charged in step 3.
+  for (const auto& [node, old_parent] : delta.removed) {
+    (void)old_parent;
+    last_sent_[node].clear();
+    child_view_[node].clear();
+    subtree_count_[node].clear();
+    tau_valid_at_[node] = 0;
+  }
+  // 2) Re-attached subtree roots: the new parent caches nothing for them, so
+  //    the next update wave re-sends the full pruned view through the
+  //    ordinary delta mechanism (charged there). The current threshold must
+  //    also hold throughout the subtree — non-uniform thresholds are what
+  //    breaks the under-run safety argument. The join accept carries tau and
+  //    its beacon generation to the root for free; only members whose tau is
+  //    actually stale (they missed beacons while detached or down) cost a
+  //    relayed install message.
+  for (sim::NodeId root : delta.reattached) {
+    last_sent_[root].clear();
+    child_view_[root].clear();
+    if (!tree.attached(root) || !net_->NodeAlive(root)) continue;  // gone again
+    std::vector<sim::NodeId> stack = {root};
+    while (!stack.empty()) {
+      sim::NodeId m = stack.back();
+      stack.pop_back();
+      bool stale = tau_version_at_[m] != tau_version_ || tau_at_[m] != pruning_tau_ ||
+                   (tau_valid_at_[m] != 0) != pruning_tau_valid_;
+      if (stale) {
+        tau_at_[m] = pruning_tau_;
+        tau_valid_at_[m] = pruning_tau_valid_ ? 1 : 0;
+        tau_version_at_[m] = tau_version_;
+        if (m != root && net_->NodeAlive(tree.parent(m)) && net_->NodeAlive(m)) {
+          net_->DeliverControl(tree.parent(m), m, kBeaconBytes);
+        }
+      }
+      for (sim::NodeId c : tree.children(m)) stack.push_back(c);
+    }
+  }
+  // 3) Re-derive the cardinality bookkeeping over the survivors, and charge
+  //    one cardinality-delta converge-cast toward the sink: every former
+  //    parent of a departed node and every re-attached root reports its
+  //    subtree's new group table up; reports merge at shared ancestors like
+  //    any converge-cast, so each tree edge on the union of affected paths
+  //    carries exactly one message per repair event. Control traffic rides
+  //    link-layer ARQ like the join handshakes (DeliverControl).
+  RecountCardinalities();
+  std::vector<uint8_t> on_path(tree.num_nodes(), 0);
+  auto mark_path = [&](sim::NodeId start) {
+    for (sim::NodeId cur = start; cur != sim::kSinkId; cur = tree.parent(cur)) {
+      if (on_path[cur]) break;  // shared prefix already marked
+      on_path[cur] = 1;
+    }
+  };
+  for (const auto& [node, old_parent] : delta.removed) {
+    if (old_parent != sim::kNoNode && net_->NodeAlive(old_parent) && tree.attached(old_parent)) {
+      mark_path(old_parent);
+    }
+  }
+  for (sim::NodeId root : delta.reattached) {
+    if (tree.attached(root) && net_->NodeAlive(root)) mark_path(root);
+  }
+  for (sim::NodeId node : tree.post_order()) {
+    if (node == sim::kSinkId || !on_path[node]) continue;
+    sim::NodeId parent = tree.parent(node);
+    if (!net_->NodeAlive(node) || !net_->NodeAlive(parent)) continue;
+    net_->DeliverControl(node, parent, kCardinalityDeltaBytes);
+  }
 }
 
 }  // namespace kspot::core

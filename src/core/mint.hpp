@@ -1,11 +1,12 @@
 #pragma once
 
 #include <algorithm>
-#include <map>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/epoch_algorithm.hpp"
+#include "sim/waves.hpp"
 
 namespace kspot::core {
 
@@ -42,6 +43,17 @@ namespace kspot::core {
 ///
 /// Under message loss the algorithm degrades to best-effort (view caches can
 /// go stale) and the benchmarks report recall instead of exactness.
+///
+/// **Churn response.** After tree membership changes the view hierarchy is
+/// repaired *incrementally* (when Options::incremental_repair, the default):
+/// only the caches of nodes that left or re-attached are evicted, the
+/// cardinality bookkeeping is re-derived over the survivors (charged as
+/// retraction / subtree-report control messages along the affected paths),
+/// the current tau is installed throughout each re-attached subtree, and the
+/// next ordinary update wave re-fills the invalidated caches through the
+/// delta mechanism. The pre-existing behaviour — drop everything and re-run
+/// the O(n) creation phase — remains as the fallback for massive churn and
+/// as the ablation baseline.
 class MintViews : public EpochAlgorithm {
  public:
   /// Ablation switches (benchmark E12).
@@ -57,6 +69,9 @@ class MintViews : public EpochAlgorithm {
     /// materialized-view maintenance of the Update Phase). Off = resend the
     /// full pruned view every epoch.
     bool delta_updates = true;
+    /// Repair the view hierarchy incrementally after churn (evict only the
+    /// affected subtrees) instead of re-running the full creation phase.
+    bool incremental_repair = true;
     /// Hysteresis subtracted from the k-th value before broadcasting tau,
     /// as a fraction of the value domain; larger = fewer tau rebroadcasts
     /// and repairs, weaker pruning.
@@ -69,19 +84,26 @@ class MintViews : public EpochAlgorithm {
   std::string name() const override { return "MINT"; }
   TopKResult RunEpoch(sim::Epoch epoch) override;
 
-  /// Stale-view eviction after churn: every cached child view, delta
-  /// baseline, subtree cardinality and installed threshold may reference
-  /// nodes that left (or re-entered) the tree, and the global group
-  /// cardinalities n_g change with the population. Everything is dropped
-  /// and the next epoch re-runs the creation phase over the surviving
-  /// topology, re-counting n_g so completeness checks and gamma bounds hold
-  /// on the survivors.
+  /// Full stale-view eviction after churn (the conservative fallback):
+  /// every cached child view, delta baseline, subtree cardinality and
+  /// installed threshold may reference nodes that left (or re-entered) the
+  /// tree, and the global group cardinalities n_g change with the
+  /// population. Everything is dropped and the next epoch re-runs the
+  /// creation phase over the surviving topology, re-counting n_g so
+  /// completeness checks and gamma bounds hold on the survivors.
   void OnTopologyChanged() override;
+
+  /// Incremental churn repair (see the class comment). Falls back to the
+  /// full eviction when incremental repair is disabled or the change set
+  /// covers most of the tree.
+  void OnTopologyChanged(const sim::TopologyDelta& delta) override;
 
   /// Number of probe/repair rounds triggered so far (cost visibility).
   int repair_count() const { return repair_count_; }
-  /// Number of churn-forced view rebuilds (OnTopologyChanged after creation).
+  /// Number of churn-forced *full* view rebuilds (creation re-runs).
   int churn_rebuild_count() const { return churn_rebuild_count_; }
+  /// Number of churn events absorbed by incremental repair (no full rebuild).
+  int incremental_repair_count() const { return incremental_repair_count_; }
   /// Number of tau beacons broadcast so far.
   int beacon_count() const { return beacon_count_; }
   /// Current pruning threshold in force at the nodes; meaningful once
@@ -93,11 +115,19 @@ class MintViews : public EpochAlgorithm {
   bool created() const { return created_; }
 
  private:
+  /// One delta update: entries that changed plus groups that disappeared.
+  struct Delta {
+    sim::NodeId from = sim::kNoNode;
+    std::vector<std::pair<sim::GroupId, agg::PartialAgg>> changed;
+    std::vector<sim::GroupId> removed;
+  };
+
   Options options_;
   bool created_ = false;
   int repair_count_ = 0;
   int beacon_count_ = 0;
   int churn_rebuild_count_ = 0;
+  int incremental_repair_count_ = 0;
   size_t total_groups_ = 0;
 
   /// Global group cardinalities n_g (disseminated in the creation phase).
@@ -107,10 +137,24 @@ class MintViews : public EpochAlgorithm {
   /// Per node: the threshold currently installed (beacons can be lost).
   std::vector<double> tau_at_;
   std::vector<uint8_t> tau_valid_at_;
+  /// Beacon generation counter and, per node, the generation it last heard —
+  /// how the incremental churn repair tells a re-attached node whose tau is
+  /// still current (detached and re-joined between two beacons: install is
+  /// free, the version rides the join handshake) from one that missed
+  /// beacons while away (a real install message is charged).
+  uint32_t tau_version_ = 0;
+  std::vector<uint32_t> tau_version_at_;
   /// Per node: the V'_i its parent currently caches (what was last sent).
-  std::vector<std::map<sim::GroupId, agg::PartialAgg>> last_sent_;
+  std::vector<agg::GroupView> last_sent_;
   /// Per node: cached views of its children, maintained from deltas.
-  std::vector<std::map<sim::GroupId, agg::PartialAgg>> child_view_;
+  std::vector<agg::GroupView> child_view_;
+
+  /// Reusable wave state (inboxes, scratch views) — allocated once, reused
+  /// every epoch.
+  sim::UpWave<agg::GroupView>::Workspace full_wave_ws_;
+  sim::UpWave<Delta>::Workspace update_wave_ws_;
+  agg::GroupView update_scratch_;
+  agg::GroupView sink_view_;
 
   /// Threshold in force at the nodes (last broadcast), with margin applied.
   double pruning_tau_ = 0.0;
@@ -131,10 +175,15 @@ class MintViews : public EpochAlgorithm {
   void DisseminateState(bool include_cardinalities, const char* phase);
   /// Decides whether tau must be re-broadcast given the new k-th value.
   void MaybeRebroadcastTau(double kth_value, bool have_kth);
-  /// The per-epoch update phase; returns the sink's materialized view.
-  agg::GroupView RunUpdateWave(sim::Epoch epoch);
+  /// The per-epoch update phase; returns the sink's materialized view
+  /// (a reference into reused per-instance storage, valid until the next
+  /// wave).
+  agg::GroupView& RunUpdateWave(sim::Epoch epoch);
   /// Evaluates the sink view; on under-run triggers repair. Fills `result`.
-  TopKResult EvaluateAtSink(sim::Epoch epoch, agg::GroupView sink_view);
+  TopKResult EvaluateAtSink(sim::Epoch epoch, const agg::GroupView& sink_view);
+  /// Re-derives n_g and every node's subtree cardinalities from the current
+  /// tree and the surviving population (incremental churn repair).
+  void RecountCardinalities();
 
   /// n_g lookup (1 under node grouping).
   uint32_t TotalCount(sim::GroupId g) const;

@@ -10,7 +10,7 @@ TopKResult NaiveTopK::RunEpoch(sim::Epoch epoch) {
   net_->SetPhase("naive.collect");
   auto produce = [&](sim::NodeId node, std::vector<Msg>&& inbox) -> std::optional<Msg> {
     Msg view;
-    for (Msg& child : inbox) view.MergeView(child);
+    for (Msg& child : inbox) view.MergeView(std::move(child));
     if (node != sim::kSinkId) {
       view.AddReading(GroupOf(node), gen_->Value(node, epoch));
       // The greedy local cut: anything below the node's own top-k is gone,
@@ -22,7 +22,7 @@ TopKResult NaiveTopK::RunEpoch(sim::Epoch epoch) {
   auto wire_bytes = [&](const Msg& m) {
     return kMsgHeaderBytes + agg::codec::ViewWireBytes(spec_.agg, m.size());
   };
-  auto sink = sim::UpWave<Msg>::Run(*net_, produce, wire_bytes);
+  auto sink = sim::UpWave<Msg>::Run(*net_, produce, wire_bytes, &wave_ws_);
 
   TopKResult result;
   result.epoch = epoch;

@@ -1,6 +1,7 @@
 #pragma once
 
 #include "core/epoch_algorithm.hpp"
+#include "sim/waves.hpp"
 
 namespace kspot::core {
 
@@ -15,6 +16,10 @@ class NaiveTopK : public EpochAlgorithm {
 
   std::string name() const override { return "Naive"; }
   TopKResult RunEpoch(sim::Epoch epoch) override;
+
+ private:
+  /// Reused across epochs.
+  sim::UpWave<agg::GroupView>::Workspace wave_ws_;
 };
 
 }  // namespace kspot::core

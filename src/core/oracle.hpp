@@ -45,9 +45,16 @@ class Oracle {
   const QuerySpec& spec() const { return spec_; }
 
  private:
+  /// Shared build loop of FullViewOver / TopKOver: appends the contributing
+  /// sensors' readings of `epoch` into `view`.
+  void FillViewOver(agg::GroupView& view, sim::Epoch epoch, const Contributes& contributes) const;
+
   const sim::Topology* topology_;
   data::DataGenerator* gen_;
   QuerySpec spec_;
+  /// Scratch view reused by TopK/TopKOver across epochs (oracles are
+  /// per-trial objects; methods are not thread-safe against each other).
+  mutable agg::GroupView scratch_;
 };
 
 }  // namespace kspot::core

@@ -1,16 +1,16 @@
 #include "core/tag.hpp"
 
 #include "agg/group_view.hpp"
-#include "sim/waves.hpp"
 
 namespace kspot::core {
 
 agg::GroupView TagTopK::CollectFullView(sim::Network& net, data::DataGenerator& gen,
-                                        const QuerySpec& spec, sim::Epoch epoch) {
+                                        const QuerySpec& spec, sim::Epoch epoch,
+                                        sim::UpWave<agg::GroupView>::Workspace* workspace) {
   using Msg = agg::GroupView;
   auto produce = [&](sim::NodeId node, std::vector<Msg>&& inbox) -> std::optional<Msg> {
     Msg view;
-    for (Msg& child : inbox) view.MergeView(child);
+    for (Msg& child : inbox) view.MergeView(std::move(child));
     if (node != sim::kSinkId) {
       view.AddReading(spec.GroupOf(net.topology(), node), gen.Value(node, epoch));
     }
@@ -19,13 +19,13 @@ agg::GroupView TagTopK::CollectFullView(sim::Network& net, data::DataGenerator& 
   auto wire_bytes = [&](const Msg& m) {
     return kMsgHeaderBytes + agg::codec::ViewWireBytes(spec.agg, m.size());
   };
-  auto sink = sim::UpWave<Msg>::Run(net, produce, wire_bytes);
+  auto sink = sim::UpWave<Msg>::Run(net, produce, wire_bytes, workspace);
   return sink.value_or(Msg{});
 }
 
 TopKResult TagTopK::RunEpoch(sim::Epoch epoch) {
   net_->SetPhase("tag.collect");
-  agg::GroupView view = CollectFullView(*net_, *gen_, spec_, epoch);
+  agg::GroupView view = CollectFullView(*net_, *gen_, spec_, epoch, &wave_ws_);
   TopKResult result;
   result.epoch = epoch;
   result.contributors = view.ContributorCount();

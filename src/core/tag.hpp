@@ -1,6 +1,7 @@
 #pragma once
 
 #include "core/epoch_algorithm.hpp"
+#include "sim/waves.hpp"
 
 namespace kspot::core {
 
@@ -18,9 +19,16 @@ class TagTopK : public EpochAlgorithm {
   TopKResult RunEpoch(sim::Epoch epoch) override;
 
   /// Runs one full-aggregation converge-cast and returns the sink's complete
-  /// view (shared by MINT's creation/repair phases).
+  /// view (shared by MINT's creation/repair phases). `workspace` (optional)
+  /// lets continuous callers reuse the per-node inboxes across epochs.
   static agg::GroupView CollectFullView(sim::Network& net, data::DataGenerator& gen,
-                                        const QuerySpec& spec, sim::Epoch epoch);
+                                        const QuerySpec& spec, sim::Epoch epoch,
+                                        sim::UpWave<agg::GroupView>::Workspace* workspace =
+                                            nullptr);
+
+ private:
+  /// Reused across epochs by RunEpoch.
+  sim::UpWave<agg::GroupView>::Workspace wave_ws_;
 };
 
 }  // namespace kspot::core

@@ -50,18 +50,13 @@ Tja::Tja(sim::Network* net, const HistorySource* history, HistoricOptions option
     : net_(net), history_(history), options_(options) {}
 
 Tja::LbOutcome Tja::LowerBoundPhase(size_t k_deep) {
-  // LB message: the union view (key -> partial aggregate, merged across the
-  // subtree) plus the subtree-aggregated union threshold.
-  struct Msg {
-    agg::GroupView view;
-    int64_t m_sum_fx = 0;  // sum of m_i over the subtree (for AVG/SUM)
-  };
+  using Msg = LbMsg;
   net_->SetPhase("tja.lb");
   lb_contributed_.assign(history_->num_nodes(), {});
   auto produce = [&](sim::NodeId node, std::vector<Msg>&& inbox) -> std::optional<Msg> {
     Msg out;
     for (Msg& child : inbox) {
-      out.view.MergeView(child.view);
+      out.view.MergeView(std::move(child.view));
       out.m_sum_fx += child.m_sum_fx;
     }
     if (node != sim::kSinkId) {
@@ -77,7 +72,7 @@ Tja::LbOutcome Tja::LowerBoundPhase(size_t k_deep) {
   auto wire_bytes = [&](const Msg& m) {
     return kMsgHeaderBytes + agg::codec::ViewWireBytes(options_.agg, m.view.size()) + 8;
   };
-  auto sink = sim::UpWave<Msg>::Run(*net_, produce, wire_bytes);
+  auto sink = sim::UpWave<Msg>::Run(*net_, produce, wire_bytes, &lb_ws_);
 
   LbOutcome outcome;
   if (sink.has_value()) {
@@ -145,7 +140,7 @@ agg::GroupView Tja::HierarchicalJoinPhase(const std::vector<sim::GroupId>& lsink
   using UpMsg = agg::GroupView;
   auto up_produce = [&](sim::NodeId node, std::vector<UpMsg>&& inbox) -> std::optional<UpMsg> {
     UpMsg view;
-    for (UpMsg& child : inbox) view.MergeView(child);
+    for (UpMsg& child : inbox) view.MergeView(std::move(child));
     if (node != sim::kSinkId) {
       std::vector<double> window = history_->Window(node);
       for (sim::GroupId key : to_answer[node]) {
@@ -160,7 +155,7 @@ agg::GroupView Tja::HierarchicalJoinPhase(const std::vector<sim::GroupId>& lsink
   auto up_bytes = [&](const UpMsg& m) {
     return kMsgHeaderBytes + agg::codec::ViewWireBytes(options_.agg, m.size());
   };
-  auto sink = sim::UpWave<UpMsg>::Run(*net_, up_produce, up_bytes);
+  auto sink = sim::UpWave<UpMsg>::Run(*net_, up_produce, up_bytes, &hj_ws_);
   return sink.value_or(UpMsg{});
 }
 

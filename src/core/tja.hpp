@@ -8,6 +8,7 @@
 #include "core/epoch_algorithm.hpp"
 #include "core/history_source.hpp"
 #include "sim/network.hpp"
+#include "sim/waves.hpp"
 
 namespace kspot::core {
 
@@ -79,6 +80,17 @@ class Tja {
     agg::GroupView union_view;  ///< Partial aggregates for Lsink keys.
     double tau_u = 0.0;         ///< Union threshold.
   };
+
+  /// LB message: the union view (key -> partial aggregate, merged across the
+  /// subtree) plus the subtree-aggregated union threshold.
+  struct LbMsg {
+    agg::GroupView view;
+    int64_t m_sum_fx = 0;  ///< Sum of m_i over the subtree (for AVG/SUM).
+  };
+
+  /// Wave inboxes reused across Clean-Up deepening rounds.
+  sim::UpWave<LbMsg>::Workspace lb_ws_;
+  sim::UpWave<agg::GroupView>::Workspace hj_ws_;
 
   /// Phase 1 with local list depth `k_deep`.
   LbOutcome LowerBoundPhase(size_t k_deep);

@@ -79,7 +79,7 @@ ChurnReport ChurnEngine::BeginEpoch(sim::Epoch epoch) {
     if (!net_->NodeAlive(sim::kSinkId)) break;
     sim::RepairReport repair = tree_->Repair(
         net_->topology(), adjacency_, [this](sim::NodeId id) { return net_->NodeAlive(id); },
-        repair_rng);
+        repair_rng, &repair_workspace_);
     last_detached_ = repair.detached;
     report.detached = repair.detached;
     // Only an *actual* tree change notifies algorithms and counts as a
@@ -88,6 +88,7 @@ ChurnReport ChurnEngine::BeginEpoch(sim::Epoch epoch) {
     // spurious full rebuild.
     if (!repair.changed) continue;
     report.topology_changed = true;
+    report.delta.Accumulate(repair);
     net_->SetPhase("fault.repair");
     for (const sim::RepairOp& op : repair.reattached) {
       net_->DeliverControl(op.node, op.new_parent, kJoinRequestBytes);

@@ -20,6 +20,11 @@ struct ChurnReport {
   /// True when tree membership changed: algorithms must evict state keyed on
   /// the old tree (see EpochAlgorithm::OnTopologyChanged).
   bool topology_changed = false;
+  /// Exactly which nodes left the tree and which orphan-subtree roots
+  /// re-attached, accumulated across this epoch's repair passes — feed it to
+  /// EpochAlgorithm::OnTopologyChanged(delta) so stateful algorithms repair
+  /// incrementally.
+  sim::TopologyDelta delta;
 };
 
 /// Executes a FaultPlan against a live Network / RoutingTree pair: applies
@@ -63,6 +68,8 @@ class ChurnEngine {
   /// The (immutable) topology adjacency, built once so repeated repairs skip
   /// the O(n^2) rebuild.
   std::vector<std::vector<sim::NodeId>> adjacency_;
+  /// Reusable Repair scratch (heard lists, frontier, attachment marks).
+  sim::RepairWorkspace repair_workspace_;
   size_t next_event_ = 0;
   std::vector<uint8_t> was_alive_;
   size_t repair_events_ = 0;

@@ -187,11 +187,11 @@ RunOutcome KSpotServer::RunSnapshot(const query::ParsedQuery& parsed, bool mint,
     }
     fault::FaultPlan plan =
         fault::FaultPlan::Generate(topology_, churn_opt, options_.seed ^ 0xFA11);
-    churn = std::make_unique<fault::ChurnEngine>(&net, &tree, plan);
     if (options_.run_baseline) {
       baseline_churn =
           std::make_unique<fault::ChurnEngine>(&baseline_net, &baseline_tree, plan);
     }
+    churn = std::make_unique<fault::ChurnEngine>(&net, &tree, std::move(plan));
   }
 
   sim::TrafficCounters last{};
@@ -200,7 +200,7 @@ RunOutcome KSpotServer::RunSnapshot(const query::ParsedQuery& parsed, bool mint,
     auto epoch = static_cast<sim::Epoch>(e);
     if (churn) {
       fault::ChurnReport report = churn->BeginEpoch(epoch);
-      if (report.topology_changed) algo->OnTopologyChanged();
+      if (report.topology_changed) algo->OnTopologyChanged(report.delta);
     }
     core::TopKResult result = algo->RunEpoch(epoch);
     outcome.panel.RecordKspotEpoch(net.total().Since(last));
@@ -208,7 +208,7 @@ RunOutcome KSpotServer::RunSnapshot(const query::ParsedQuery& parsed, bool mint,
     if (options_.run_baseline) {
       if (baseline_churn) {
         fault::ChurnReport report = baseline_churn->BeginEpoch(epoch);
-        if (report.topology_changed) baseline.OnTopologyChanged();
+        if (report.topology_changed) baseline.OnTopologyChanged(report.delta);
       }
       baseline.RunEpoch(epoch);
       outcome.panel.RecordBaselineEpoch(baseline_net.total().Since(baseline_last));

@@ -33,9 +33,15 @@ Network::Network(const Topology* topology, const RoutingTree* tree, NetworkOptio
       meters_(topology->num_nodes(), EnergyMeter(options.battery_j)),
       up_(topology->num_nodes(), 1),
       extra_loss_(topology->num_nodes(), 0.0),
-      sent_by_(topology->num_nodes(), 0) {}
+      sent_by_(topology->num_nodes(), 0) {
+  phase_counters_ = &by_phase_[phase_];
+}
 
-void Network::SetPhase(std::string phase) { phase_ = std::move(phase); }
+void Network::SetPhase(const std::string& phase) {
+  if (phase == phase_) return;
+  phase_ = phase;
+  phase_counters_ = &by_phase_[phase_];
+}
 
 TrafficCounters Network::PhaseTotal(const std::string& phase) const {
   auto it = by_phase_.find(phase);
@@ -107,7 +113,7 @@ bool Network::UnicastToParent(NodeId child, size_t payload_bytes) {
     }
   }
   total_.Add(delta);
-  by_phase_[phase_].Add(delta);
+  phase_counters_->Add(delta);
   events_.AdvanceTo(events_.now() + options_.radio.AirtimeMicros(payload_bytes));
   return delivered;
 }
@@ -151,7 +157,7 @@ bool Network::UnicastDownPath(NodeId target, size_t payload_bytes) {
       }
     }
     total_.Add(delta);
-    by_phase_[phase_].Add(delta);
+    phase_counters_->Add(delta);
     events_.AdvanceTo(events_.now() + options_.radio.AirtimeMicros(payload_bytes));
     if (!delivered) return false;
   }
@@ -181,7 +187,7 @@ std::vector<NodeId> Network::BroadcastToChildren(NodeId node, size_t payload_byt
     if (!lost) delivered.push_back(child);
   }
   total_.Add(delta);
-  by_phase_[phase_].Add(delta);
+  phase_counters_->Add(delta);
   events_.AdvanceTo(events_.now() + options_.radio.AirtimeMicros(payload_bytes));
   return delivered;
 }
@@ -193,7 +199,7 @@ void Network::DeliverControl(NodeId from, NodeId to, size_t payload_bytes) {
   meters_[to].AddRx(rx_j);
   delta.rx_energy_j += rx_j;
   total_.Add(delta);
-  by_phase_[phase_].Add(delta);
+  phase_counters_->Add(delta);
   events_.AdvanceTo(events_.now() + options_.radio.AirtimeMicros(payload_bytes));
 }
 

@@ -63,6 +63,12 @@ class Network {
   Network(const Topology* topology, const RoutingTree* tree, NetworkOptions options,
           util::Rng rng);
 
+  // Non-copyable/movable: phase_counters_ points into this object's
+  // by_phase_ map, so a defaulted copy would write through a pointer into
+  // the source object.
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
   /// Sends `payload_bytes` from `child` to its parent, applying loss and up
   /// to `max_retries` retransmissions. Every attempt is charged to the
   /// sender; receive energy only on delivered attempts. Returns true when
@@ -84,8 +90,8 @@ class Network {
   bool UnicastDownPath(NodeId target, size_t payload_bytes);
 
   /// Attributes subsequent traffic to a named protocol phase
-  /// (e.g. "mint.update", "tja.lb").
-  void SetPhase(std::string phase);
+  /// (e.g. "mint.update", "tja.lb"). Cheap when the phase is unchanged.
+  void SetPhase(const std::string& phase);
   /// The current phase label.
   const std::string& phase() const { return phase_; }
 
@@ -158,6 +164,9 @@ class Network {
   TrafficCounters total_;
   std::map<std::string, TrafficCounters> by_phase_;
   std::string phase_ = "default";
+  /// Counter bucket of the current phase (std::map values are pointer-stable)
+  /// so per-message accounting skips the string-keyed lookup.
+  TrafficCounters* phase_counters_ = nullptr;
 
   void ChargeTx(NodeId sender, size_t payload_bytes, TrafficCounters& counters);
 };

@@ -10,36 +10,50 @@ namespace {
 
 /// One round of the cluster-aware first-heard adoption discipline: every
 /// node in `frontier` beacons (in rng-shuffled order, modeling radio/arrival
-/// nondeterminism); each node for which `wants_parent` holds and that heard
-/// one or more beacons adopts a same-room non-sink broadcaster when it heard
-/// one, the first heard otherwise. Returns the (node, parent) adoptions in
-/// node order. Shared by BuildClusterAware and Repair so the re-attachment
-/// rule can never drift from the construction rule.
+/// nondeterminism); each node of `candidates` (ascending; the nodes wanting
+/// a parent) that heard one or more beacons adopts a same-room non-sink
+/// broadcaster when it heard one, the first heard otherwise. Returns the
+/// (node, parent) adoptions in node order. Shared by BuildClusterAware and
+/// Repair so the re-attachment rule can never drift from the construction
+/// rule.
+///
+/// The loop is candidate-driven: instead of every beaconing node scanning
+/// its whole neighborhood for joiners (O(|frontier| * degree), which is the
+/// entire attached component in a repair's first round), each of the few
+/// candidates scans its own neighborhood and reconstructs beacon arrival
+/// order from the shuffled frontier ranks — identical adoptions and
+/// identical rng consumption, proportional to the churn instead of the
+/// network.
 std::vector<std::pair<NodeId, NodeId>> ClusterAwareAdoptionRound(
     const Topology& topology, const std::vector<std::vector<NodeId>>& adj,
-    std::vector<NodeId> frontier, const std::function<bool(NodeId)>& wants_parent,
-    util::Rng& rng) {
+    std::vector<NodeId>& frontier, const std::vector<NodeId>& candidates, util::Rng& rng,
+    RepairWorkspace& workspace) {
   rng.Shuffle(frontier);
   size_t n = topology.num_nodes();
-  std::vector<std::vector<NodeId>> heard(n);
-  for (NodeId u : frontier) {
-    for (NodeId v : adj[u]) {
-      if (wants_parent(v)) heard[v].push_back(u);
-    }
+  if (workspace.frontier_pos.size() != n) workspace.frontier_pos.assign(n, -1);
+  for (size_t i = 0; i < frontier.size(); ++i) {
+    workspace.frontier_pos[frontier[i]] = static_cast<int32_t>(i);
   }
   std::vector<std::pair<NodeId, NodeId>> adoptions;
-  for (NodeId v = 0; v < n; ++v) {
-    if (heard[v].empty()) continue;
+  for (NodeId v : candidates) {
+    auto& heard = workspace.heard;
+    heard.clear();
+    for (NodeId u : adj[v]) {
+      if (workspace.frontier_pos[u] >= 0) heard.emplace_back(workspace.frontier_pos[u], u);
+    }
+    if (heard.empty()) continue;
+    std::sort(heard.begin(), heard.end());
     NodeId pick = kNoNode;
-    for (NodeId u : heard[v]) {
+    for (const auto& [rank, u] : heard) {
       if (topology.room(u) == topology.room(v) && u != kSinkId) {
         pick = u;
         break;
       }
     }
-    if (pick == kNoNode) pick = heard[v].front();
+    if (pick == kNoNode) pick = heard.front().second;
     adoptions.emplace_back(v, pick);
   }
+  for (NodeId u : frontier) workspace.frontier_pos[u] = -1;
   return adoptions;
 }
 
@@ -83,16 +97,25 @@ RoutingTree RoutingTree::BuildClusterAware(const Topology& topology, util::Rng& 
   // several beacons in the same round adopts a same-room broadcaster when
   // one exists (in a real deployment the cluster id rides in the beacon and
   // the node filters on it).
+  RepairWorkspace workspace;
   std::vector<NodeId> frontier = {kSinkId};
+  std::vector<NodeId> candidates;
+  candidates.reserve(n - 1);
+  for (NodeId v = 0; v < n; ++v) {
+    if (v != kSinkId) candidates.push_back(v);
+  }
   while (!frontier.empty()) {
-    auto adoptions = ClusterAwareAdoptionRound(
-        topology, adj, std::move(frontier), [&](NodeId v) { return !joined[v]; }, rng);
+    auto adoptions =
+        ClusterAwareAdoptionRound(topology, adj, frontier, candidates, rng, workspace);
     frontier.clear();
     for (const auto& [v, parent] : adoptions) {
       parents[v] = parent;
       joined[v] = true;
       frontier.push_back(v);
     }
+    candidates.erase(
+        std::remove_if(candidates.begin(), candidates.end(), [&](NodeId v) { return joined[v]; }),
+        candidates.end());
   }
   return FromParents(std::move(parents));
 }
@@ -128,13 +151,20 @@ RoutingTree RoutingTree::FromParents(std::vector<NodeId> parents) {
 
 void RoutingTree::FinishConstruction() {
   size_t n = parents_.size();
-  children_.assign(n, {});
+  // Clear-in-place instead of assign: repeated repairs (churn) keep the
+  // per-node children capacity instead of reallocating every pass.
+  if (children_.size() == n) {
+    for (auto& c : children_) c.clear();
+  } else {
+    children_.assign(n, {});
+  }
   depths_.assign(n, 0);
   attached_.assign(n, 0);
+  // Filling in ascending node order leaves every children list sorted; no
+  // per-list sort needed (repairs rebuild this every churn event).
   for (size_t i = 0; i < n; ++i) {
     if (parents_[i] != kNoNode) children_[parents_[i]].push_back(static_cast<NodeId>(i));
   }
-  for (auto& c : children_) std::sort(c.begin(), c.end());
   // Depths via pre-order walk from the sink. Nodes stranded by churn (no
   // parent chain to the sink) are never visited: they keep depth 0, stay out
   // of pre/post order and report attached() == false, so the epoch waves
@@ -159,6 +189,34 @@ void RoutingTree::FinishConstruction() {
   // simple trick: children-before-parent ordering by sorting pre_order_
   // reversed works because pre_order_ lists every parent before its children.
   post_order_.assign(pre_order_.rbegin(), pre_order_.rend());
+  // Slot-schedule order: the epoch scheduler fires node p (the p-th entry of
+  // post_order_) at slot (max_depth_ - depth) plus an intra-slot offset of p.
+  // Reproducing the (time, seq) order the event queue executed transmissions
+  // in means sorting by that key; as long as the intra-slot offsets cannot
+  // spill into the next slot (n < kSlotUs, i.e. any realistic network), that
+  // is simply "depth descending, post-order-stable" — an O(n) bucket fill.
+  wave_order_.resize(post_order_.size());
+  if (static_cast<TimeUs>(post_order_.size()) < kSlotUs) {
+    std::vector<size_t> cursor(static_cast<size_t>(max_depth_) + 1, 0);
+    for (NodeId node : post_order_) ++cursor[depths_[node]];
+    size_t acc = 0;
+    for (int d = max_depth_; d >= 0; --d) {
+      size_t count = cursor[d];
+      cursor[d] = acc;
+      acc += count;
+    }
+    for (NodeId node : post_order_) wave_order_[cursor[depths_[node]]++] = node;
+  } else {
+    wave_order_ = post_order_;
+    std::vector<uint64_t> slot_key(n, 0);
+    for (size_t p = 0; p < post_order_.size(); ++p) {
+      NodeId node = post_order_[p];
+      slot_key[node] =
+          static_cast<uint64_t>(max_depth_ - depths_[node]) * kSlotUs + static_cast<uint64_t>(p);
+    }
+    std::stable_sort(wave_order_.begin(), wave_order_.end(),
+                     [&](NodeId a, NodeId b) { return slot_key[a] < slot_key[b]; });
+  }
 }
 
 RepairReport RoutingTree::Repair(const Topology& topology,
@@ -168,7 +226,10 @@ RepairReport RoutingTree::Repair(const Topology& topology,
 
 RepairReport RoutingTree::Repair(const Topology& topology,
                                  const std::vector<std::vector<NodeId>>& adj,
-                                 const std::function<bool(NodeId)>& is_up, util::Rng& rng) {
+                                 const std::function<bool(NodeId)>& is_up, util::Rng& rng,
+                                 RepairWorkspace* workspace) {
+  RepairWorkspace local;
+  RepairWorkspace& ws = workspace != nullptr ? *workspace : local;
   size_t n = parents_.size();
   RepairReport report;
   // Phase 1 — strip the dead. A dead node leaves the tree entirely; its
@@ -178,6 +239,7 @@ RepairReport RoutingTree::Repair(const Topology& topology,
     if (v == kSinkId) continue;
     if (!is_up(v)) {
       if (parents_[v] != kNoNode) {
+        report.removed.emplace_back(v, parents_[v]);
         parents_[v] = kNoNode;
         ++report.dead_removed;
         report.changed = true;
@@ -191,20 +253,24 @@ RepairReport RoutingTree::Repair(const Topology& topology,
   }
   // Remaining parent edges connect up nodes only; the attached component is
   // whatever still reaches the sink over them.
-  std::vector<std::vector<NodeId>> kids(n);
-  for (size_t i = 0; i < n; ++i) {
-    if (parents_[i] != kNoNode) kids[parents_[i]].push_back(static_cast<NodeId>(i));
+  if (ws.kids.size() == n) {
+    for (auto& k : ws.kids) k.clear();
+  } else {
+    ws.kids.assign(n, {});
   }
-  std::vector<uint8_t> att(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    if (parents_[i] != kNoNode) ws.kids[parents_[i]].push_back(static_cast<NodeId>(i));
+  }
+  ws.attached.assign(n, 0);
   {
-    std::vector<NodeId> stack = {kSinkId};
-    att[kSinkId] = 1;
-    while (!stack.empty()) {
-      NodeId u = stack.back();
-      stack.pop_back();
-      for (NodeId c : kids[u]) {
-        att[c] = 1;
-        stack.push_back(c);
+    ws.stack.assign(1, kSinkId);
+    ws.attached[kSinkId] = 1;
+    while (!ws.stack.empty()) {
+      NodeId u = ws.stack.back();
+      ws.stack.pop_back();
+      for (NodeId c : ws.kids[u]) {
+        ws.attached[c] = 1;
+        ws.stack.push_back(c);
       }
     }
   }
@@ -213,42 +279,53 @@ RepairReport RoutingTree::Repair(const Topology& topology,
   // that hears beacons adopts a same-room broadcaster when one exists and
   // the first heard otherwise, then its intact subtree rides along and
   // beacons next round.
-  std::vector<NodeId> frontier;
+  ws.frontier.clear();
+  ws.candidates.clear();
   for (size_t i = 0; i < n; ++i) {
-    if (att[i]) frontier.push_back(static_cast<NodeId>(i));
+    if (ws.attached[i]) {
+      ws.frontier.push_back(static_cast<NodeId>(i));
+    } else if (is_up(static_cast<NodeId>(i))) {
+      ws.candidates.push_back(static_cast<NodeId>(i));
+    }
   }
-  while (!frontier.empty()) {
-    auto adoptions = ClusterAwareAdoptionRound(
-        topology, adj, std::move(frontier),
-        [&](NodeId v) { return is_up(v) && !att[v]; }, rng);
-    frontier.clear();
-    std::vector<NodeId> joined;
+  // Every round shuffles the frontier even when no candidate is left — the
+  // rng consumption must match the historical adoption rounds exactly, or
+  // repeated Repair calls in one epoch (mid-repair battery deaths) would
+  // diverge from the seed behaviour.
+  while (!ws.frontier.empty()) {
+    auto adoptions =
+        ClusterAwareAdoptionRound(topology, adj, ws.frontier, ws.candidates, rng, ws);
+    ws.frontier.clear();
+    // A joiner's surviving subtree is attached with it; all of the newly
+    // attached beacon in the next round.
     for (const auto& [v, parent] : adoptions) {
       parents_[v] = parent;
       report.reattached.push_back({v, parent});
       report.changed = true;
-      joined.push_back(v);
     }
-    // A joiner's surviving subtree is attached with it; all of the newly
-    // attached beacon in the next round.
-    for (NodeId root : joined) {
-      std::vector<NodeId> stack = {root};
-      while (!stack.empty()) {
-        NodeId u = stack.back();
-        stack.pop_back();
-        if (att[u]) continue;
-        att[u] = 1;
-        frontier.push_back(u);
-        for (NodeId c : kids[u]) {
+    for (const auto& [root, parent] : adoptions) {
+      ws.stack.assign(1, root);
+      while (!ws.stack.empty()) {
+        NodeId u = ws.stack.back();
+        ws.stack.pop_back();
+        if (ws.attached[u]) continue;
+        ws.attached[u] = 1;
+        ws.frontier.push_back(u);
+        for (NodeId c : ws.kids[u]) {
           // The old edge still holds only if c was not itself re-parented
           // this round (it then roots its own attached subtree).
-          if (parents_[c] == u) stack.push_back(c);
+          if (parents_[c] == u) ws.stack.push_back(c);
         }
       }
     }
+    if (!adoptions.empty()) {
+      ws.candidates.erase(std::remove_if(ws.candidates.begin(), ws.candidates.end(),
+                                         [&](NodeId v) { return ws.attached[v] != 0; }),
+                          ws.candidates.end());
+    }
   }
   for (size_t i = 0; i < n; ++i) {
-    if (is_up(static_cast<NodeId>(i)) && !att[i]) ++report.detached;
+    if (is_up(static_cast<NodeId>(i)) && !ws.attached[i]) ++report.detached;
   }
   FinishConstruction();
   return report;

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "sim/topology.hpp"
@@ -20,12 +21,50 @@ struct RepairOp {
 struct RepairReport {
   /// Parent adoptions in attachment order (round by round).
   std::vector<RepairOp> reattached;
+  /// Nodes stripped out of the tree by this pass, with the parent each hung
+  /// under before it died (kNoNode when it had none). Consumers use the old
+  /// parent to route cardinality retractions toward the sink.
+  std::vector<std::pair<NodeId, NodeId>> removed;
   /// Dead nodes stripped out of the tree by this pass.
   size_t dead_removed = 0;
   /// Up nodes left without a path to the sink (physically partitioned).
   size_t detached = 0;
   /// True when any parent edge changed.
   bool changed = false;
+};
+
+/// Accumulated tree-membership change set across one or more Repair passes —
+/// what stateful algorithms consume to repair their caches incrementally
+/// instead of rebuilding from scratch (EpochAlgorithm::OnTopologyChanged).
+struct TopologyDelta {
+  /// Orphan-subtree roots that adopted a new parent (their intact subtrees
+  /// rode along and did NOT change their own edges).
+  std::vector<NodeId> reattached;
+  /// Nodes stripped out of the tree (death), with their former parent.
+  std::vector<std::pair<NodeId, NodeId>> removed;
+
+  bool empty() const { return reattached.empty() && removed.empty(); }
+  void Clear() {
+    reattached.clear();
+    removed.clear();
+  }
+  void Accumulate(const RepairReport& report) {
+    for (const RepairOp& op : report.reattached) reattached.push_back(op.node);
+    removed.insert(removed.end(), report.removed.begin(), report.removed.end());
+  }
+};
+
+/// Reusable scratch buffers for Repair / the adoption rounds. Callers that
+/// repair repeatedly (the ChurnEngine, every epoch under churn) pass one in
+/// so the per-round O(n) vector allocations are paid once, not per repair.
+struct RepairWorkspace {
+  std::vector<int32_t> frontier_pos;       ///< Beacon arrival rank per node; -1 = silent.
+  std::vector<std::pair<int32_t, NodeId>> heard;  ///< (rank, beacon) pairs of one joiner.
+  std::vector<NodeId> candidates;          ///< Nodes currently wanting a parent.
+  std::vector<std::vector<NodeId>> kids;   ///< Surviving children lists.
+  std::vector<uint8_t> attached;           ///< Reached-from-sink marks.
+  std::vector<NodeId> frontier;            ///< Current beaconing set.
+  std::vector<NodeId> stack;               ///< DFS scratch.
 };
 
 /// Sink-rooted routing tree over a topology.
@@ -71,10 +110,12 @@ class RoutingTree {
                       util::Rng& rng);
 
   /// Repair overload taking the topology's adjacency (`Topology::BuildAdjacency`)
-  /// precomputed — callers that repair repeatedly (the ChurnEngine) avoid the
-  /// O(n^2) rebuild per call.
+  /// precomputed and an optional reusable workspace — callers that repair
+  /// repeatedly (the ChurnEngine) avoid the O(n^2) adjacency rebuild and the
+  /// per-call scratch allocations.
   RepairReport Repair(const Topology& topology, const std::vector<std::vector<NodeId>>& adj,
-                      const std::function<bool(NodeId)>& is_up, util::Rng& rng);
+                      const std::function<bool(NodeId)>& is_up, util::Rng& rng,
+                      RepairWorkspace* workspace = nullptr);
 
   /// Parent of `id`; kNoNode for the sink.
   NodeId parent(NodeId id) const { return parents_[id]; }
@@ -105,6 +146,15 @@ class RoutingTree {
   /// Nodes in pre order (sink first): dissemination order.
   const std::vector<NodeId>& pre_order() const { return pre_order_; }
 
+  /// Nodes in TAG slot-schedule transmission order: depth descending (the
+  /// deepest slot fires first), ties in the post-order position the epoch
+  /// scheduler enumerates. This is exactly the (time, sequence) execution
+  /// order the event queue produced when every transmission was an event, so
+  /// converge-casts that walk it directly consume randomness in the same
+  /// order and stay bit-identical — without a heap push/pop and a
+  /// std::function allocation per node per epoch.
+  const std::vector<NodeId>& wave_order() const { return wave_order_; }
+
   /// Number of nodes in the subtree rooted at `id` (including itself).
   size_t SubtreeSize(NodeId id) const;
 
@@ -114,6 +164,7 @@ class RoutingTree {
   std::vector<int> depths_;
   std::vector<NodeId> post_order_;
   std::vector<NodeId> pre_order_;
+  std::vector<NodeId> wave_order_;
   std::vector<uint8_t> attached_;
   int max_depth_ = 0;
 

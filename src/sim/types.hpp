@@ -18,6 +18,13 @@ inline constexpr NodeId kSinkId = 0;
 /// Simulated time in microseconds.
 using TimeUs = uint64_t;
 
+/// Duration of one TAG epoch-schedule slot (one tree depth level), in
+/// microseconds. TAG divides each epoch into depth-indexed communication
+/// slots so that children transmit before their parents listen. (Lives here
+/// rather than in waves.hpp so RoutingTree can precompute the slot-schedule
+/// transmission order.)
+inline constexpr TimeUs kSlotUs = 50'000;
+
 /// Identifier of a GROUP BY group (room id, node id for node-ranking queries,
 /// or epoch index for historic time-instance queries).
 using GroupId = int32_t;

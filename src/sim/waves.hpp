@@ -2,6 +2,7 @@
 
 #include <functional>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "sim/network.hpp"
@@ -9,63 +10,70 @@
 
 namespace kspot::sim {
 
-/// Duration of one TAG epoch-schedule slot (one tree depth level), in
-/// microseconds. TAG divides each epoch into depth-indexed communication
-/// slots so that children transmit before their parents listen.
-inline constexpr TimeUs kSlotUs = 50'000;
-
 /// One converge-cast wave: every node, leaves first, may produce a message
 /// for its parent. This is the communication pattern of a TAG epoch, of the
 /// MINT update phase, and of the TJA lower-bound / hierarchical-join phases.
 ///
 /// `Msg` is the algorithm's typed payload; the wire size callback maps it to
 /// bytes so the network can charge frames/energy faithfully.
+///
+/// The wave is the simulator's innermost loop, so it is engineered for
+/// throughput: the slotted TAG schedule is precomputed on the routing tree
+/// (RoutingTree::wave_order() — the exact (time, seq) execution order the
+/// event queue used to produce, so randomness is consumed in the same order
+/// and results stay bit-identical), the produce/wire callbacks are template
+/// parameters (inlined, no std::function indirection), and the per-node
+/// inboxes live in a caller-owned Workspace reused across epochs instead of
+/// being reallocated per wave.
 template <typename Msg>
 class UpWave {
  public:
-  /// Called once per alive node in post order with the messages that arrived
-  /// from its children (losses already applied). Returning nullopt suppresses
-  /// the node's transmission entirely (zero cost).
-  using Produce = std::function<std::optional<Msg>(NodeId, std::vector<Msg>&&)>;
-  /// Maps a message to its application payload size in bytes.
-  using WireBytes = std::function<size_t(const Msg&)>;
+  /// Reusable per-wave state. One workspace serves any number of sequential
+  /// Run calls; buffers keep their capacity across epochs.
+  struct Workspace {
+    std::vector<std::vector<Msg>> inbox;
+  };
 
-  /// Runs the wave on `net`'s event queue using the slotted TAG schedule.
-  /// Returns the sink's produced value (nullopt if the sink produced none or
-  /// is dead).
-  static std::optional<Msg> Run(Network& net, const Produce& produce,
-                                const WireBytes& wire_bytes) {
+  /// Produce is called once per alive node in slot-schedule order with the
+  /// messages that arrived from its children (losses already applied).
+  /// Returning nullopt suppresses the node's transmission entirely (zero
+  /// cost). WireBytes maps a message to its application payload size.
+  ///
+  /// Runs the wave on `net` using the slotted TAG schedule. Returns the
+  /// sink's produced value (nullopt if the sink produced none or is dead).
+  template <typename ProduceFn, typename WireFn>
+  static std::optional<Msg> Run(Network& net, ProduceFn&& produce, WireFn&& wire_bytes,
+                                Workspace* workspace = nullptr) {
     const RoutingTree& tree = net.tree();
     size_t n = tree.num_nodes();
-    std::vector<std::vector<Msg>> inbox(n);
+    Workspace local;
+    Workspace& ws = workspace != nullptr ? *workspace : local;
+    if (ws.inbox.size() != n) ws.inbox.assign(n, {});
     std::optional<Msg> sink_result;
     TimeUs base = net.events().now();
-    int max_depth = tree.max_depth();
-    // Nodes at depth d transmit in slot (max_depth - d); post_order gives a
-    // deterministic ordering within a slot.
-    uint64_t offset = 0;
-    for (NodeId node : tree.post_order()) {
-      TimeUs at = base + static_cast<TimeUs>(max_depth - tree.depth(node)) * kSlotUs + offset;
-      ++offset;
-      net.events().ScheduleAt(at, [&, node]() {
-        if (!net.NodeAlive(node)) {
-          inbox[node].clear();
-          return;
-        }
-        std::optional<Msg> out = produce(node, std::move(inbox[node]));
-        inbox[node].clear();
-        if (node == kSinkId) {
-          sink_result = std::move(out);
-          return;
-        }
-        if (!out.has_value()) return;
-        size_t bytes = wire_bytes(*out);
-        if (net.UnicastToParent(node, bytes)) {
-          inbox[tree.parent(node)].push_back(std::move(*out));
-        }
-      });
+    for (NodeId node : tree.wave_order()) {
+      if (!net.NodeAlive(node)) {
+        ws.inbox[node].clear();
+        continue;
+      }
+      std::optional<Msg> out = produce(node, std::move(ws.inbox[node]));
+      ws.inbox[node].clear();
+      if (node == kSinkId) {
+        sink_result = std::move(out);
+        continue;
+      }
+      if (!out.has_value()) continue;
+      size_t bytes = wire_bytes(*out);
+      if (net.UnicastToParent(node, bytes)) {
+        ws.inbox[tree.parent(node)].push_back(std::move(*out));
+      }
     }
-    net.events().RunUntilIdle();
+    // Clock parity with the event-queue schedule: the last transmission slot
+    // belongs to the sink (depth 0, last post-order position).
+    if (!tree.post_order().empty()) {
+      net.events().AdvanceTo(base + static_cast<TimeUs>(tree.max_depth()) * kSlotUs +
+                             static_cast<TimeUs>(tree.post_order().size() - 1));
+    }
     return sink_result;
   }
 };
@@ -73,7 +81,8 @@ class UpWave {
 /// One dissemination wave: the sink seeds a message which flows down the
 /// tree; each receiving node may transform it before forwarding to its
 /// children. Used for epoch beacons, MINT threshold (tau) dissemination and
-/// the TJA Lsink broadcast.
+/// the TJA Lsink broadcast. Down waves are control-plane (rare) so they keep
+/// the event-queue scheduling.
 template <typename Msg>
 class DownWave {
  public:

@@ -141,6 +141,119 @@ TEST(GroupViewTest, EraseAndContains) {
   EXPECT_TRUE(v.empty());
 }
 
+// ------------------------------------------------- flat-map representation
+
+TEST(GroupViewTest, EntriesStaySortedUnderRandomOps) {
+  util::Rng rng(29);
+  GroupView v;
+  for (int i = 0; i < 500; ++i) {
+    auto g = static_cast<sim::GroupId>(rng.NextBounded(40));
+    switch (rng.NextBounded(3)) {
+      case 0: v.AddReading(g, static_cast<double>(rng.NextBounded(100))); break;
+      case 1: v.Set(g, PartialAgg::FromValue(5.0)); break;
+      default: v.Erase(g); break;
+    }
+    for (size_t e = 1; e < v.entries().size(); ++e) {
+      ASSERT_LT(v.entries()[e - 1].first, v.entries()[e].first);
+    }
+  }
+}
+
+TEST(GroupViewTest, SetOverwritesWhereMergeAccumulates) {
+  GroupView v;
+  v.AddReading(4, 10.0);
+  v.MergePartial(4, PartialAgg::FromValue(20.0));
+  EXPECT_DOUBLE_EQ(v.Get(4).Final(AggKind::kSum), 30.0);
+  v.Set(4, PartialAgg::FromValue(7.0));
+  EXPECT_DOUBLE_EQ(v.Get(4).Final(AggKind::kSum), 7.0);
+  v.Set(9, PartialAgg::FromValue(1.0));  // insert via Set
+  EXPECT_TRUE(v.Contains(9));
+}
+
+TEST(GroupViewTest, FindReturnsNullWhenAbsent) {
+  GroupView v;
+  v.AddReading(2, 1.0);
+  EXPECT_NE(v.Find(2), nullptr);
+  EXPECT_EQ(v.Find(1), nullptr);
+  EXPECT_EQ(v.Find(3), nullptr);
+}
+
+TEST(GroupViewTest, MergeDisjointAndOverlappingViews) {
+  GroupView lo, hi, mixed;
+  for (sim::GroupId g : {1, 3, 5}) lo.AddReading(g, 10.0);
+  for (sim::GroupId g : {7, 8, 9}) hi.AddReading(g, 20.0);
+  for (sim::GroupId g : {3, 7, 12}) mixed.AddReading(g, 5.0);
+  GroupView merged = lo;
+  merged.MergeView(hi);  // disjoint fast path (append)
+  ASSERT_EQ(merged.size(), 6u);
+  merged.MergeView(mixed);  // interleaved two-pointer path
+  ASSERT_EQ(merged.size(), 7u);
+  EXPECT_DOUBLE_EQ(merged.Get(3).Final(AggKind::kSum), 15.0);
+  EXPECT_DOUBLE_EQ(merged.Get(7).Final(AggKind::kSum), 25.0);
+  EXPECT_DOUBLE_EQ(merged.Get(12).Final(AggKind::kSum), 5.0);
+  for (size_t e = 1; e < merged.entries().size(); ++e) {
+    EXPECT_LT(merged.entries()[e - 1].first, merged.entries()[e].first);
+  }
+}
+
+TEST(GroupViewTest, MergeEmptyViewsAndMoveSteal) {
+  GroupView empty, full;
+  full.AddReading(1, 4.0);
+  GroupView target;
+  target.MergeView(empty);  // empty into empty
+  EXPECT_TRUE(target.empty());
+  target.MergeView(full);  // copy into empty
+  EXPECT_EQ(target.size(), 1u);
+  target.MergeView(empty);  // empty into non-empty: no-op
+  EXPECT_EQ(target.size(), 1u);
+  GroupView stolen;
+  stolen.MergeView(std::move(full));  // move into empty steals storage
+  EXPECT_EQ(stolen.size(), 1u);
+  EXPECT_DOUBLE_EQ(stolen.Get(1).Final(AggKind::kAvg), 4.0);
+}
+
+TEST(GroupViewTest, EraseDuringPruneKeepsExactSurvivors) {
+  // The MINT pruning pattern: enumerate entries, collect victims, erase —
+  // erasure must not disturb the survivors or the sorted order, including
+  // when the victim set interleaves with the keep set.
+  GroupView v;
+  for (int g = 0; g < 20; ++g) v.AddReading(g, g % 2 == 0 ? 90.0 : 10.0);
+  std::vector<sim::GroupId> victims;
+  for (const auto& [g, partial] : v.entries()) {
+    if (partial.Final(AggKind::kAvg) < 50.0) victims.push_back(g);
+  }
+  for (sim::GroupId g : victims) v.Erase(g);
+  ASSERT_EQ(v.size(), 10u);
+  for (const auto& [g, partial] : v.entries()) {
+    EXPECT_EQ(g % 2, 0) << "odd group survived the prune";
+    EXPECT_DOUBLE_EQ(partial.Final(AggKind::kAvg), 90.0);
+  }
+  v.PruneToLocalTopK(AggKind::kAvg, 3);  // ties on value: lowest group ids win
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_TRUE(v.Contains(0));
+  EXPECT_TRUE(v.Contains(2));
+  EXPECT_TRUE(v.Contains(4));
+}
+
+TEST(GroupViewTest, TopKMatchesFullSortPrefix) {
+  util::Rng rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    GroupView v;
+    size_t groups = 1 + rng.NextBounded(50);
+    for (size_t g = 0; g < groups; ++g) {
+      v.AddReading(static_cast<sim::GroupId>(g),
+                   static_cast<double>(rng.NextBounded(10)));  // force value ties
+    }
+    auto ranked = v.Ranked(AggKind::kAvg);
+    for (size_t k : {size_t{1}, size_t{3}, groups, groups + 5}) {
+      auto top = v.TopK(AggKind::kAvg, k);
+      std::vector<RankedItem> want(ranked.begin(),
+                                   ranked.begin() + static_cast<long>(std::min(k, ranked.size())));
+      EXPECT_EQ(top, want) << "k=" << k << " groups=" << groups;
+    }
+  }
+}
+
 class CodecTest : public ::testing::TestWithParam<AggKind> {};
 
 TEST_P(CodecTest, RoundTripPreservesFinals) {

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "core/fila.hpp"
 #include "core/mint.hpp"
 #include "core/oracle.hpp"
 #include "core/tag.hpp"
@@ -142,6 +143,85 @@ TEST(ChurnPartialAggTest, MintDropsGroupWhoseOnlySensorDied) {
     }
     EXPECT_EQ(has_victim, e < 2) << "epoch " << e;
   }
+}
+
+/// FILA under churn: the targeted eviction must (a) stop ranking dead nodes
+/// on stale cached values, (b) keep the monitoring useful for the survivors,
+/// and (c) stay a pure function of the seed (the churn determinism contract).
+TEST(ChurnPartialAggTest, FilaEvictsDeadNodesAndStaysDeterministic) {
+  core::QuerySpec spec;
+  spec.k = 3;
+  spec.agg = agg::AggKind::kAvg;
+  spec.grouping = core::Grouping::kNode;
+  spec.domain_max = 100.0;
+
+  auto run = [&](std::vector<core::TopKResult>* out) -> double {
+    testing::TestBed bed = testing::TestBed::Grid(25, 6, 23);
+    auto gen = RoomGen(bed.topology, 23);
+    auto oracle_gen = RoomGen(bed.topology, 23);
+    core::Oracle oracle(&bed.topology, oracle_gen.get(), spec);
+    core::Fila fila(bed.net.get(), gen.get(), spec);
+
+    // Warm up, then crash whoever leads the ranking: its cached value is the
+    // exact stale state the eviction must flush.
+    core::TopKResult warm = fila.RunEpoch(0);
+    NodeId victim = static_cast<NodeId>(warm.items.front().group);
+    FaultPlan plan;
+    plan.seed = 23;
+    plan.events = {{2, FaultEvent::Kind::kCrash, victim, 0.0}};
+    ChurnEngine churn(bed.net.get(), &bed.tree, plan);
+
+    double recall_sum = 0.0;
+    size_t scored = 0;
+    for (size_t e = 1; e < 10; ++e) {
+      auto epoch = static_cast<sim::Epoch>(e);
+      ChurnReport report = churn.BeginEpoch(epoch);
+      if (report.topology_changed) fila.OnTopologyChanged(report.delta);
+      core::TopKResult got = fila.RunEpoch(epoch);
+      if (out != nullptr) out->push_back(got);
+      if (e >= 2) {
+        for (const auto& item : got.items) {
+          EXPECT_NE(item.group, static_cast<sim::GroupId>(victim))
+              << "dead node still ranked at epoch " << e;
+        }
+        core::TopKResult want = oracle.TopKOver(epoch, [&](NodeId id) {
+          return bed.net->NodeAlive(id) && bed.tree.attached(id);
+        });
+        recall_sum += got.RecallAgainst(want);
+        ++scored;
+      }
+    }
+    return scored > 0 ? recall_sum / static_cast<double>(scored) : 0.0;
+  };
+
+  std::vector<core::TopKResult> first;
+  std::vector<core::TopKResult> second;
+  double recall = run(&first);
+  run(&second);
+  EXPECT_GE(recall, 0.6) << "survivor monitoring collapsed after eviction";
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_TRUE(first[i].Matches(second[i])) << "nondeterministic answer at index " << i;
+  }
+}
+
+/// The conservative no-arg fallback wipes everything: the next epoch must
+/// behave like a fresh initial collection over the survivors.
+TEST(ChurnPartialAggTest, FilaFullEvictionReinitializes) {
+  core::QuerySpec spec;
+  spec.k = 2;
+  spec.agg = agg::AggKind::kAvg;
+  spec.grouping = core::Grouping::kNode;
+  spec.domain_max = 100.0;
+  testing::TestBed bed = testing::TestBed::Grid(16, 4, 31);
+  auto gen = RoomGen(bed.topology, 31);
+  core::Fila fila(bed.net.get(), gen.get(), spec);
+  fila.RunEpoch(0);
+  int broadcasts_before = fila.filter_updates();
+  fila.OnTopologyChanged();
+  core::TopKResult after = fila.RunEpoch(1);
+  EXPECT_GT(fila.filter_updates(), broadcasts_before) << "re-init must re-arm filters";
+  EXPECT_EQ(after.items.size(), 2u);
 }
 
 }  // namespace

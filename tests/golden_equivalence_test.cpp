@@ -1,0 +1,227 @@
+/// Golden-equivalence coverage for the flat-vector GroupView data plane:
+///
+///  1. the flat representation is bit-identical to an ordered-map reference
+///     model under randomized operation sequences (the seed representation
+///     was std::map; the ordering contract must never drift);
+///  2. the real experiment sweeps (E1 fig1_scenario, E13 churn_lifetime,
+///     E14 churn_accuracy) produce byte-identical metrics through 1 and 8
+///     worker threads — the engine determinism contract over the new
+///     data plane;
+///  3. MINT's incremental churn repair is answer-equivalent to the full
+///     creation-phase rebuild under lossless churn (both exact against the
+///     survivor oracle) while touching far fewer rebuild messages.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "agg/group_view.hpp"
+#include "core/mint.hpp"
+#include "core/oracle.hpp"
+#include "data/generators.hpp"
+#include "fault/churn_engine.hpp"
+#include "runner/experiment_engine.hpp"
+#include "runner/scenario_registry.hpp"
+#include "scenarios.hpp"
+#include "test_util.hpp"
+#include "util/fixed_point.hpp"
+#include "util/rng.hpp"
+
+namespace kspot {
+namespace {
+
+using agg::AggKind;
+using agg::GroupView;
+using agg::PartialAgg;
+
+// ------------------------------------------------------- map reference model
+
+/// The seed's representation, reduced to its observable operations.
+class MapViewModel {
+ public:
+  void AddReading(sim::GroupId g, double v) { entries_[g].Merge(PartialAgg::FromValue(v)); }
+  void MergePartial(sim::GroupId g, const PartialAgg& p) { entries_[g].Merge(p); }
+  void Set(sim::GroupId g, const PartialAgg& p) { entries_[g] = p; }
+  void Erase(sim::GroupId g) { entries_.erase(g); }
+  std::vector<agg::RankedItem> Ranked(AggKind kind) const {
+    std::vector<agg::RankedItem> out;
+    for (const auto& [g, p] : entries_) out.push_back({g, p.Final(kind)});
+    std::sort(out.begin(), out.end(), agg::RankHigher);
+    return out;
+  }
+  const std::map<sim::GroupId, PartialAgg>& entries() const { return entries_; }
+
+ private:
+  std::map<sim::GroupId, PartialAgg> entries_;
+};
+
+bool SamePartial(const PartialAgg& a, const PartialAgg& b) {
+  return a.sum_fx == b.sum_fx && a.count == b.count && a.min_fx == b.min_fx &&
+         a.max_fx == b.max_fx;
+}
+
+TEST(GoldenEquivalenceTest, FlatViewMatchesMapModelUnderRandomOps) {
+  util::Rng rng(4242);
+  for (int trial = 0; trial < 50; ++trial) {
+    GroupView flat;
+    MapViewModel reference;
+    for (int op = 0; op < 300; ++op) {
+      auto g = static_cast<sim::GroupId>(rng.NextBounded(24));
+      switch (rng.NextBounded(4)) {
+        case 0: {
+          double v = util::fixed_point::Quantize(rng.NextDouble(0, 100));
+          flat.AddReading(g, v);
+          reference.AddReading(g, v);
+          break;
+        }
+        case 1: {
+          PartialAgg p = PartialAgg::FromValue(util::fixed_point::Quantize(rng.NextDouble(0, 100)));
+          flat.MergePartial(g, p);
+          reference.MergePartial(g, p);
+          break;
+        }
+        case 2: {
+          PartialAgg p = PartialAgg::FromValue(util::fixed_point::Quantize(rng.NextDouble(0, 100)));
+          flat.Set(g, p);
+          reference.Set(g, p);
+          break;
+        }
+        default:
+          flat.Erase(g);
+          reference.Erase(g);
+          break;
+      }
+    }
+    // Entries agree in content AND order (both ascend by group id).
+    ASSERT_EQ(flat.size(), reference.entries().size());
+    auto it = reference.entries().begin();
+    for (const auto& [g, p] : flat.entries()) {
+      ASSERT_EQ(g, it->first);
+      ASSERT_TRUE(SamePartial(p, it->second));
+      ++it;
+    }
+    // Rankings are bit-identical for every aggregate kind.
+    for (AggKind kind : {AggKind::kAvg, AggKind::kSum, AggKind::kMin, AggKind::kMax,
+                         AggKind::kCount}) {
+      auto want = reference.Ranked(kind);
+      EXPECT_EQ(flat.Ranked(kind), want);
+      for (size_t k : {size_t{1}, size_t{3}, want.size()}) {
+        auto top = flat.TopK(kind, k);
+        std::vector<agg::RankedItem> expect(
+            want.begin(), want.begin() + static_cast<long>(std::min(k, want.size())));
+        EXPECT_EQ(top, expect);
+      }
+    }
+  }
+}
+
+// --------------------------------------------------- engine-level equivalence
+
+void ExpectIdenticalRuns(const runner::ScenarioRun& a, const runner::ScenarioRun& b) {
+  ASSERT_EQ(a.trials.size(), b.trials.size());
+  for (size_t i = 0; i < a.trials.size(); ++i) {
+    SCOPED_TRACE("trial " + std::to_string(i));
+    EXPECT_EQ(a.trials[i].ok, b.trials[i].ok);
+    ASSERT_EQ(a.trials[i].metrics.size(), b.trials[i].metrics.size());
+    for (size_t m = 0; m < a.trials[i].metrics.size(); ++m) {
+      EXPECT_EQ(a.trials[i].metrics[m].first, b.trials[i].metrics[m].first);
+      EXPECT_EQ(a.trials[i].metrics[m].second, b.trials[i].metrics[m].second);
+    }
+  }
+}
+
+TEST(GoldenEquivalenceTest, QuickSweepsBitIdenticalAcrossThreadCounts) {
+  runner::ScenarioRegistry registry;
+  bench::RegisterAllScenarios(registry);
+  // E1 and the churn pair: the scenarios whose inner loops the flat view and
+  // precomputed wave schedule rewrote.
+  for (const char* name : {"fig1_scenario", "churn_lifetime", "churn_accuracy"}) {
+    SCOPED_TRACE(name);
+    const runner::Scenario* scenario = registry.Find(name);
+    ASSERT_NE(scenario, nullptr);
+    runner::ScenarioRun single =
+        runner::ExperimentEngine({.threads = 1, .quick = true}).Run(*scenario);
+    runner::ScenarioRun pooled =
+        runner::ExperimentEngine({.threads = 8, .quick = true}).Run(*scenario);
+    EXPECT_TRUE(single.AllOk());
+    ExpectIdenticalRuns(single, pooled);
+  }
+}
+
+// ------------------------------------------- incremental vs full churn repair
+
+core::QuerySpec RoomAvgSpec3() {
+  core::QuerySpec spec;
+  spec.k = 3;
+  spec.agg = AggKind::kAvg;
+  spec.grouping = core::Grouping::kRoom;
+  spec.domain_max = 100.0;
+  return spec;
+}
+
+std::unique_ptr<data::DataGenerator> RoomGen(const sim::Topology& topology, uint64_t seed) {
+  std::vector<sim::GroupId> rooms;
+  for (sim::NodeId id = 0; id < topology.num_nodes(); ++id) rooms.push_back(topology.room(id));
+  return std::make_unique<data::RoomCorrelatedGenerator>(
+      std::move(rooms), data::Modality::kSound, 0.5, 0.5, util::Rng(seed), 0.0, 1.0);
+}
+
+/// Runs MINT through a generated churn plan and asserts exactness against
+/// the survivor oracle every epoch. Returns rebuild-phase message count.
+uint64_t RunMintChurnExact(bool incremental, int* incremental_events, int* full_rebuilds) {
+  constexpr uint64_t kSeed = 515;
+  testing::TestBed bed = testing::TestBed::Grid(49, 10, kSeed);
+  core::QuerySpec spec = RoomAvgSpec3();
+  auto gen = RoomGen(bed.topology, kSeed);
+  auto oracle_gen = RoomGen(bed.topology, kSeed);
+  core::Oracle oracle(&bed.topology, oracle_gen.get(), spec);
+
+  fault::FaultPlanOptions fopt;
+  fopt.horizon = 60;
+  fopt.crash_prob = 0.01;
+  fopt.mean_downtime = 8;
+  fault::FaultPlan plan = fault::FaultPlan::Generate(bed.topology, fopt, kSeed ^ 0xFA11);
+  fault::ChurnEngine churn(bed.net.get(), &bed.tree, std::move(plan));
+
+  core::MintViews::Options options;
+  options.incremental_repair = incremental;
+  core::MintViews mint(bed.net.get(), gen.get(), spec, options);
+  for (size_t e = 0; e < 60; ++e) {
+    auto epoch = static_cast<sim::Epoch>(e);
+    fault::ChurnReport report = churn.BeginEpoch(epoch);
+    if (report.topology_changed) mint.OnTopologyChanged(report.delta);
+    core::TopKResult got = mint.RunEpoch(epoch);
+    core::TopKResult want = oracle.TopKOver(epoch, [&](sim::NodeId id) {
+      return bed.net->NodeAlive(id) && bed.tree.attached(id);
+    });
+    EXPECT_TRUE(got.Matches(want)) << "incremental=" << incremental << " epoch " << e
+                                   << "\ngot:\n" << got.ToString() << "want:\n"
+                                   << want.ToString();
+  }
+  if (incremental_events != nullptr) *incremental_events = mint.incremental_repair_count();
+  if (full_rebuilds != nullptr) *full_rebuilds = mint.churn_rebuild_count();
+  return bed.net->PhaseTotal("mint.create").messages +
+         bed.net->PhaseTotal("mint.repair").messages;
+}
+
+TEST(GoldenEquivalenceTest, IncrementalRepairStaysExactAndCheaper) {
+  int incremental_events = 0;
+  int full_rebuilds = 0;
+  uint64_t incremental_msgs =
+      RunMintChurnExact(/*incremental=*/true, &incremental_events, &full_rebuilds);
+  EXPECT_GT(incremental_events, 0) << "plan produced no churn to repair";
+  EXPECT_EQ(full_rebuilds, 0);
+
+  int fallback_events = 0;
+  int fallback_rebuilds = 0;
+  uint64_t fallback_msgs =
+      RunMintChurnExact(/*incremental=*/false, &fallback_events, &fallback_rebuilds);
+  EXPECT_EQ(fallback_events, 0);
+  EXPECT_GT(fallback_rebuilds, 0);
+  // Same exact answers, strictly less rebuild traffic.
+  EXPECT_LT(incremental_msgs, fallback_msgs);
+}
+
+}  // namespace
+}  // namespace kspot
