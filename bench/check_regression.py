@@ -1,17 +1,25 @@
 #!/usr/bin/env python3
-"""Gate on E16 (throughput) wall-clock regressions.
+"""Gate on wall-clock regressions of the perf scenarios.
 
-Compares a freshly produced BENCH_throughput.json against the committed
-baseline (bench/baseline/BENCH_E16_throughput.json by default) and fails
-when any sweep point's epochs_per_sec dropped by more than the tolerance
-(default 25%, override with --tolerance or KSPOT_E16_TOLERANCE).
+Compares a freshly produced BENCH_<scenario>.json against its committed
+baseline and fails when any sweep point's gated metric dropped by more than
+the tolerance (default 25%; override with --tolerance, or with the
+KSPOT_E16_TOLERANCE environment variable that seeds --tolerance's default —
+the CI E17 gate passes --tolerance explicitly).
 
-The baseline is machine-dependent: refresh it (run the scenario with
+Gated scenarios:
+  E16 throughput         metric epochs_per_sec (the default)
+  E17 server_throughput  metric coord_qps
+
+The baselines are machine-dependent: refresh them (run the scenario with
 --quick --threads 1 and copy the JSON) whenever CI hardware changes, and
 always alongside intentional perf-trade commits.
 
 Usage:
   python3 bench/check_regression.py --current bench-json-e16/BENCH_throughput.json
+  python3 bench/check_regression.py --metric coord_qps \
+      --baseline bench/baseline/BENCH_E17_server_throughput.json \
+      --current bench-json-e17/BENCH_server_throughput.json
 """
 
 import argparse
@@ -20,8 +28,8 @@ import os
 import sys
 
 
-def load_points(path):
-    """Returns {(param tuple): epochs_per_sec} for every ok trial."""
+def load_points(path, metric):
+    """Returns {(param tuple): metric value} for every ok trial."""
     with open(path) as fh:
         doc = json.load(fh)
     points = {}
@@ -30,8 +38,8 @@ def load_points(path):
             continue
         key = tuple(sorted((k, str(v)) for k, v in dict(trial["params"]).items()))
         metrics = dict(trial["metrics"])
-        if "epochs_per_sec" in metrics:
-            points[key] = float(metrics["epochs_per_sec"])
+        if metric in metrics:
+            points[key] = float(metrics[metric])
     return points
 
 
@@ -40,15 +48,20 @@ def main():
     parser.add_argument("--baseline", default="bench/baseline/BENCH_E16_throughput.json")
     parser.add_argument("--current", required=True)
     parser.add_argument(
+        "--metric",
+        default="epochs_per_sec",
+        help="per-trial metric to gate on (default epochs_per_sec; E17 uses coord_qps)",
+    )
+    parser.add_argument(
         "--tolerance",
         type=float,
         default=float(os.environ.get("KSPOT_E16_TOLERANCE", "0.25")),
-        help="maximum allowed fractional epochs/sec drop (default 0.25)",
+        help="maximum allowed fractional drop of the gated metric (default 0.25)",
     )
     args = parser.parse_args()
 
-    baseline = load_points(args.baseline)
-    current = load_points(args.current)
+    baseline = load_points(args.baseline, args.metric)
+    current = load_points(args.current, args.metric)
     if not baseline:
         print(f"error: no usable trials in baseline {args.baseline}", file=sys.stderr)
         return 2
@@ -71,8 +84,8 @@ def main():
             status = "REGRESSION"
             failures.append((key, base_eps, cur_eps, ratio))
         print(
-            f"{dict(key)}: baseline {base_eps:.1f} eps, current {cur_eps:.1f} eps "
-            f"({ratio:.2f}x) {status}"
+            f"{dict(key)}: baseline {base_eps:.1f} {args.metric}, "
+            f"current {cur_eps:.1f} ({ratio:.2f}x) {status}"
         )
 
     if missing:
@@ -90,7 +103,7 @@ def main():
     if failures:
         print(
             f"\n{len(failures)} point(s) regressed by more than "
-            f"{args.tolerance:.0%} epochs/sec:",
+            f"{args.tolerance:.0%} {args.metric}:",
             file=sys.stderr,
         )
         for key, base_eps, cur_eps, ratio in failures:
@@ -99,7 +112,7 @@ def main():
                 file=sys.stderr,
             )
         return 1
-    print("\nno epochs/sec regression beyond tolerance")
+    print(f"\nno {args.metric} regression beyond tolerance")
     return 0
 
 

@@ -37,6 +37,7 @@ void RegisterChurnLifetime(runner::ScenarioRegistry& registry);       // E13
 void RegisterChurnAccuracy(runner::ScenarioRegistry& registry);       // E14
 void RegisterRepairCost(runner::ScenarioRegistry& registry);          // E15
 void RegisterThroughput(runner::ScenarioRegistry& registry);          // E16
+void RegisterServerThroughput(runner::ScenarioRegistry& registry);    // E17
 
 /// Registers every bench scenario.
 inline void RegisterAllScenarios(runner::ScenarioRegistry& registry) {
@@ -56,6 +57,7 @@ inline void RegisterAllScenarios(runner::ScenarioRegistry& registry) {
   RegisterChurnAccuracy(registry);
   RegisterRepairCost(registry);
   RegisterThroughput(registry);
+  RegisterServerThroughput(registry);
 }
 
 }  // namespace kspot::bench

@@ -19,7 +19,8 @@ Cja::Cja(sim::Network* net, const HistorySource* history, HistoricOptions option
 HistoricResult Cja::Run() {
   using Entry = std::pair<sim::GroupId, double>;
   using Msg = std::vector<Entry>;
-  net_->SetPhase("cja.collect");
+  static const sim::PhaseId kPhaseCja = sim::Network::InternPhase("cja.collect");
+  net_->SetPhase(kPhaseCja);
   auto produce = [&](sim::NodeId node, std::vector<Msg>&& inbox) -> std::optional<Msg> {
     Msg out;
     for (Msg& child : inbox) out.insert(out.end(), child.begin(), child.end());
@@ -49,7 +50,8 @@ TagHistoric::TagHistoric(sim::Network* net, const HistorySource* history, Histor
 
 HistoricResult TagHistoric::Run() {
   using Msg = agg::GroupView;
-  net_->SetPhase("tagh.collect");
+  static const sim::PhaseId kPhaseTagh = sim::Network::InternPhase("tagh.collect");
+  net_->SetPhase(kPhaseTagh);
   auto produce = [&](sim::NodeId node, std::vector<Msg>&& inbox) -> std::optional<Msg> {
     Msg view;
     for (Msg& child : inbox) view.MergeView(std::move(child));

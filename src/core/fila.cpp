@@ -27,7 +27,8 @@ void Fila::Initialize(sim::Epoch epoch) {
   // Full relayed collection: every node forwards the concatenation of its
   // subtree's (node, value) entries — FILA performs no aggregation.
   using Msg = std::vector<std::pair<sim::NodeId, double>>;
-  net_->SetPhase("fila.init");
+  static const sim::PhaseId kPhaseInit = sim::Network::InternPhase("fila.init");
+  net_->SetPhase(kPhaseInit);
   auto produce = [&](sim::NodeId node, std::vector<Msg>&& inbox) -> std::optional<Msg> {
     Msg out;
     for (Msg& child : inbox) {
@@ -88,7 +89,8 @@ void Fila::MaybeReassignFilters() {
 
   // One broadcast re-arms every node: it learns the separator and whether it
   // is on the upper side (member of the top-k list).
-  net_->SetPhase("fila.filter");
+  static const sim::PhaseId kPhaseFilter = sim::Network::InternPhase("fila.filter");
+  net_->SetPhase(kPhaseFilter);
   struct FilterMsg {
     double tau;
   };
@@ -165,7 +167,8 @@ TopKResult Fila::RunEpoch(sim::Epoch epoch) {
   // Each node samples; a reading outside the filter is reported hop-by-hop
   // to the sink. Nodes whose readings stay inside their filters are silent —
   // FILA's savings on stable data.
-  net_->SetPhase("fila.report");
+  static const sim::PhaseId kPhaseReport = sim::Network::InternPhase("fila.report");
+  net_->SetPhase(kPhaseReport);
   std::set<sim::NodeId> reported;
   for (sim::NodeId id = 1; id < net_->topology().num_nodes(); ++id) {
     // Dead or unroutable nodes can neither sample nor transmit; and the sink
@@ -185,7 +188,8 @@ TopKResult Fila::RunEpoch(sim::Epoch epoch) {
     // Probing phase: cached values of the remaining members are stale
     // relative to the fresh reports, so the sink polls them (request down,
     // reading up) before deciding the new membership.
-    net_->SetPhase("fila.probe");
+    static const sim::PhaseId kPhaseProbe = sim::Network::InternPhase("fila.probe");
+    net_->SetPhase(kPhaseProbe);
     for (sim::NodeId member : top_) {
       if (reported.count(member)) continue;
       ++probes_;

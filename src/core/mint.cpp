@@ -20,6 +20,12 @@ constexpr size_t kBeaconBytes = kMsgHeaderBytes + 8 + 1;
 /// subtree-root id + one (group, cardinality-delta) entry.
 constexpr size_t kCardinalityDeltaBytes = kMsgHeaderBytes + 2 + 6;
 
+// Interned once per process; the update/beacon pair alternates every epoch.
+const sim::PhaseId kPhaseCreate = sim::Network::InternPhase("mint.create");
+const sim::PhaseId kPhaseUpdate = sim::Network::InternPhase("mint.update");
+const sim::PhaseId kPhaseBeacon = sim::Network::InternPhase("mint.beacon");
+const sim::PhaseId kPhaseRepair = sim::Network::InternPhase("mint.repair");
+
 bool SamePartial(const agg::PartialAgg& a, const agg::PartialAgg& b) {
   return a.sum_fx == b.sum_fx && a.count == b.count && a.min_fx == b.min_fx &&
          a.max_fx == b.max_fx;
@@ -47,7 +53,7 @@ uint32_t MintViews::TotalCount(sim::GroupId g) const {
   return it == total_count_.end() ? 0 : it->second;
 }
 
-agg::GroupView MintViews::FullWaveRebuildingState(sim::Epoch epoch, const char* phase) {
+agg::GroupView MintViews::FullWaveRebuildingState(sim::Epoch epoch, sim::PhaseId phase) {
   using Msg = agg::GroupView;
   net_->SetPhase(phase);
   auto produce = [&](sim::NodeId node, std::vector<Msg>&& inbox) -> std::optional<Msg> {
@@ -75,7 +81,7 @@ agg::GroupView MintViews::FullWaveRebuildingState(sim::Epoch epoch, const char* 
   return sink.value_or(Msg{});
 }
 
-void MintViews::DisseminateState(bool include_cardinalities, const char* phase) {
+void MintViews::DisseminateState(bool include_cardinalities, sim::PhaseId phase) {
   net_->SetPhase(phase);
   ++tau_version_;
   // The beacon carries tau; the creation-phase variant additionally carries
@@ -140,7 +146,7 @@ void MintViews::MaybeRebroadcastTau(double kth_value, bool have_kth) {
   if (!must_send) return;
   pruning_tau_ = want_tau;
   pruning_tau_valid_ = want_valid;
-  DisseminateState(/*include_cardinalities=*/false, "mint.beacon");
+  DisseminateState(/*include_cardinalities=*/false, kPhaseBeacon);
 }
 
 double MintViews::UpperBound(sim::GroupId g, const agg::PartialAgg& partial,
@@ -196,7 +202,7 @@ void MintViews::PruneView(sim::NodeId node, agg::GroupView& view) const {
 
 agg::GroupView& MintViews::RunUpdateWave(sim::Epoch epoch) {
   using Msg = Delta;
-  net_->SetPhase("mint.update");
+  net_->SetPhase(kPhaseUpdate);
   auto produce = [&](sim::NodeId node, std::vector<Msg>&& inbox) -> std::optional<Msg> {
     // Apply the children's deltas to their cached views.
     for (Msg& delta : inbox) {
@@ -284,7 +290,7 @@ TopKResult MintViews::EvaluateAtSink(sim::Epoch epoch, const agg::GroupView& sin
     // Under-run: values drifted below tau network-wide. Probe/repair round:
     // collect everything once, answer exactly, rebuild caches, reseed tau.
     ++repair_count_;
-    agg::GroupView full = FullWaveRebuildingState(epoch, "mint.repair");
+    agg::GroupView full = FullWaveRebuildingState(epoch, kPhaseRepair);
     candidates = full.Ranked(spec_.agg);
     contributors = full.ContributorCount();
   }
@@ -302,7 +308,7 @@ TopKResult MintViews::EvaluateAtSink(sim::Epoch epoch, const agg::GroupView& sin
 }
 
 TopKResult MintViews::RunCreation(sim::Epoch epoch) {
-  agg::GroupView full = FullWaveRebuildingState(epoch, "mint.create");
+  agg::GroupView full = FullWaveRebuildingState(epoch, kPhaseCreate);
   total_count_.clear();
   for (const auto& [g, partial] : full.entries()) total_count_[g] = partial.count;
   total_groups_ = total_count_.size();
@@ -318,7 +324,7 @@ TopKResult MintViews::RunCreation(sim::Epoch epoch) {
   } else {
     pruning_tau_valid_ = false;
   }
-  DisseminateState(/*include_cardinalities=*/true, "mint.create");
+  DisseminateState(/*include_cardinalities=*/true, kPhaseCreate);
   created_ = true;
   return result;
 }
@@ -373,7 +379,7 @@ void MintViews::OnTopologyChanged(const sim::TopologyDelta& delta) {
     return;
   }
   ++incremental_repair_count_;
-  net_->SetPhase("mint.repair");
+  net_->SetPhase(kPhaseRepair);
   // 1) Nodes that left the tree: evict their caches so a later re-attach
   //    starts clean. The former parent (which observed the departure) is a
   //    source of the cardinality-delta converge-cast charged in step 3.

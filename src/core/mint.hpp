@@ -170,9 +170,9 @@ class MintViews : public EpochAlgorithm {
   TopKResult RunCreation(sim::Epoch epoch);
   /// Full collection used by creation and probe/repair rounds; re-records
   /// subtree cardinalities and resets the view caches.
-  agg::GroupView FullWaveRebuildingState(sim::Epoch epoch, const char* phase);
+  agg::GroupView FullWaveRebuildingState(sim::Epoch epoch, sim::PhaseId phase);
   /// Disseminates tau (and optionally the n_g table) down the tree.
-  void DisseminateState(bool include_cardinalities, const char* phase);
+  void DisseminateState(bool include_cardinalities, sim::PhaseId phase);
   /// Decides whether tau must be re-broadcast given the new k-th value.
   void MaybeRebroadcastTau(double kth_value, bool have_kth);
   /// The per-epoch update phase; returns the sink's materialized view

@@ -7,7 +7,8 @@ namespace kspot::core {
 
 TopKResult NaiveTopK::RunEpoch(sim::Epoch epoch) {
   using Msg = agg::GroupView;
-  net_->SetPhase("naive.collect");
+  static const sim::PhaseId kPhaseCollect = sim::Network::InternPhase("naive.collect");
+  net_->SetPhase(kPhaseCollect);
   auto produce = [&](sim::NodeId node, std::vector<Msg>&& inbox) -> std::optional<Msg> {
     Msg view;
     for (Msg& child : inbox) view.MergeView(std::move(child));

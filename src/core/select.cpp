@@ -24,7 +24,8 @@ BasicSelect::BasicSelect(sim::Network* net, data::DataGenerator* gen, bool has_p
 
 std::vector<SelectTuple> BasicSelect::RunEpoch(sim::Epoch epoch) {
   using Msg = std::vector<SelectTuple>;
-  net_->SetPhase("select.collect");
+  static const sim::PhaseId kPhaseCollect = sim::Network::InternPhase("select.collect");
+  net_->SetPhase(kPhaseCollect);
   auto produce = [&](sim::NodeId node, std::vector<Msg>&& inbox) -> std::optional<Msg> {
     Msg out;
     for (Msg& child : inbox) out.insert(out.end(), child.begin(), child.end());

@@ -24,7 +24,8 @@ agg::GroupView TagTopK::CollectFullView(sim::Network& net, data::DataGenerator& 
 }
 
 TopKResult TagTopK::RunEpoch(sim::Epoch epoch) {
-  net_->SetPhase("tag.collect");
+  static const sim::PhaseId kPhaseCollect = sim::Network::InternPhase("tag.collect");
+  net_->SetPhase(kPhaseCollect);
   agg::GroupView view = CollectFullView(*net_, *gen_, spec_, epoch, &wave_ws_);
   TopKResult result;
   result.epoch = epoch;

@@ -12,6 +12,12 @@ namespace {
 
 constexpr double kCertEps = 1e-9;
 
+// Interned once per process; the Clean-Up deepening loop re-enters the
+// phases, so re-interning per round would be wasted lookups.
+const sim::PhaseId kPhaseLb = sim::Network::InternPhase("tja.lb");
+const sim::PhaseId kPhaseHj = sim::Network::InternPhase("tja.hj");
+const sim::PhaseId kPhaseCl = sim::Network::InternPhase("tja.cl");
+
 /// Local top-`k_deep` (window index, value) pairs of one node's window —
 /// *extended through ties* with the k_deep-th value — plus the node's
 /// m_i = value of its k_deep-th entry (the local bound). The tie extension
@@ -51,7 +57,7 @@ Tja::Tja(sim::Network* net, const HistorySource* history, HistoricOptions option
 
 Tja::LbOutcome Tja::LowerBoundPhase(size_t k_deep) {
   using Msg = LbMsg;
-  net_->SetPhase("tja.lb");
+  net_->SetPhase(kPhaseLb);
   lb_contributed_.assign(history_->num_nodes(), {});
   auto produce = [&](sim::NodeId node, std::vector<Msg>&& inbox) -> std::optional<Msg> {
     Msg out;
@@ -97,7 +103,7 @@ agg::GroupView Tja::HierarchicalJoinPhase(const std::vector<sim::GroupId>& lsink
     util::BloomFilter bloom{64, 1};
     bool use_bloom = false;
   };
-  net_->SetPhase("tja.hj");
+  net_->SetPhase(kPhaseHj);
 
   DownMsg seed;
   seed.use_bloom = options_.use_bloom;
@@ -136,7 +142,7 @@ agg::GroupView Tja::HierarchicalJoinPhase(const std::vector<sim::GroupId>& lsink
   sim::DownWave<DownMsg>::Run(*net_, down_produce, down_bytes);
 
   // Upstream: exact contributions for the candidate keys, merged per key.
-  net_->SetPhase("tja.hj");
+  net_->SetPhase(kPhaseHj);
   using UpMsg = agg::GroupView;
   auto up_produce = [&](sim::NodeId node, std::vector<UpMsg>&& inbox) -> std::optional<UpMsg> {
     UpMsg view;
@@ -184,7 +190,7 @@ HistoricResult Tja::Run() {
     // with complete counts (Bloom false positives are complete too; extra
     // exact keys only help).
     exact.MergeView(lb.union_view);
-    net_->SetPhase("tja.cl");
+    net_->SetPhase(kPhaseCl);
     std::vector<agg::RankedItem> candidates;
     for (const auto& [key, partial] : exact.entries()) {
       if (partial.count >= sensors) {

@@ -89,7 +89,8 @@ ChurnReport ChurnEngine::BeginEpoch(sim::Epoch epoch) {
     if (!repair.changed) continue;
     report.topology_changed = true;
     report.delta.Accumulate(repair);
-    net_->SetPhase("fault.repair");
+    static const sim::PhaseId kPhaseRepair = sim::Network::InternPhase("fault.repair");
+    net_->SetPhase(kPhaseRepair);
     for (const sim::RepairOp& op : repair.reattached) {
       net_->DeliverControl(op.node, op.new_parent, kJoinRequestBytes);
       net_->DeliverControl(op.new_parent, op.node, kJoinAcceptBytes);

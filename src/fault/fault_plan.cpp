@@ -1,11 +1,71 @@
 #include "fault/fault_plan.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <optional>
+#include <queue>
 #include <sstream>
+#include <tuple>
 
 #include "util/rng.hpp"
 
 namespace kspot::fault {
+
+namespace {
+
+/// Number of failed Bernoulli(p) trials before the next success, sampled
+/// with a single uniform draw (inverse-CDF geometric skip). This is what
+/// lets Generate jump straight from event to event instead of paying one
+/// draw per node per epoch: the skip over the eligible-epoch axis has
+/// exactly the distribution the per-trial loop realized.
+uint64_t GeometricSkip(util::Rng& rng, double p) {
+  double u = rng.NextDouble();  // [0, 1), so log1p(-u) is finite
+  if (p >= 1.0) return 0;
+  double g = std::floor(std::log1p(-u) / std::log1p(-p));
+  if (!(g >= 0.0)) return 0;
+  // Anything beyond ~4e18 no longer fits uint64; every caller clamps against
+  // the horizon anyway.
+  return g >= 4e18 ? UINT64_MAX : static_cast<uint64_t>(g);
+}
+
+/// Lazy per-node fault process. Each node owns an independent RNG stream
+/// (Rng::Split keyed by node id) and two geometric clocks: the crash clock
+/// ticks on every up epoch, the degradation clock on every up-and-clean
+/// epoch. Gaps count eligible epochs that pass *without* the event; the
+/// event fires on the (gap+1)-th eligible epoch.
+struct NodeProcess {
+  util::Rng rng{0};
+  /// First epoch the crash clock ticks again (recovery epoch, or the epoch
+  /// after a cap-suppressed candidate).
+  sim::Epoch crash_from = 1;
+  uint64_t crash_gap = 0;
+  /// First epoch the degradation clock may tick again (recovery epoch).
+  sim::Epoch degrade_from = 1;
+  uint64_t degrade_gap = 0;
+  /// Exclusive end of the current degradation episode (0 = none).
+  sim::Epoch degraded_until = 0;
+};
+
+/// One entry of the chronological merge sweep. pass 0 carries scheduled
+/// returns (recoveries, episode ends), pass 1 fresh proposals (crashes,
+/// episode starts) — mirroring the per-epoch generator, which processed the
+/// epoch's returns before drawing its fresh events. The (at, pass, node,
+/// kind) tuple is a strict total order, so the sweep — and therefore the
+/// generated plan — is deterministic.
+struct SweepItem {
+  sim::Epoch at = 0;
+  uint8_t pass = 0;
+  sim::NodeId node = 0;
+  FaultEvent::Kind kind = FaultEvent::Kind::kCrash;
+};
+
+struct SweepLater {
+  bool operator()(const SweepItem& a, const SweepItem& b) const {
+    return std::tie(a.at, a.pass, a.node, a.kind) > std::tie(b.at, b.pass, b.node, b.kind);
+  }
+};
+
+}  // namespace
 
 const char* FaultEventKindName(FaultEvent::Kind kind) {
   switch (kind) {
@@ -21,60 +81,121 @@ FaultPlan FaultPlan::Generate(const sim::Topology& topology, const FaultPlanOpti
                               uint64_t seed) {
   FaultPlan plan;
   plan.seed = seed;
-  util::Rng rng(seed ^ 0xFA17'F1A6'0D15'EA5EULL);
   size_t n = topology.num_nodes();
   size_t sensors = topology.num_sensors();
+  // Epoch 0 always stays clean and no event is scheduled at or past the
+  // horizon, so a horizon of 0 or 1 leaves nothing to schedule.
+  if (options.horizon <= 1 || n <= 1) return plan;
   size_t max_down = static_cast<size_t>(options.max_down_fraction * static_cast<double>(sensors));
+  // A zero cap means crash candidates could never commit (the per-epoch
+  // generator short-circuited the draw entirely in that case).
+  bool crash_on = options.crash_prob > 0.0 && max_down > 0;
+  bool degrade_on = options.degrade_prob > 0.0;
+  if (!crash_on && !degrade_on) return plan;
 
-  std::vector<uint8_t> down(n, 0);
-  std::vector<uint8_t> degraded(n, 0);
-  std::vector<sim::Epoch> up_at(n, 0);
-  std::vector<sim::Epoch> clean_at(n, 0);
-  size_t down_count = 0;
+  util::Rng master(seed ^ 0xFA17'F1A6'0D15'EA5EULL);
+  std::vector<NodeProcess> procs(n);
 
-  // The process is simulated epoch by epoch so the draws see the evolving
-  // down/degraded population; epoch 0 stays clean.
-  for (sim::Epoch e = 1; e < options.horizon; ++e) {
-    for (sim::NodeId node = 1; node < n; ++node) {
-      if (down[node] && up_at[node] == e) {
-        down[node] = 0;
-        --down_count;
-      }
-      if (degraded[node] && clean_at[node] == e) degraded[node] = 0;
+  // The node's next fresh event strictly inside the horizon, if any. Ties
+  // between the two clocks go to the crash (the per-epoch generator drew
+  // crash before degradation, and a crash suppresses the epoch's degrade
+  // trial without consuming it).
+  auto propose = [&](sim::NodeId v) -> std::optional<SweepItem> {
+    NodeProcess& p = procs[v];
+    uint64_t crash_at = UINT64_MAX;
+    if (crash_on && p.crash_gap < options.horizon) {
+      crash_at = static_cast<uint64_t>(p.crash_from) + p.crash_gap;
     }
-    for (sim::NodeId node = 1; node < n; ++node) {
-      if (!down[node] && down_count < max_down && rng.NextBernoulli(options.crash_prob)) {
-        plan.events.push_back({e, FaultEvent::Kind::kCrash, node, 0.0});
-        down[node] = 1;
-        ++down_count;
-        if (options.mean_downtime > 0) {
-          sim::Epoch downtime =
-              1 + static_cast<sim::Epoch>(rng.NextBounded(2 * options.mean_downtime));
-          sim::Epoch back = e + downtime;
-          if (back < options.horizon) {
-            plan.events.push_back({back, FaultEvent::Kind::kRecover, node, 0.0});
-            up_at[node] = back;
-          }
-          // Recoveries past the horizon never happen: the node stays down.
-        }
+    uint64_t degrade_at = UINT64_MAX;
+    if (degrade_on && p.degrade_gap < options.horizon) {
+      degrade_at = std::max<uint64_t>(p.degrade_from, p.degraded_until) + p.degrade_gap;
+    }
+    uint64_t at = std::min(crash_at, degrade_at);
+    if (at >= options.horizon) return std::nullopt;
+    return SweepItem{static_cast<sim::Epoch>(at), 1, v,
+                     crash_at <= degrade_at ? FaultEvent::Kind::kCrash
+                                            : FaultEvent::Kind::kDegradeStart};
+  };
+
+  std::priority_queue<SweepItem, std::vector<SweepItem>, SweepLater> queue;
+  for (sim::NodeId v = 1; v < n; ++v) {
+    procs[v].rng = master.Split(v);
+    if (crash_on) procs[v].crash_gap = GeometricSkip(procs[v].rng, options.crash_prob);
+    if (degrade_on) procs[v].degrade_gap = GeometricSkip(procs[v].rng, options.degrade_prob);
+    if (std::optional<SweepItem> item = propose(v)) queue.push(*item);
+  }
+
+  // Chronological merge of the per-node processes. Only the max-down cap
+  // couples nodes, so the sweep's job beyond ordering is bookkeeping
+  // down_count and suppressing crash candidates while the cap binds.
+  size_t down_count = 0;
+  while (!queue.empty()) {
+    SweepItem item = queue.top();
+    queue.pop();
+    NodeProcess& p = procs[item.node];
+    switch (item.kind) {
+      case FaultEvent::Kind::kRecover: {
+        plan.events.push_back({item.at, item.kind, item.node, 0.0});
+        --down_count;
+        // Proposals resume only now, so a crash drawn for this very epoch
+        // orders after the recovery — exactly the per-epoch generator's
+        // returns-then-fresh-draws order.
+        if (std::optional<SweepItem> next = propose(item.node)) queue.push(*next);
+        break;
       }
-      if (!down[node] && !degraded[node] && rng.NextBernoulli(options.degrade_prob)) {
-        plan.events.push_back(
-            {e, FaultEvent::Kind::kDegradeStart, node, options.degrade_extra_loss});
-        degraded[node] = 1;
-        sim::Epoch end = e + std::max<sim::Epoch>(1, options.degrade_duration);
-        if (end < options.horizon) {
-          plan.events.push_back({end, FaultEvent::Kind::kDegradeEnd, node, 0.0});
-          clean_at[node] = end;
+      case FaultEvent::Kind::kDegradeEnd: {
+        plan.events.push_back({item.at, item.kind, item.node, 0.0});
+        // Eligibility bookkeeping (degraded_until) was recorded when the
+        // episode started; the node's outstanding proposal already honors it.
+        break;
+      }
+      case FaultEvent::Kind::kCrash: {
+        if (down_count >= max_down) {
+          // Cap in force: this epoch was not crash-eligible after all. The
+          // process is memoryless, so redraw the gap from the next epoch.
+          p.crash_from = item.at + 1;
+          p.crash_gap = GeometricSkip(p.rng, options.crash_prob);
+          if (std::optional<SweepItem> next = propose(item.node)) queue.push(*next);
+          break;
         }
+        plan.events.push_back({item.at, item.kind, item.node, 0.0});
+        ++down_count;
+        if (degrade_on) {
+          // The degradation clock ticked (without firing) on every up-and-
+          // clean epoch strictly before the crash; the crash epoch itself
+          // had no degrade trial, and none happen while down.
+          uint64_t clean_from = std::max<uint64_t>(p.degrade_from, p.degraded_until);
+          if (item.at > clean_from) p.degrade_gap -= item.at - clean_from;
+        }
+        if (options.mean_downtime == 0) break;  // permanent: the node is done
+        auto downtime =
+            static_cast<sim::Epoch>(1 + p.rng.NextBounded(2 * options.mean_downtime));
+        uint64_t back = static_cast<uint64_t>(item.at) + downtime;
+        // A recovery landing at or past the horizon never happens: the node
+        // stays down and proposes nothing further.
+        if (back >= options.horizon) break;
+        p.crash_from = static_cast<sim::Epoch>(back);
+        p.crash_gap = GeometricSkip(p.rng, options.crash_prob);
+        p.degrade_from = static_cast<sim::Epoch>(back);
+        queue.push({static_cast<sim::Epoch>(back), 0, item.node, FaultEvent::Kind::kRecover});
+        break;
+      }
+      case FaultEvent::Kind::kDegradeStart: {
+        plan.events.push_back({item.at, item.kind, item.node, options.degrade_extra_loss});
+        sim::Epoch end = item.at + std::max<sim::Epoch>(1, options.degrade_duration);
+        p.degraded_until = end;
+        p.degrade_from = end;
+        p.degrade_gap = GeometricSkip(p.rng, options.degrade_prob);
+        if (end < options.horizon) {
+          queue.push({end, 0, item.node, FaultEvent::Kind::kDegradeEnd});
+        }
+        if (std::optional<SweepItem> next = propose(item.node)) queue.push(*next);
+        break;
       }
     }
   }
-  // Future-dated recoveries/episode-ends were appended out of epoch order;
-  // a stable sort restores it while keeping the within-epoch insertion
-  // order (scheduled returns before the epoch's fresh crashes).
-  std::stable_sort(plan.events.begin(), plan.events.end(),
-                   [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+  // The sweep pops in (epoch, pass, node, kind) order, so the plan is sorted
+  // by construction — no trailing sort.
   return plan;
 }
 

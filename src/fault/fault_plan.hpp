@@ -55,16 +55,30 @@ struct FaultPlanOptions {
 
 /// A reproducible schedule of node churn and link dynamics.
 struct FaultPlan {
-  /// Events sorted by epoch (stable within an epoch: recoveries and episode
-  /// ends scheduled earlier come first, then the epoch's fresh events in
-  /// node order).
+  /// Events sorted by epoch. Within an epoch the order is canonical:
+  /// scheduled returns first (recoveries, episode ends), then the epoch's
+  /// fresh events, each sub-ordered by node id — so a node that recovers and
+  /// re-crashes in the same epoch sees the recovery applied first.
   std::vector<FaultEvent> events;
   /// The seed everything above derives from.
   uint64_t seed = 0;
 
   /// Draws a plan for `topology` from `seed`. Deterministic: equal inputs
   /// produce equal plans. Epoch 0 is always clean so creation phases run on
-  /// the full population.
+  /// the full population, no event lands at or past the horizon (an event at
+  /// exactly horizon-1 is the last possible; a recovery that would land past
+  /// the horizon never happens and the node stays down), and crash draws
+  /// stop while max_down_fraction of the sensors is already down.
+  ///
+  /// Sampling is event-driven: each node owns an independent RNG substream
+  /// and draws geometric inter-event gaps over its eligible epochs (one
+  /// uniform per event) instead of one Bernoulli trial per node per epoch;
+  /// a chronological sweep merges the per-node processes and enforces the
+  /// max-down cap. Cost scales with the number of events, not with
+  /// horizon x nodes. The realized process is the same fault process the
+  /// per-epoch sampler drew (geometric inter-arrivals over eligible epochs,
+  /// crash-before-degrade tie order, identical boundary handling); the
+  /// concrete realization for a given seed is pinned by golden tests.
   static FaultPlan Generate(const sim::Topology& topology, const FaultPlanOptions& options,
                             uint64_t seed);
 

@@ -1,0 +1,341 @@
+#include "kspot/coordinator.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <utility>
+
+#include "agg/aggregate.hpp"
+#include "core/history_source.hpp"
+#include "core/mint.hpp"
+#include "core/tag.hpp"
+#include "data/windowed.hpp"
+#include "fault/churn_engine.hpp"
+#include "storage/history_store.hpp"
+
+namespace kspot::system {
+
+namespace {
+
+/// How a query executes on the shared data plane.
+enum class OpKind {
+  kSnapshot,    ///< MINT continuous top-k.
+  kTagFullView, ///< GROUP BY without TOP: TAG reporting every group.
+  kSelect,      ///< Ungrouped acquisitional SELECT (optional WHERE).
+  kHorizontal,  ///< MINT over per-node window aggregates.
+  kVertical,    ///< One-shot TJA over buffered windows.
+};
+
+/// The single classification both the compatibility key and the operator
+/// construction derive from: two queries share an operator if and only if
+/// their plans carry identical fields, because the key below is built from
+/// exactly the fields the construction switch consumes.
+struct OperatorPlan {
+  OpKind kind = OpKind::kSnapshot;
+  core::QuerySpec spec;                  ///< kSnapshot/kTagFullView/kHorizontal.
+  size_t window = 0;                     ///< kHorizontal/kVertical.
+  core::HistoricOptions historic;        ///< kVertical.
+  bool has_where = false;                ///< kSelect.
+  query::Predicate where;                ///< kSelect.
+};
+
+OperatorPlan PlanFor(const query::ParsedQuery& parsed, query::QueryClass cls,
+                     const Scenario& scenario) {
+  OperatorPlan plan;
+  plan.spec = SpecFromQuery(parsed, scenario);
+  plan.window =
+      parsed.history > 0 ? static_cast<size_t>(parsed.history) : Deployment::kDefaultWindow;
+  switch (cls) {
+    case query::QueryClass::kBasicSelect:
+      if (parsed.FirstAggregate() != nullptr && !parsed.group_by.empty()) {
+        plan.kind = OpKind::kTagFullView;
+      } else {
+        plan.kind = OpKind::kSelect;
+        plan.has_where = parsed.has_where;
+        if (parsed.has_where) plan.where = parsed.where;
+      }
+      break;
+    case query::QueryClass::kSnapshotTopK:
+      plan.kind = OpKind::kSnapshot;
+      break;
+    case query::QueryClass::kHistoricHorizontal:
+      plan.kind = OpKind::kHorizontal;
+      break;
+    case query::QueryClass::kHistoricVertical: {
+      plan.kind = OpKind::kVertical;
+      plan.historic.k = std::max(1, parsed.top_k);
+      const query::SelectItem* agg_item = parsed.FirstAggregate();
+      if (agg_item != nullptr) agg::ParseAggKind(agg_item->aggregate, &plan.historic.agg);
+      break;
+    }
+  }
+  return plan;
+}
+
+/// Canonical compatibility key, a pure function of the plan's consumed
+/// fields: queries mapping to the same key reduce to the same operator
+/// configuration and may piggyback on one instance.
+std::string CompatKey(const OperatorPlan& plan) {
+  char buf[160];
+  switch (plan.kind) {
+    case OpKind::kSnapshot:
+    case OpKind::kTagFullView:
+      std::snprintf(buf, sizeof buf, "%s|k=%d|agg=%d|group=%d",
+                    plan.kind == OpKind::kSnapshot ? "mint" : "tag", plan.spec.k,
+                    static_cast<int>(plan.spec.agg), static_cast<int>(plan.spec.grouping));
+      break;
+    case OpKind::kSelect:
+      if (plan.has_where) {
+        std::snprintf(buf, sizeof buf, "select|%s|%d|%.17g", plan.where.attribute.c_str(),
+                      static_cast<int>(plan.where.op), plan.where.literal);
+      } else {
+        std::snprintf(buf, sizeof buf, "select|all");
+      }
+      break;
+    case OpKind::kHorizontal:
+      std::snprintf(buf, sizeof buf, "hist|k=%d|agg=%d|group=%d|w=%zu", plan.spec.k,
+                    static_cast<int>(plan.spec.agg), static_cast<int>(plan.spec.grouping),
+                    plan.window);
+      break;
+    case OpKind::kVertical:
+      std::snprintf(buf, sizeof buf, "tja|k=%d|agg=%d|w=%zu", plan.historic.k,
+                    static_cast<int>(plan.historic.agg), plan.window);
+      break;
+  }
+  return buf;
+}
+
+/// One operator instance of the shared data plane and the queries riding it.
+struct OpGroup {
+  OperatorPlan plan;
+  std::string algorithm;
+  /// Indices into the admitted set (admission order).
+  std::vector<size_t> members;
+  /// Epoch-driven operators (snapshot MINT, grouped-select TAG, horizontal
+  /// MINT-over-windows) ...
+  std::unique_ptr<core::EpochAlgorithm> algo;
+  /// ... or the tuple-collection path of ungrouped selects.
+  std::unique_ptr<core::BasicSelect> select;
+  /// Horizontal historic operators own their window adapter (the shared
+  /// per-epoch wave feeds it through its own inner generator replay).
+  std::unique_ptr<data::DataGenerator> own_inner;
+  std::unique_ptr<data::WindowAggregateGenerator> window_gen;
+
+  sim::TrafficCounters cost;
+  std::vector<core::TopKResult> per_epoch;
+  std::vector<std::vector<core::SelectTuple>> rows_per_epoch;
+  core::HistoricResult historic;
+};
+
+}  // namespace
+
+QueryCoordinator::QueryCoordinator(Scenario scenario, Options options)
+    : options_(std::move(options)), deployment_(std::move(scenario), options_.seed) {}
+
+std::unique_ptr<data::DataGenerator> QueryCoordinator::MakeGenerator(uint64_t seed) const {
+  if (options_.make_generator) return options_.make_generator(deployment_.scenario, seed);
+  return deployment_.DefaultGenerator(seed);
+}
+
+sim::NetworkOptions QueryCoordinator::NetOptions() const { return RadioOptionsFrom(options_); }
+
+util::StatusOr<QueryId> QueryCoordinator::Admit(const std::string& sql) {
+  util::StatusOr<query::ParsedQuery> parsed = query::Parse(sql);
+  if (!parsed.ok()) return parsed.status();
+  util::Status valid = query::Validate(parsed.value());
+  if (!valid.ok()) return valid;
+  Admitted entry;
+  entry.id = next_id_++;
+  entry.sql = sql;
+  entry.parsed = parsed.value();
+  entry.query_class = query::Classify(entry.parsed);
+  admitted_.push_back(std::move(entry));
+  return admitted_.back().id;
+}
+
+util::Status QueryCoordinator::Cancel(QueryId id) {
+  for (Admitted& entry : admitted_) {
+    if (entry.id == id && entry.active) {
+      entry.active = false;
+      return util::Status::Ok();
+    }
+  }
+  return util::Status::Error("no active query with id " + std::to_string(id));
+}
+
+size_t QueryCoordinator::active_queries() const {
+  size_t n = 0;
+  for (const Admitted& entry : admitted_) n += entry.active ? 1 : 0;
+  return n;
+}
+
+util::StatusOr<CoordinatorReport> QueryCoordinator::Run() {
+  CoordinatorReport report;
+  report.epochs = options_.epochs;
+
+  // ------------------------------------------------------- shared data plane
+  // One tree copy per run (churn repairs it in place; the deployment stays
+  // pristine), one network, one generator: the per-epoch data wave every
+  // epoch-driven operator reads. Seed derivations match KSpotServer's
+  // snapshot path exactly, so a lone snapshot query reproduces Execute().
+  sim::RoutingTree tree = deployment_.tree;
+  sim::Network net(&deployment_.topology, &tree, NetOptions(), util::Rng(options_.seed ^ 0x77));
+  std::unique_ptr<data::DataGenerator> shared_gen = MakeGenerator(options_.seed);
+
+  std::unique_ptr<fault::ChurnEngine> churn;
+  if (options_.enable_churn) {
+    fault::FaultPlanOptions churn_opt = options_.churn;
+    if (churn_opt.horizon == 0 || churn_opt.horizon > options_.epochs) {
+      churn_opt.horizon = static_cast<sim::Epoch>(options_.epochs);
+    }
+    fault::FaultPlan plan =
+        fault::FaultPlan::Generate(deployment_.topology, churn_opt, options_.seed ^ 0xFA11);
+    churn = std::make_unique<fault::ChurnEngine>(&net, &tree, std::move(plan));
+  }
+
+  // ------------------------------------------------- operator group planning
+  std::vector<OpGroup> groups;
+  std::map<std::string, size_t> group_of_key;
+  std::vector<size_t> group_of_query(admitted_.size(), SIZE_MAX);
+  size_t n = deployment_.topology.num_nodes();
+
+  for (size_t qi = 0; qi < admitted_.size(); ++qi) {
+    const Admitted& entry = admitted_[qi];
+    if (!entry.active) continue;
+    OperatorPlan plan = PlanFor(entry.parsed, entry.query_class, deployment_.scenario);
+    std::string key = CompatKey(plan);
+    if (!options_.share_operators) key += "#" + std::to_string(entry.id);
+    auto it = group_of_key.find(key);
+    if (it != group_of_key.end()) {
+      groups[it->second].members.push_back(qi);
+      group_of_query[qi] = it->second;
+      continue;
+    }
+    OpGroup group;
+    group.plan = plan;
+    group.members.push_back(qi);
+    switch (plan.kind) {
+      case OpKind::kTagFullView:
+        group.algo = std::make_unique<core::TagTopK>(&net, shared_gen.get(), plan.spec);
+        group.algorithm = group.algo->name();
+        break;
+      case OpKind::kSelect:
+        group.select = std::make_unique<core::BasicSelect>(&net, shared_gen.get(),
+                                                           plan.has_where, plan.where);
+        group.algorithm = "SELECT";
+        break;
+      case OpKind::kSnapshot:
+        group.algo = std::make_unique<core::MintViews>(&net, shared_gen.get(), plan.spec);
+        group.algorithm = group.algo->name();
+        break;
+      case OpKind::kHorizontal:
+        group.own_inner = MakeGenerator(options_.seed);
+        group.window_gen = std::make_unique<data::WindowAggregateGenerator>(
+            group.own_inner.get(), n, plan.window, plan.spec.agg);
+        group.algo = std::make_unique<core::MintViews>(&net, group.window_gen.get(), plan.spec);
+        group.algorithm = "MINT+history";
+        break;
+      case OpKind::kVertical:
+        group.algorithm = "TJA";
+        break;
+    }
+    group_of_key.emplace(std::move(key), groups.size());
+    group_of_query[qi] = groups.size();
+    groups.push_back(std::move(group));
+  }
+
+  // ------------------------------------------ one-shot historic (TJA) phase
+  // Vertical queries run over already-buffered windows before the continuous
+  // loop starts, on the same network: their traffic drains the same
+  // batteries the continuous queries live off.
+  for (OpGroup& group : groups) {
+    if (group.plan.kind != OpKind::kVertical) continue;
+    auto gen = MakeGenerator(options_.seed);
+    std::vector<storage::HistoryStore> stores;
+    stores.reserve(n);
+    const data::ModalityInfo& info = data::GetModalityInfo(deployment_.scenario.modality);
+    for (sim::NodeId id = 0; id < n; ++id) {
+      stores.emplace_back(group.plan.window, /*archive_to_flash=*/false, info.min_value,
+                          info.max_value);
+    }
+    for (size_t t = 0; t < group.plan.window; ++t) {
+      for (sim::NodeId id = 1; id < n; ++id) {
+        stores[id].Append(static_cast<sim::Epoch>(t),
+                          gen->Value(id, static_cast<sim::Epoch>(t)));
+      }
+    }
+    storage::StoreHistorySource source(&stores);
+    core::Tja tja(&net, &source, group.plan.historic);
+    sim::TrafficCounters before = net.total();
+    group.historic = tja.Run();
+    group.algorithm = tja.name();
+    group.cost = net.total().Since(before);
+  }
+
+  // ------------------------------------------------------ lockstep epoch loop
+  for (size_t e = 0; e < options_.epochs; ++e) {
+    auto epoch = static_cast<sim::Epoch>(e);
+    bool topology_changed = false;
+    sim::TopologyDelta delta;
+    if (churn) {
+      fault::ChurnReport churn_report = churn->BeginEpoch(epoch);
+      topology_changed = churn_report.topology_changed;
+      delta = churn_report.delta;
+    }
+    for (OpGroup& group : groups) {
+      if (group.plan.kind == OpKind::kVertical) continue;
+      sim::TrafficCounters before = net.total();
+      // The operator's own churn repair (e.g. MINT's cardinality-delta
+      // converge-cast) is part of what this query group costs the network,
+      // so it books inside the group's delta; only the tree-level join
+      // handshakes (phase "fault.repair", charged by the engine above) stay
+      // shared.
+      if (topology_changed && group.algo) group.algo->OnTopologyChanged(delta);
+      if (group.algo) {
+        group.per_epoch.push_back(group.algo->RunEpoch(epoch));
+      } else {
+        group.rows_per_epoch.push_back(group.select->RunEpoch(epoch));
+      }
+      group.cost.Add(net.total().Since(before));
+    }
+  }
+
+  // --------------------------------------------------------------- reporting
+  report.total = net.total();
+  report.operators = groups.size();
+  if (churn) {
+    report.repair_events = churn->repair_events();
+    report.repair_messages = churn->repair_messages();
+    report.detached_nodes = churn->detached_count();
+  }
+  std::vector<size_t> members_left(groups.size());
+  for (size_t gi = 0; gi < groups.size(); ++gi) members_left[gi] = groups[gi].members.size();
+  for (size_t qi = 0; qi < admitted_.size(); ++qi) {
+    const Admitted& entry = admitted_[qi];
+    if (!entry.active) continue;
+    OpGroup& group = groups[group_of_query[qi]];
+    QueryOutcome outcome;
+    outcome.id = entry.id;
+    outcome.sql = entry.sql;
+    outcome.query_class = entry.query_class;
+    outcome.algorithm = group.algorithm;
+    outcome.shared_cost = group.cost;
+    outcome.share_group_size = group.members.size();
+    // Each member gets the group's full results per the API; the last one
+    // takes them by move so an N-way share costs N-1 copies, not N.
+    if (--members_left[group_of_query[qi]] == 0) {
+      outcome.per_epoch = std::move(group.per_epoch);
+      outcome.rows_per_epoch = std::move(group.rows_per_epoch);
+      outcome.historic = std::move(group.historic);
+    } else {
+      outcome.per_epoch = group.per_epoch;
+      outcome.rows_per_epoch = group.rows_per_epoch;
+      outcome.historic = group.historic;
+    }
+    report.outcomes.push_back(std::move(outcome));
+    ++report.queries;
+  }
+  return report;
+}
+
+}  // namespace kspot::system

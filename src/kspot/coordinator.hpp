@@ -1,0 +1,145 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/result.hpp"
+#include "core/select.hpp"
+#include "core/tja.hpp"
+#include "data/generators.hpp"
+#include "fault/fault_plan.hpp"
+#include "kspot/deployment.hpp"
+#include "kspot/scenario_config.hpp"
+#include "query/parser.hpp"
+#include "sim/network.hpp"
+#include "util/status.hpp"
+
+namespace kspot::system {
+
+/// Handle of an admitted query.
+using QueryId = uint32_t;
+
+/// What one admitted query produced after a coordinator run.
+struct QueryOutcome {
+  QueryId id = 0;
+  std::string sql;                            ///< As admitted.
+  query::QueryClass query_class = query::QueryClass::kBasicSelect;
+  std::string algorithm;                      ///< "MINT", "TAG", "TJA", ...
+  std::vector<core::TopKResult> per_epoch;    ///< Snapshot answers per epoch.
+  std::vector<std::vector<core::SelectTuple>> rows_per_epoch;  ///< Ungrouped selects.
+  core::HistoricResult historic;              ///< Historic one-shot answer.
+  /// Radio traffic of the operator this query rode. Compatible queries share
+  /// one operator (and therefore one converge-cast per epoch); the shared
+  /// bill is reported once here with the number of queries that split it, so
+  /// a per-query figure is shared_cost / share_group_size.
+  sim::TrafficCounters shared_cost;
+  size_t share_group_size = 1;
+};
+
+/// The outcome of driving every admitted query over one run.
+struct CoordinatorReport {
+  size_t epochs = 0;
+  size_t queries = 0;
+  /// Distinct operator instances the shared data plane drove (snapshot
+  /// piggybacking makes this <= queries).
+  size_t operators = 0;
+  /// The deployment's whole radio bill for the run — one network, one
+  /// battery ledger, everything included (tree-repair control traffic too).
+  sim::TrafficCounters total;
+  /// Tree-repair bookkeeping when churn is enabled.
+  size_t repair_events = 0;
+  uint64_t repair_messages = 0;
+  size_t detached_nodes = 0;   ///< Up-but-unroutable after the last repair.
+  std::vector<QueryOutcome> outcomes;  ///< One per admitted query, admission order.
+};
+
+/// The multi-query KSpot server core (PAPER.md §II scaled out): admits N
+/// declarative queries against ONE long-lived deployment and drives their
+/// operators in lockstep over a single shared data plane — one Topology, one
+/// RoutingTree (repaired in place under churn), one Network whose batteries
+/// every query drains, and one per-epoch data wave that every operator reads
+/// (each node samples once per epoch no matter how many queries are live).
+///
+/// Compatible snapshot queries piggyback: queries that reduce to the same
+/// operator configuration (same algorithm, K, aggregate, grouping — or the
+/// same WHERE predicate, or the same historic window) share one operator
+/// instance and therefore one converge-cast per epoch, instead of each
+/// paying full collection traffic. That sharing is where the multi-tenant
+/// energy story comes from; E17 (`server_throughput`) measures it.
+///
+/// A run is a pure function of the admitted set and Options::seed: Run() may
+/// be called repeatedly and always reproduces the same report, and a single
+/// admitted snapshot query reproduces KSpotServer::Execute bit-exactly (the
+/// coordinator derives its generator, network RNG and fault plan the same
+/// way — pinned by coordinator_test).
+class QueryCoordinator {
+ public:
+  struct Options {
+    /// Epochs to drive the shared data plane for.
+    size_t epochs = 30;
+    /// RNG seed (tree growth, data, losses, fault plan).
+    uint64_t seed = 1;
+    /// Per-frame loss probability.
+    double loss_prob = 0.0;
+    /// Link-layer retries.
+    int max_retries = 0;
+    /// Per-node battery budget, joules; <= 0 means unlimited. Shared: every
+    /// query's traffic drains the same meters.
+    double battery_j = 0.0;
+    /// Fault & churn injection over the shared tree (one plan, one repair
+    /// per epoch, every operator notified). `churn.horizon` 0 = whole run.
+    bool enable_churn = false;
+    fault::FaultPlanOptions churn;
+    /// Data generator factory; defaults to the deployment's room-correlated
+    /// walk.
+    std::function<std::unique_ptr<data::DataGenerator>(const Scenario&, uint64_t seed)>
+        make_generator;
+    /// Allow compatible queries to share one operator. Off = every query
+    /// drives its own operator on the shared network (for measuring what the
+    /// piggybacking saves).
+    bool share_operators = true;
+  };
+
+  /// Builds the long-lived deployment for `scenario`.
+  QueryCoordinator(Scenario scenario, Options options);
+
+  /// Parses, validates and admits one query. Expected failures (syntax or
+  /// semantic errors) come back as Status; the query set is unchanged.
+  util::StatusOr<QueryId> Admit(const std::string& sql);
+
+  /// Withdraws an admitted query before the next Run().
+  util::Status Cancel(QueryId id);
+
+  /// Number of currently admitted queries.
+  size_t active_queries() const;
+
+  /// Drives all admitted queries for Options::epochs epochs over the shared
+  /// data plane and returns every query's outcome plus the shared bill.
+  util::StatusOr<CoordinatorReport> Run();
+
+  /// The deployment this coordinator administers (pristine; runs repair
+  /// their own tree copies).
+  const Deployment& deployment() const { return deployment_; }
+  const Options& options() const { return options_; }
+
+ private:
+  struct Admitted {
+    QueryId id = 0;
+    std::string sql;
+    query::ParsedQuery parsed;
+    query::QueryClass query_class = query::QueryClass::kBasicSelect;
+    bool active = true;
+  };
+
+  Options options_;
+  Deployment deployment_;
+  std::vector<Admitted> admitted_;
+  QueryId next_id_ = 1;
+
+  std::unique_ptr<data::DataGenerator> MakeGenerator(uint64_t seed) const;
+  sim::NetworkOptions NetOptions() const;
+};
+
+}  // namespace kspot::system

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/query_spec.hpp"
+#include "data/generators.hpp"
+#include "kspot/node_runtime.hpp"
+#include "kspot/scenario_config.hpp"
+#include "query/ast.hpp"
+#include "sim/network.hpp"
+#include "sim/routing_tree.hpp"
+#include "sim/topology.hpp"
+
+namespace kspot::system {
+
+/// One deployed sensor network as the base station administers it: the
+/// scenario, the simulator topology built from it, the routing tree grown
+/// over the deployment, and the per-node client runtimes.
+///
+/// This is the long-lived state every query server shares. KSpotServer owns
+/// one and runs a single query at a time against it; QueryCoordinator owns
+/// one and drives many concurrent queries over the same tree, batteries and
+/// per-epoch data wave. The topology and tree here stay pristine — runs that
+/// mutate the tree (churn) repair their own copies and the deployment
+/// remains the per-run starting point.
+struct Deployment {
+  /// Window depth the clients buffer, and the default window of historic
+  /// queries that name none — one constant so a windowless historic query
+  /// can never read deeper than the clients buffer.
+  static constexpr size_t kDefaultWindow = 32;
+
+  Scenario scenario;
+  sim::Topology topology;
+  sim::RoutingTree tree;
+  std::vector<NodeRuntime> clients;
+
+  /// Builds the deployment for `scenario`. The routing tree derives from
+  /// `seed` exactly as the server always built it: the Figure-1 scenario
+  /// pins the paper's tree, every other scenario grows the cluster-aware
+  /// first-heard-from tree (rooms form contiguous subtrees and close low —
+  /// what MINT's view hierarchy exploits).
+  Deployment(Scenario scenario, uint64_t seed);
+
+  /// The default data source: a room-correlated walk matching the
+  /// scenario's modality, fully derived from `seed` (the shared per-epoch
+  /// data wave — every operator reading the same generator instance at the
+  /// same epoch sees the identical readings, and re-deriving with the same
+  /// seed replays the identical wave).
+  std::unique_ptr<data::DataGenerator> DefaultGenerator(uint64_t seed) const;
+};
+
+/// Maps a parsed snapshot/grouped query onto the algorithm-facing QuerySpec
+/// under `scenario`'s modality. Basic GROUP-BY selects (no TOP clause)
+/// report every group, modeled as K = all.
+core::QuerySpec SpecFromQuery(const query::ParsedQuery& parsed, const Scenario& scenario);
+
+/// Maps the radio knobs shared by KSpotServer::Options and
+/// QueryCoordinator::Options onto the simulator's NetworkOptions — ONE
+/// mapping, so a knob added to the serving options cannot reach one server's
+/// network but not the other's (the coordinator==Execute bit-exactness
+/// depends on identical NetworkOptions).
+template <typename ServingOptions>
+sim::NetworkOptions RadioOptionsFrom(const ServingOptions& options) {
+  sim::NetworkOptions opts;
+  opts.loss_prob = options.loss_prob;
+  opts.max_retries = options.max_retries;
+  opts.battery_j = options.battery_j;
+  return opts;
+}
+
+}  // namespace kspot::system

@@ -13,70 +13,15 @@
 
 namespace kspot::system {
 
-namespace {
-
-/// Default window used when clients buffer history but the query names none.
-constexpr size_t kDefaultWindow = 32;
-
-core::QuerySpec SpecFromQuery(const query::ParsedQuery& parsed, const Scenario& scenario) {
-  core::QuerySpec spec;
-  // Basic GROUP-BY selects (no TOP clause) report every group.
-  spec.k = parsed.top_k > 0 ? parsed.top_k : 1'000'000;
-  const query::SelectItem* agg_item = parsed.FirstAggregate();
-  if (agg_item != nullptr) {
-    agg::ParseAggKind(agg_item->aggregate, &spec.agg);
-  }
-  spec.grouping =
-      parsed.group_by == "nodeid" ? core::Grouping::kNode : core::Grouping::kRoom;
-  spec.SetDomainFrom(data::GetModalityInfo(scenario.modality));
-  return spec;
-}
-
-}  // namespace
-
 KSpotServer::KSpotServer(Scenario scenario, Options options)
-    : scenario_(std::move(scenario)), options_(std::move(options)),
-      topology_(scenario_.BuildTopology()) {
-  util::Rng tree_rng(options_.seed ^ 0xA5A5A5A5ULL);
-  // The Figure-1 scenario pins the exact routing tree of the paper; other
-  // scenarios build the cluster-aware variant of TAG's first-heard-from
-  // tree (the server knows the region assignments from the Configuration
-  // Panel, so rooms form contiguous subtrees and close low — what MINT's
-  // view hierarchy exploits).
-  if (scenario_.name == "figure1" && topology_.num_nodes() == 10) {
-    tree_ = sim::RoutingTree::FromParents(sim::MakeFigure1Parents());
-  } else {
-    tree_ = sim::RoutingTree::BuildClusterAware(topology_, tree_rng);
-  }
-  const data::ModalityInfo& info = data::GetModalityInfo(scenario_.modality);
-  clients_.reserve(topology_.num_nodes());
-  for (sim::NodeId id = 0; id < topology_.num_nodes(); ++id) {
-    clients_.emplace_back(id, kDefaultWindow, info);
-  }
-}
+    : options_(std::move(options)), deployment_(std::move(scenario), options_.seed) {}
 
 std::unique_ptr<data::DataGenerator> KSpotServer::MakeGenerator(uint64_t seed) const {
-  if (options_.make_generator) return options_.make_generator(scenario_, seed);
-  std::vector<sim::GroupId> rooms;
-  rooms.reserve(topology_.num_nodes());
-  for (sim::NodeId id = 0; id < topology_.num_nodes(); ++id) rooms.push_back(topology_.room(id));
-  const data::ModalityInfo& info = data::GetModalityInfo(scenario_.modality);
-  double span = info.max_value - info.min_value;
-  // Rooms drift independently, a building-wide component correlates hot
-  // time instances across nodes, and readings land on an integer ADC grid.
-  return std::make_unique<data::RoomCorrelatedGenerator>(
-      std::move(rooms), scenario_.modality, /*room_sigma=*/span * 0.02,
-      /*noise_sigma=*/span * 0.01, util::Rng(seed), /*global_sigma=*/span * 0.03,
-      /*quantize_step=*/span * 0.01);
+  if (options_.make_generator) return options_.make_generator(deployment_.scenario, seed);
+  return deployment_.DefaultGenerator(seed);
 }
 
-sim::NetworkOptions KSpotServer::NetOptions() const {
-  sim::NetworkOptions opts;
-  opts.loss_prob = options_.loss_prob;
-  opts.max_retries = options_.max_retries;
-  opts.battery_j = options_.battery_j;
-  return opts;
-}
+sim::NetworkOptions KSpotServer::NetOptions() const { return RadioOptionsFrom(options_); }
 
 util::StatusOr<RunOutcome> KSpotServer::Execute(const std::string& sql) {
   return ExecuteStreaming(sql, EpochCallback());
@@ -90,7 +35,7 @@ util::StatusOr<RunOutcome> KSpotServer::ExecuteStreaming(const std::string& sql,
   if (!valid.ok()) return valid;
   // Mirror the client-side route: install on every node runtime (the nesC
   // client parses the disseminated query too).
-  for (auto& client : clients_) {
+  for (auto& client : deployment_.clients) {
     util::Status s = client.InstallQuery(sql);
     if (!s.ok()) return s;
   }
@@ -124,7 +69,7 @@ RunOutcome KSpotServer::RunBasicSelect(const query::ParsedQuery& parsed,
   outcome.query_class = query::QueryClass::kBasicSelect;
   outcome.algorithm = "SELECT";
   auto gen = MakeGenerator(options_.seed);
-  sim::Network net(&topology_, &tree_, NetOptions(), util::Rng(options_.seed ^ 0x33));
+  sim::Network net(&deployment_.topology, &deployment_.tree, NetOptions(), util::Rng(options_.seed ^ 0x33));
   core::BasicSelect select(&net, gen.get(), parsed.has_where, parsed.where);
 
   sim::TrafficCounters last{};
@@ -148,18 +93,18 @@ RunOutcome KSpotServer::RunSnapshot(const query::ParsedQuery& parsed, bool mint,
                                     const EpochCallback& cb) {
   RunOutcome outcome;
   outcome.query_class = query::Classify(parsed);
-  core::QuerySpec spec = SpecFromQuery(parsed, scenario_);
+  core::QuerySpec spec = SpecFromQuery(parsed, deployment_.scenario);
 
   // Churn mutates the routing tree, so each run (KSpot and the shadow
-  // baseline) repairs its own private copy; the server's pristine tree_
+  // baseline) repairs its own private copy; the server's pristine deployment_.tree
   // stays the per-query starting point.
-  sim::RoutingTree tree = tree_;
-  sim::RoutingTree baseline_tree = tree_;
+  sim::RoutingTree tree = deployment_.tree;
+  sim::RoutingTree baseline_tree = deployment_.tree;
 
   // KSpot network + generator, and an identically seeded shadow pair for
   // the TAG baseline so the System Panel compares like with like.
   auto gen = MakeGenerator(options_.seed);
-  sim::Network net(&topology_, &tree, NetOptions(), util::Rng(options_.seed ^ 0x77));
+  sim::Network net(&deployment_.topology, &tree, NetOptions(), util::Rng(options_.seed ^ 0x77));
   std::unique_ptr<core::EpochAlgorithm> algo;
   if (mint) {
     algo = std::make_unique<core::MintViews>(&net, gen.get(), spec);
@@ -169,7 +114,7 @@ RunOutcome KSpotServer::RunSnapshot(const query::ParsedQuery& parsed, bool mint,
   outcome.algorithm = algo->name();
 
   auto baseline_gen = MakeGenerator(options_.seed);
-  sim::Network baseline_net(&topology_, &baseline_tree, NetOptions(),
+  sim::Network baseline_net(&deployment_.topology, &baseline_tree, NetOptions(),
                             util::Rng(options_.seed ^ 0x77));
   core::TagTopK baseline(&baseline_net, baseline_gen.get(), spec);
 
@@ -186,7 +131,7 @@ RunOutcome KSpotServer::RunSnapshot(const query::ParsedQuery& parsed, bool mint,
       churn_opt.horizon = static_cast<sim::Epoch>(options_.epochs);
     }
     fault::FaultPlan plan =
-        fault::FaultPlan::Generate(topology_, churn_opt, options_.seed ^ 0xFA11);
+        fault::FaultPlan::Generate(deployment_.topology, churn_opt, options_.seed ^ 0xFA11);
     if (options_.run_baseline) {
       baseline_churn =
           std::make_unique<fault::ChurnEngine>(&baseline_net, &baseline_tree, plan);
@@ -216,7 +161,7 @@ RunOutcome KSpotServer::RunSnapshot(const query::ParsedQuery& parsed, bool mint,
     }
     if (churn) {
       SystemPanel::NodeStatus status;
-      status.total = topology_.num_nodes();
+      status.total = deployment_.topology.num_nodes();
       status.up = net.AliveCount();
       status.detached = churn->detached_count();
       status.repair_events = churn->repair_events();
@@ -234,19 +179,19 @@ RunOutcome KSpotServer::RunSnapshot(const query::ParsedQuery& parsed, bool mint,
 RunOutcome KSpotServer::RunHistoricVertical(const query::ParsedQuery& parsed) {
   RunOutcome outcome;
   outcome.query_class = query::QueryClass::kHistoricVertical;
-  size_t window = parsed.history > 0 ? static_cast<size_t>(parsed.history) : kDefaultWindow;
+  size_t window = parsed.history > 0 ? static_cast<size_t>(parsed.history) : Deployment::kDefaultWindow;
 
   // Buffer `window` epochs into every client's history store (local
   // sampling costs no radio traffic), then run TJA over the stored windows.
   auto gen = MakeGenerator(options_.seed);
   std::vector<storage::HistoryStore> stores;
-  stores.reserve(topology_.num_nodes());
-  const data::ModalityInfo& info = data::GetModalityInfo(scenario_.modality);
-  for (sim::NodeId id = 0; id < topology_.num_nodes(); ++id) {
+  stores.reserve(deployment_.topology.num_nodes());
+  const data::ModalityInfo& info = data::GetModalityInfo(deployment_.scenario.modality);
+  for (sim::NodeId id = 0; id < deployment_.topology.num_nodes(); ++id) {
     stores.emplace_back(window, /*archive_to_flash=*/false, info.min_value, info.max_value);
   }
   for (size_t t = 0; t < window; ++t) {
-    for (sim::NodeId id = 1; id < topology_.num_nodes(); ++id) {
+    for (sim::NodeId id = 1; id < deployment_.topology.num_nodes(); ++id) {
       stores[id].Append(static_cast<sim::Epoch>(t),
                         gen->Value(id, static_cast<sim::Epoch>(t)));
     }
@@ -258,7 +203,7 @@ RunOutcome KSpotServer::RunHistoricVertical(const query::ParsedQuery& parsed) {
   const query::SelectItem* agg_item = parsed.FirstAggregate();
   if (agg_item != nullptr) agg::ParseAggKind(agg_item->aggregate, &opts.agg);
 
-  sim::Network net(&topology_, &tree_, NetOptions(), util::Rng(options_.seed ^ 0x99));
+  sim::Network net(&deployment_.topology, &deployment_.tree, NetOptions(), util::Rng(options_.seed ^ 0x99));
   core::Tja tja(&net, &source, opts);
   outcome.historic = tja.Run();
   outcome.algorithm = tja.name();
@@ -266,7 +211,7 @@ RunOutcome KSpotServer::RunHistoricVertical(const query::ParsedQuery& parsed) {
   outcome.panel.RecordKspotEpoch(net.total());
 
   if (options_.run_baseline) {
-    sim::Network cnet(&topology_, &tree_, NetOptions(), util::Rng(options_.seed ^ 0x99));
+    sim::Network cnet(&deployment_.topology, &deployment_.tree, NetOptions(), util::Rng(options_.seed ^ 0x99));
     core::TagHistoric baseline(&cnet, &source, opts);
     baseline.Run();
     outcome.baseline_cost = cnet.total();
@@ -279,22 +224,22 @@ RunOutcome KSpotServer::RunHistoricHorizontal(const query::ParsedQuery& parsed,
                                               const EpochCallback& cb) {
   RunOutcome outcome;
   outcome.query_class = query::QueryClass::kHistoricHorizontal;
-  core::QuerySpec spec = SpecFromQuery(parsed, scenario_);
-  size_t window = parsed.history > 0 ? static_cast<size_t>(parsed.history) : kDefaultWindow;
+  core::QuerySpec spec = SpecFromQuery(parsed, deployment_.scenario);
+  size_t window = parsed.history > 0 ? static_cast<size_t>(parsed.history) : Deployment::kDefaultWindow;
 
   // Local search and filtering (Section III-B, horizontal case): every node
   // reduces its window to one aggregate locally; MINT then prunes the
   // aggregated values in-network, epoch by epoch as the window slides.
   auto inner = MakeGenerator(options_.seed);
-  data::WindowAggregateGenerator gen(inner.get(), topology_.num_nodes(), window, spec.agg);
-  sim::Network net(&topology_, &tree_, NetOptions(), util::Rng(options_.seed ^ 0x55));
+  data::WindowAggregateGenerator gen(inner.get(), deployment_.topology.num_nodes(), window, spec.agg);
+  sim::Network net(&deployment_.topology, &deployment_.tree, NetOptions(), util::Rng(options_.seed ^ 0x55));
   core::MintViews mint(&net, &gen, spec);
   outcome.algorithm = "MINT+history";
 
   auto baseline_inner = MakeGenerator(options_.seed);
-  data::WindowAggregateGenerator baseline_gen(baseline_inner.get(), topology_.num_nodes(),
+  data::WindowAggregateGenerator baseline_gen(baseline_inner.get(), deployment_.topology.num_nodes(),
                                               window, spec.agg);
-  sim::Network baseline_net(&topology_, &tree_, NetOptions(), util::Rng(options_.seed ^ 0x55));
+  sim::Network baseline_net(&deployment_.topology, &deployment_.tree, NetOptions(), util::Rng(options_.seed ^ 0x55));
   core::TagTopK baseline(&baseline_net, &baseline_gen, spec);
 
   sim::TrafficCounters last{};

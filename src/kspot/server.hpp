@@ -11,6 +11,7 @@
 #include "core/tja.hpp"
 #include "data/generators.hpp"
 #include "fault/fault_plan.hpp"
+#include "kspot/deployment.hpp"
 #include "kspot/node_runtime.hpp"
 #include "kspot/scenario_config.hpp"
 #include "kspot/system_panel.hpp"
@@ -76,6 +77,12 @@ class KSpotServer {
 
   /// Executes one query end to end. Expected failures (syntax/semantic
   /// errors) are returned as Status.
+  ///
+  /// Execute never perturbs the deployment: every run derives its
+  /// generator, network, trees and fault plan freshly from Options::seed, so
+  /// two sequential calls with the same SQL are bit-identical — the
+  /// precondition for QueryCoordinator reusing one server-side deployment
+  /// across many queries (pinned by kspot_system_test).
   util::StatusOr<RunOutcome> Execute(const std::string& sql);
 
   /// Per-epoch callback for live display (Display Panel hooks in here).
@@ -84,18 +91,17 @@ class KSpotServer {
   util::StatusOr<RunOutcome> ExecuteStreaming(const std::string& sql, const EpochCallback& cb);
 
   /// The scenario this server administers.
-  const Scenario& scenario() const { return scenario_; }
+  const Scenario& scenario() const { return deployment_.scenario; }
   /// The routing tree built over the deployment.
-  const sim::RoutingTree& tree() const { return tree_; }
+  const sim::RoutingTree& tree() const { return deployment_.tree; }
   /// Per-node client runtimes.
-  const std::vector<NodeRuntime>& clients() const { return clients_; }
+  const std::vector<NodeRuntime>& clients() const { return deployment_.clients; }
+  /// The long-lived deployment state (shared shape with QueryCoordinator).
+  const Deployment& deployment() const { return deployment_; }
 
  private:
-  Scenario scenario_;
   Options options_;
-  sim::Topology topology_;
-  sim::RoutingTree tree_;
-  std::vector<NodeRuntime> clients_;
+  Deployment deployment_;
 
   std::unique_ptr<data::DataGenerator> MakeGenerator(uint64_t seed) const;
   sim::NetworkOptions NetOptions() const;

@@ -1,5 +1,7 @@
 #include "net/serializer.hpp"
 
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 namespace kspot::net {
@@ -22,6 +24,16 @@ void Writer::PutBytes(const uint8_t* data, size_t len) {
 }
 
 void Writer::PutString(const std::string& s) {
+  if (s.size() > kMaxStringBytes) {
+    // Unconditional (not assert): release builds must not emit a truncated
+    // length prefix followed by the full payload — every field after it
+    // would deserialize as garbage.
+    std::fprintf(stderr,
+                 "net::Writer::PutString: string of %zu bytes exceeds the u16 "
+                 "length prefix (max %zu)\n",
+                 s.size(), kMaxStringBytes);
+    std::abort();
+  }
   PutU16(static_cast<uint16_t>(s.size()));
   PutBytes(reinterpret_cast<const uint8_t*>(s.data()), s.size());
 }

@@ -25,9 +25,15 @@ class Writer {
   void PutU64(uint64_t v);
   /// Appends a signed 64-bit value.
   void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  /// Longest string PutString can length-prefix (u16 prefix).
+  static constexpr size_t kMaxStringBytes = 0xFFFF;
+
   /// Appends raw bytes.
   void PutBytes(const uint8_t* data, size_t len);
-  /// Appends a length-prefixed (u16) string.
+  /// Appends a length-prefixed (u16) string. Strings longer than
+  /// kMaxStringBytes cannot be represented on the wire; passing one is a
+  /// programming error and aborts loudly (a silent uint16_t truncation here
+  /// used to produce a frame whose tail no Reader could parse).
   void PutString(const std::string& s);
 
   /// The serialized image.

@@ -38,6 +38,13 @@ class EventQueue {
   /// Advances the clock without executing anything (epoch boundaries).
   void AdvanceTo(TimeUs t);
 
+  /// Sets the clock to `t` exactly, backwards included. Executing an event
+  /// sets now() to the *event's* time even when a handler already advanced
+  /// the clock past it; wave implementations that replay the event-queue
+  /// schedule with flat frontiers (sim::DownWave) use this to reproduce that
+  /// clock trajectory bit-exactly.
+  void JumpTo(TimeUs t) { now_ = t; }
+
   /// Number of pending events.
   size_t pending() const { return heap_.size(); }
 

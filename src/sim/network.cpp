@@ -1,8 +1,47 @@
 #include "sim/network.hpp"
 
 #include <algorithm>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
 
 namespace kspot::sim {
+
+namespace {
+
+/// Process-global phase-label registry. Interning is rare (once per distinct
+/// label per process for cached call sites), so one mutex covers it; labels
+/// live in a deque for pointer stability.
+struct PhaseRegistry {
+  std::mutex mu;
+  std::unordered_map<std::string, PhaseId> ids;
+  std::deque<std::string> names;
+};
+
+PhaseRegistry& Registry() {
+  static PhaseRegistry* registry = new PhaseRegistry();
+  return *registry;
+}
+
+}  // namespace
+
+PhaseId Network::InternPhase(std::string_view name) {
+  PhaseRegistry& reg = Registry();
+  std::string key(name);
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.ids.find(key);
+  if (it != reg.ids.end()) return it->second;
+  auto id = static_cast<PhaseId>(reg.names.size());
+  reg.names.push_back(std::move(key));
+  reg.ids.emplace(reg.names.back(), id);
+  return id;
+}
+
+const std::string& Network::PhaseName(PhaseId id) {
+  PhaseRegistry& reg = Registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  return reg.names.at(id);
+}
 
 void TrafficCounters::Add(const TrafficCounters& other) {
   messages += other.messages;
@@ -34,18 +73,49 @@ Network::Network(const Topology* topology, const RoutingTree* tree, NetworkOptio
       up_(topology->num_nodes(), 1),
       extra_loss_(topology->num_nodes(), 0.0),
       sent_by_(topology->num_nodes(), 0) {
-  phase_counters_ = &by_phase_[phase_];
+  static const PhaseId kDefaultPhase = InternPhase("default");
+  SetPhase(kDefaultPhase);
+}
+
+void Network::SetPhase(PhaseId id) {
+  if (phase_counters_ != nullptr && id == phase_id_) return;
+  if (id >= by_phase_.size()) {
+    by_phase_.resize(id + 1);
+    phase_touched_.resize(id + 1, 0);
+  }
+  phase_id_ = id;
+  phase_name_ = &PhaseName(id);
+  phase_touched_[id] = 1;
+  phase_counters_ = &by_phase_[id];
 }
 
 void Network::SetPhase(const std::string& phase) {
-  if (phase == phase_) return;
-  phase_ = phase;
-  phase_counters_ = &by_phase_[phase_];
+  if (phase_name_ != nullptr && phase == *phase_name_) return;
+  SetPhase(InternPhase(phase));
 }
 
 TrafficCounters Network::PhaseTotal(const std::string& phase) const {
-  auto it = by_phase_.find(phase);
-  return it == by_phase_.end() ? TrafficCounters{} : it->second;
+  PhaseRegistry& reg = Registry();
+  PhaseId id;
+  {
+    std::lock_guard<std::mutex> lock(reg.mu);
+    auto it = reg.ids.find(phase);
+    if (it == reg.ids.end()) return {};
+    id = it->second;
+  }
+  return PhaseTotal(id);
+}
+
+TrafficCounters Network::PhaseTotal(PhaseId id) const {
+  return id < by_phase_.size() ? by_phase_[id] : TrafficCounters{};
+}
+
+std::map<std::string, TrafficCounters> Network::by_phase() const {
+  std::map<std::string, TrafficCounters> out;
+  for (PhaseId id = 0; id < by_phase_.size(); ++id) {
+    if (phase_touched_[id]) out.emplace(PhaseName(id), by_phase_[id]);
+  }
+  return out;
 }
 
 size_t Network::AliveCount() const {

@@ -1,7 +1,9 @@
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sim/energy_model.hpp"
@@ -32,6 +34,13 @@ struct TrafficCounters {
   /// Total radio energy.
   double energy_j() const { return tx_energy_j + rx_energy_j; }
 };
+
+/// Interned identifier of a protocol-phase label ("mint.update", "tja.lb").
+/// Ids are process-global: the same label always interns to the same id, so
+/// algorithms cache the id of their string literals once and per-epoch phase
+/// switches are an integer compare plus an array index instead of a
+/// string-keyed map lookup.
+using PhaseId = uint32_t;
 
 /// Configuration for the simulated radio network.
 struct NetworkOptions {
@@ -64,8 +73,8 @@ class Network {
           util::Rng rng);
 
   // Non-copyable/movable: phase_counters_ points into this object's
-  // by_phase_ map, so a defaulted copy would write through a pointer into
-  // the source object.
+  // by_phase_ storage, so a defaulted copy would write through a pointer
+  // into the source object.
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
@@ -89,18 +98,34 @@ class Network {
   /// updates). Returns true when `target` received it.
   bool UnicastDownPath(NodeId target, size_t payload_bytes);
 
+  /// Interns a phase label into its process-global id. Thread-safe; cache
+  /// the result (hot paths keep a file-local `const PhaseId` per literal).
+  static PhaseId InternPhase(std::string_view name);
+  /// The label of an interned phase id.
+  static const std::string& PhaseName(PhaseId id);
+
+  /// Attributes subsequent traffic to an interned protocol phase. The hot
+  /// path: an integer compare when the phase is unchanged, an array index
+  /// when it switches.
+  void SetPhase(PhaseId id);
   /// Attributes subsequent traffic to a named protocol phase
-  /// (e.g. "mint.update", "tja.lb"). Cheap when the phase is unchanged.
+  /// (e.g. "mint.update", "tja.lb"). Cheap when the phase is unchanged;
+  /// interns the label otherwise.
   void SetPhase(const std::string& phase);
   /// The current phase label.
-  const std::string& phase() const { return phase_; }
+  const std::string& phase() const { return *phase_name_; }
+  /// The current phase id.
+  PhaseId phase_id() const { return phase_id_; }
 
   /// Grand-total counters.
   const TrafficCounters& total() const { return total_; }
   /// Counters attributed to `phase` (zeroes if the phase never sent).
   TrafficCounters PhaseTotal(const std::string& phase) const;
-  /// All phases with their counters.
-  const std::map<std::string, TrafficCounters>& by_phase() const { return by_phase_; }
+  /// Counters attributed to the interned phase `id`.
+  TrafficCounters PhaseTotal(PhaseId id) const;
+  /// All phases this network attributed traffic to, with their counters
+  /// (materialized from the interned-id array, keyed and ordered by label).
+  std::map<std::string, TrafficCounters> by_phase() const;
 
   /// Per-node energy ledger.
   EnergyMeter& meter(NodeId id) { return meters_[id]; }
@@ -162,10 +187,18 @@ class Network {
   std::vector<double> extra_loss_;
   std::vector<uint64_t> sent_by_;
   TrafficCounters total_;
-  std::map<std::string, TrafficCounters> by_phase_;
-  std::string phase_ = "default";
-  /// Counter bucket of the current phase (std::map values are pointer-stable)
-  /// so per-message accounting skips the string-keyed lookup.
+  /// Per-phase counters indexed by PhaseId; slots are allocated lazily the
+  /// first time SetPhase selects the id. phase_touched_ marks slots this
+  /// network actually selected (so by_phase() reports exactly the phases the
+  /// run visited, zero-traffic ones included, as the old map did).
+  std::vector<TrafficCounters> by_phase_;
+  std::vector<uint8_t> phase_touched_;
+  PhaseId phase_id_ = 0;
+  /// Label of the current phase (registry storage is pointer-stable), so the
+  /// string SetPhase overload's unchanged-phase fast path needs no lock.
+  const std::string* phase_name_ = nullptr;
+  /// Counter bucket of the current phase so per-message accounting skips any
+  /// lookup. Reassigned whenever by_phase_ grows.
   TrafficCounters* phase_counters_ = nullptr;
 
   void ChargeTx(NodeId sender, size_t payload_bytes, TrafficCounters& counters);

@@ -1,7 +1,9 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <optional>
+#include <queue>
 #include <utility>
 #include <vector>
 
@@ -81,41 +83,74 @@ class UpWave {
 /// One dissemination wave: the sink seeds a message which flows down the
 /// tree; each receiving node may transform it before forwarding to its
 /// children. Used for epoch beacons, MINT threshold (tau) dissemination and
-/// the TJA Lsink broadcast. Down waves are control-plane (rare) so they keep
-/// the event-queue scheduling.
+/// the TJA Lsink broadcast.
+///
+/// Like UpWave, the callbacks are template parameters (inlined — no
+/// std::function indirection) and the frontier is a flat local heap instead
+/// of per-child event-queue entries. The event-queue schedule this replaces
+/// popped strictly in (time, seq) order; the frontier keeps exactly that key
+/// — reception slot, then scheduling sequence — so the replay is bit-exact
+/// for arbitrary per-subtree message sizes (different broadcast airtimes
+/// legitimately reorder cousins): same BroadcastToChildren sequence (same
+/// loss-rng consumption), same clock trajectory (EventQueue::JumpTo
+/// reproduces the executing-event clock), without a std::function allocation
+/// and a Msg copy per delivered child.
 template <typename Msg>
 class DownWave {
  public:
-  /// Called on the sink with nullptr to seed the wave, then on every node
-  /// that received the parent's message. The returned message is broadcast
-  /// to the node's children; nullopt stops the wave below this node.
-  using Produce = std::function<std::optional<Msg>(NodeId, const Msg*)>;
-  /// Maps a message to its application payload size in bytes.
-  using WireBytes = std::function<size_t(const Msg&)>;
-
-  /// Runs the wave. Returns the number of nodes that received a message
-  /// (the sink counts as having received the seed).
-  static size_t Run(Network& net, const Produce& produce, const WireBytes& wire_bytes) {
-    size_t reached = 0;
-    std::function<void(NodeId, std::optional<Msg>)> visit = [&](NodeId node,
-                                                                std::optional<Msg> incoming) {
-      if (!net.NodeAlive(node)) return;
-      ++reached;
-      std::optional<Msg> forward =
-          produce(node, node == kSinkId ? nullptr : (incoming ? &*incoming : nullptr));
-      if (!forward.has_value()) return;
-      size_t bytes = wire_bytes(*forward);
-      std::vector<NodeId> delivered = net.BroadcastToChildren(node, bytes);
-      for (NodeId child : delivered) {
-        TimeUs at = net.events().now() + kSlotUs;
-        Msg copy = *forward;
-        net.events().ScheduleAt(at, [&, child, m = std::move(copy)]() mutable {
-          visit(child, std::move(m));
-        });
+  /// Runs the wave. `produce` is called on the sink with nullptr to seed the
+  /// wave, then on every node that received its parent's message; the
+  /// returned message is broadcast to the node's children, nullopt stops the
+  /// wave below this node. `wire_bytes` maps a message to its application
+  /// payload size. Returns the number of nodes that received a message (the
+  /// sink counts as having received the seed).
+  template <typename ProduceFn, typename WireFn>
+  static size_t Run(Network& net, ProduceFn&& produce, WireFn&& wire_bytes) {
+    struct Pending {
+      TimeUs at;      ///< The slot the reception event would have executed in.
+      uint64_t seq;   ///< Scheduling order (tie-break, like EventQueue).
+      NodeId node;
+      uint32_t msg;   ///< Index into msgs (siblings share the parent's forward).
+    };
+    struct Later {
+      bool operator()(const Pending& a, const Pending& b) const {
+        if (a.at != b.at) return a.at > b.at;
+        return a.seq > b.seq;
       }
     };
-    visit(kSinkId, std::nullopt);
-    net.events().RunUntilIdle();
+    std::priority_queue<Pending, std::vector<Pending>, Later> frontier;
+    std::vector<Msg> msgs;
+    size_t reached = 0;
+    uint64_t next_seq = 0;
+    // The sink's visit runs inline (the old scheme never scheduled it), with
+    // a null incoming message.
+    NodeId node = kSinkId;
+    uint32_t incoming = UINT32_MAX;
+    for (;;) {
+      if (net.NodeAlive(node)) {
+        ++reached;
+        std::optional<Msg> forward =
+            produce(node, incoming == UINT32_MAX ? nullptr : &msgs[incoming]);
+        if (forward.has_value()) {
+          size_t bytes = wire_bytes(*forward);
+          std::vector<NodeId> delivered = net.BroadcastToChildren(node, bytes);
+          if (!delivered.empty()) {
+            TimeUs at = net.events().now() + kSlotUs;
+            auto msg_index = static_cast<uint32_t>(msgs.size());
+            msgs.push_back(std::move(*forward));
+            for (NodeId child : delivered) frontier.push({at, next_seq++, child, msg_index});
+          }
+        }
+      }
+      if (frontier.empty()) break;
+      Pending next = frontier.top();
+      frontier.pop();
+      // Executing an event pins the clock to the event's own time, even when
+      // a sibling's broadcast already advanced past it.
+      net.events().JumpTo(next.at);
+      node = next.node;
+      incoming = next.msg;
+    }
     return reached;
   }
 };

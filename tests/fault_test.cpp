@@ -155,6 +155,170 @@ TEST(FaultPlanTest, RecoveryFollowsCrashPerNode) {
   }
 }
 
+/// FNV-1a over the full event stream (epoch, kind, node, quantized loss).
+uint64_t PlanDigest(const FaultPlan& plan) {
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const FaultEvent& ev : plan.events) {
+    mix(ev.at);
+    mix(static_cast<uint64_t>(ev.kind));
+    mix(ev.node);
+    mix(static_cast<uint64_t>(ev.extra_loss * 1e6));
+  }
+  return h;
+}
+
+FaultPlanOptions GoldenOptions() {
+  FaultPlanOptions opt;
+  opt.horizon = 120;
+  opt.crash_prob = 0.01;
+  opt.mean_downtime = 10;
+  opt.degrade_prob = 0.008;
+  opt.degrade_extra_loss = 0.35;
+  opt.degrade_duration = 6;
+  return opt;
+}
+
+// Golden pin of the generated plan for fixed seeds. Any change to the
+// sampling scheme, the per-node substream derivation, the sweep order, or
+// the horizon boundary handling moves these digests — regenerating them is
+// a deliberate, reviewed act, never a silent drift.
+TEST(FaultPlanTest, GoldenPlanPinnedForFixedSeeds) {
+  sim::Topology topology = GridTopology(49, 8);
+  FaultPlan plan = FaultPlan::Generate(topology, GoldenOptions(), 2026);
+  EXPECT_EQ(plan.events.size(), 167u);
+  EXPECT_EQ(plan.CountKind(FaultEvent::Kind::kCrash), 45u);
+  EXPECT_EQ(plan.CountKind(FaultEvent::Kind::kRecover), 41u);
+  EXPECT_EQ(plan.CountKind(FaultEvent::Kind::kDegradeStart), 41u);
+  EXPECT_EQ(plan.CountKind(FaultEvent::Kind::kDegradeEnd), 40u);
+  EXPECT_EQ(PlanDigest(plan), 0x83ee4679875e41f9ULL);
+  // The head of the stream, spelled out so a digest mismatch has a
+  // human-readable witness.
+  ASSERT_GE(plan.events.size(), 4u);
+  EXPECT_EQ(plan.events[0].at, 2u);
+  EXPECT_EQ(plan.events[0].kind, FaultEvent::Kind::kCrash);
+  EXPECT_EQ(plan.events[0].node, 3u);
+  EXPECT_EQ(plan.events[1].at, 2u);
+  EXPECT_EQ(plan.events[1].node, 14u);
+  EXPECT_EQ(plan.events[2].at, 6u);
+  EXPECT_EQ(plan.events[2].kind, FaultEvent::Kind::kDegradeStart);
+  EXPECT_EQ(plan.events[2].node, 5u);
+  EXPECT_DOUBLE_EQ(plan.events[2].extra_loss, 0.35);
+  EXPECT_EQ(plan.events[3].at, 7u);
+  EXPECT_EQ(plan.events[3].kind, FaultEvent::Kind::kDegradeStart);
+  EXPECT_EQ(plan.events[3].node, 20u);
+
+  FaultPlan other = FaultPlan::Generate(topology, GoldenOptions(), 7);
+  EXPECT_EQ(other.events.size(), 199u);
+  EXPECT_EQ(PlanDigest(other), 0x02fc031decf6b787ULL);
+}
+
+// The horizon boundary audit: truncating the horizon must act as a pure
+// filter on the event stream — events strictly before the shorter horizon
+// (including at exactly horizon-1) are identical, and nothing else sneaks
+// in. In particular a recovery that lands at or past the shorter horizon
+// vanishes and its node simply stays down.
+TEST(FaultPlanTest, ShorterHorizonIsPurePrefixFilter) {
+  sim::Topology topology = GridTopology(49, 8);
+  FaultPlanOptions opt = GoldenOptions();
+  FaultPlan longer = FaultPlan::Generate(topology, opt, 2026);
+  for (sim::Epoch horizon : {120u, 90u, 61u, 17u, 2u}) {
+    FaultPlanOptions shorter_opt = opt;
+    shorter_opt.horizon = horizon;
+    FaultPlan shorter = FaultPlan::Generate(topology, shorter_opt, 2026);
+    std::vector<FaultEvent> expect;
+    for (const FaultEvent& ev : longer.events) {
+      if (ev.at < horizon) expect.push_back(ev);
+    }
+    ASSERT_EQ(shorter.events.size(), expect.size()) << "horizon " << horizon;
+    for (size_t i = 0; i < expect.size(); ++i) {
+      EXPECT_EQ(shorter.events[i].at, expect[i].at);
+      EXPECT_EQ(shorter.events[i].kind, expect[i].kind);
+      EXPECT_EQ(shorter.events[i].node, expect[i].node);
+      EXPECT_EQ(shorter.events[i].extra_loss, expect[i].extra_loss);
+    }
+  }
+}
+
+TEST(FaultPlanTest, RecoveriesPastHorizonLeaveNodesDown) {
+  sim::Topology topology = GridTopology(25, 4);
+  FaultPlanOptions opt;
+  opt.horizon = 5;
+  opt.crash_prob = 1.0;       // every node crashes at epoch 1
+  opt.mean_downtime = 100;    // downtimes mostly outlast the horizon
+  opt.max_down_fraction = 1.0;
+  FaultPlan plan = FaultPlan::Generate(topology, opt, 9);
+  // Every sensor crashes at epoch 1; the handful whose short downtimes land
+  // inside the horizon recover and (with p = 1) immediately crash again.
+  EXPECT_GE(plan.CountKind(FaultEvent::Kind::kCrash), topology.num_sensors());
+  std::vector<int> down(topology.num_nodes(), 0);
+  for (const FaultEvent& ev : plan.events) {
+    EXPECT_LT(ev.at, opt.horizon);
+    if (ev.kind == FaultEvent::Kind::kCrash) down[ev.node] = 1;
+    if (ev.kind == FaultEvent::Kind::kRecover) {
+      EXPECT_EQ(down[ev.node], 1);
+      down[ev.node] = 0;
+    }
+  }
+  // With 1 + NextBounded(200) epochs of downtime from epoch 1, at least one
+  // node's recovery lands past epoch 4 and is dropped: it stays down.
+  size_t still_down = 0;
+  for (sim::NodeId v = 1; v < topology.num_nodes(); ++v) still_down += down[v];
+  EXPECT_GT(still_down, 0u);
+}
+
+TEST(FaultPlanTest, DegenerateHorizonsAndZeroCapYieldEmptyPlans) {
+  sim::Topology topology = GridTopology(25, 4);
+  FaultPlanOptions opt;
+  opt.crash_prob = 1.0;
+  opt.degrade_prob = 1.0;
+  opt.mean_downtime = 3;
+  opt.max_down_fraction = 1.0;
+  for (sim::Epoch horizon : {0u, 1u}) {
+    opt.horizon = horizon;
+    EXPECT_TRUE(FaultPlan::Generate(topology, opt, 4).events.empty()) << horizon;
+  }
+  // Horizon 2 leaves exactly epoch 1: with p = 1 every sensor crashes there
+  // (the last schedulable epoch is horizon - 1).
+  opt.horizon = 2;
+  opt.degrade_prob = 0.0;
+  FaultPlan edge = FaultPlan::Generate(topology, opt, 4);
+  EXPECT_EQ(edge.events.size(), topology.num_sensors());
+  for (const FaultEvent& ev : edge.events) {
+    EXPECT_EQ(ev.at, 1u);
+    EXPECT_EQ(ev.kind, FaultEvent::Kind::kCrash);
+  }
+  // A zero max-down cap forbids every crash, exactly like the per-epoch
+  // generator's short-circuited draw.
+  opt.horizon = 50;
+  opt.max_down_fraction = 0.0;
+  EXPECT_TRUE(FaultPlan::Generate(topology, opt, 4).events.empty());
+}
+
+TEST(FaultPlanTest, CrashIncidenceMatchesBernoulliProcess) {
+  // Distributional sanity for the geometric skip-sampling: with permanent
+  // crashes the fraction of sensors that ever crash over H-1 eligible epochs
+  // must track 1 - (1-p)^(H-1). 400 sensors, p=0.002, H=200: expectation
+  // ~0.328, sigma ~0.023 — a +/- 5 sigma band stays meaningful.
+  sim::Topology topology = GridTopology(401, 16);
+  FaultPlanOptions opt;
+  opt.horizon = 200;
+  opt.crash_prob = 0.002;
+  opt.mean_downtime = 0;
+  opt.max_down_fraction = 1.0;
+  size_t crashes = 0;
+  FaultPlan plan = FaultPlan::Generate(topology, opt, 31337);
+  crashes = plan.CountKind(FaultEvent::Kind::kCrash);
+  double frac = static_cast<double>(crashes) / static_cast<double>(topology.num_sensors());
+  EXPECT_GT(frac, 0.328 - 5 * 0.023);
+  EXPECT_LT(frac, 0.328 + 5 * 0.023);
+}
+
 TEST(FaultPlanTest, RespectsMaxDownFraction) {
   sim::Topology topology = GridTopology(25, 4);
   FaultPlanOptions opt;

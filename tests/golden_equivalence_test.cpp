@@ -17,8 +17,12 @@
 #include <vector>
 
 #include "agg/group_view.hpp"
+#include "core/fila.hpp"
+#include "core/history_source.hpp"
 #include "core/mint.hpp"
 #include "core/oracle.hpp"
+#include "core/tag.hpp"
+#include "core/tja.hpp"
 #include "data/generators.hpp"
 #include "fault/churn_engine.hpp"
 #include "runner/experiment_engine.hpp"
@@ -203,6 +207,147 @@ uint64_t RunMintChurnExact(bool incremental, int* incremental_events, int* full_
   if (full_rebuilds != nullptr) *full_rebuilds = mint.churn_rebuild_count();
   return bed.net->PhaseTotal("mint.create").messages +
          bed.net->PhaseTotal("mint.repair").messages;
+}
+
+// ----------------------------------------------------- phase-counter digests
+//
+// Network's per-phase accounting moved from a string-keyed map to an
+// interned-phase-id array. These digests were captured from the pre-interning
+// implementation; they pin that PhaseTotal / by_phase() return byte-identical
+// integer counters through the refactor (doubles are excluded — energy sums
+// are checked via conservation against total() instead, which is robust to
+// compiler FP-contraction differences).
+
+/// FNV-1a over the label-sorted (phase name, integer counters) table.
+uint64_t PhaseDigest(const sim::Network& net) {
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const auto& [name, counters] : net.by_phase()) {
+    for (char c : name) {
+      h ^= static_cast<uint8_t>(c);
+      h *= 1099511628211ULL;
+    }
+    mix(counters.messages);
+    mix(counters.frames);
+    mix(counters.payload_bytes);
+    mix(counters.onair_bytes);
+  }
+  return h;
+}
+
+/// The bench-style cluster-aware bed the digests were captured on (TestBed
+/// uses the first-heard tree, which would change every number).
+struct DigestBed {
+  sim::Topology topology;
+  sim::RoutingTree tree;
+  std::unique_ptr<sim::Network> net;
+};
+
+DigestBed MakeDigestBed(size_t nodes, size_t rooms, uint64_t seed,
+                        sim::NetworkOptions opt = {}) {
+  DigestBed bed;
+  sim::TopologyOptions topt;
+  topt.num_nodes = nodes;
+  topt.num_rooms = rooms;
+  bed.topology = sim::MakeGrid(topt);
+  util::Rng rng(seed);
+  bed.tree = sim::RoutingTree::BuildClusterAware(bed.topology, rng);
+  bed.net =
+      std::make_unique<sim::Network>(&bed.topology, &bed.tree, opt, util::Rng(seed ^ 0xBEEF));
+  return bed;
+}
+
+core::QuerySpec DigestSpec(int k, core::Grouping grouping) {
+  core::QuerySpec spec;
+  spec.k = k;
+  spec.agg = AggKind::kAvg;
+  spec.grouping = grouping;
+  spec.domain_max = 100.0;
+  return spec;
+}
+
+/// Beyond the digest: name- and id-keyed PhaseTotal agree, and the per-phase
+/// table partitions total() exactly.
+void ExpectPhaseAccountingConsistent(const sim::Network& net) {
+  sim::TrafficCounters sum;
+  for (const auto& [name, counters] : net.by_phase()) {
+    sum.Add(counters);
+    sim::TrafficCounters by_name = net.PhaseTotal(name);
+    sim::TrafficCounters by_id = net.PhaseTotal(sim::Network::InternPhase(name));
+    EXPECT_EQ(by_name.messages, by_id.messages) << name;
+    EXPECT_EQ(by_name.payload_bytes, by_id.payload_bytes) << name;
+    EXPECT_EQ(by_name.messages, counters.messages) << name;
+  }
+  EXPECT_EQ(sum.messages, net.total().messages);
+  EXPECT_EQ(sum.frames, net.total().frames);
+  EXPECT_EQ(sum.payload_bytes, net.total().payload_bytes);
+  EXPECT_EQ(sum.onair_bytes, net.total().onair_bytes);
+  // Energy is summed per delta into both ledgers but in different orders, so
+  // conservation holds to rounding, not to the last ulp.
+  EXPECT_NEAR(sum.tx_energy_j, net.total().tx_energy_j, 1e-9 * (1.0 + net.total().tx_energy_j));
+  EXPECT_NEAR(sum.rx_energy_j, net.total().rx_energy_j, 1e-9 * (1.0 + net.total().rx_energy_j));
+  // Unknown phases read as zeroes, never as errors.
+  EXPECT_EQ(net.PhaseTotal("no.such.phase").messages, 0u);
+}
+
+TEST(GoldenEquivalenceTest, PhaseCountersMatchPreInterningDigests) {
+  {  // MINT under churn: create/update/beacon/repair + fault.repair phases.
+    DigestBed bed = MakeDigestBed(49, 8, 7);
+    auto gen = RoomGen(bed.topology, 7);
+    core::MintViews mint(bed.net.get(), gen.get(), DigestSpec(3, core::Grouping::kRoom));
+    // A hand-written plan, so the digest pins the *accounting* and never
+    // moves when the FaultPlan generator's sampling scheme evolves.
+    fault::FaultPlan plan;
+    plan.seed = 7;
+    plan.events = {{3, fault::FaultEvent::Kind::kCrash, 12, 0.0},
+                   {5, fault::FaultEvent::Kind::kDegradeStart, 20, 0.3},
+                   {9, fault::FaultEvent::Kind::kRecover, 12, 0.0},
+                   {15, fault::FaultEvent::Kind::kDegradeEnd, 20, 0.0},
+                   {18, fault::FaultEvent::Kind::kCrash, 7, 0.0}};
+    fault::ChurnEngine churn(bed.net.get(), &bed.tree, std::move(plan));
+    for (sim::Epoch e = 0; e < 30; ++e) {
+      fault::ChurnReport report = churn.BeginEpoch(e);
+      if (report.topology_changed) mint.OnTopologyChanged(report.delta);
+      mint.RunEpoch(e);
+    }
+    EXPECT_EQ(PhaseDigest(*bed.net), 0xab2e128f1926cbc5ULL);
+    ExpectPhaseAccountingConsistent(*bed.net);
+  }
+  {  // TAG with loss and retries.
+    sim::NetworkOptions opt;
+    opt.loss_prob = 0.05;
+    opt.max_retries = 1;
+    DigestBed bed = MakeDigestBed(25, 4, 11, opt);
+    auto gen = RoomGen(bed.topology, 11);
+    core::TagTopK tag(bed.net.get(), gen.get(), DigestSpec(2, core::Grouping::kRoom));
+    for (sim::Epoch e = 0; e < 10; ++e) tag.RunEpoch(e);
+    EXPECT_EQ(PhaseDigest(*bed.net), 0x01b6b2cea85942b4ULL);
+    ExpectPhaseAccountingConsistent(*bed.net);
+  }
+  {  // FILA: init/filter/report/probe.
+    DigestBed bed = MakeDigestBed(25, 4, 13);
+    auto gen = RoomGen(bed.topology, 13);
+    core::Fila fila(bed.net.get(), gen.get(), DigestSpec(3, core::Grouping::kNode));
+    for (sim::Epoch e = 0; e < 20; ++e) fila.RunEpoch(e);
+    EXPECT_EQ(PhaseDigest(*bed.net), 0x03c618d54d02d3f1ULL);
+    ExpectPhaseAccountingConsistent(*bed.net);
+  }
+  {  // TJA: lb/hj (plus cl when deepening fires).
+    DigestBed bed = MakeDigestBed(25, 4, 17);
+    auto gen = RoomGen(bed.topology, 17);
+    core::GeneratorHistory history(gen.get(), bed.topology.num_nodes(), 0, 32);
+    core::HistoricOptions opt;
+    opt.k = 3;
+    core::Tja tja(bed.net.get(), &history, opt);
+    tja.Run();
+    EXPECT_EQ(PhaseDigest(*bed.net), 0x76d5fbdb6a9aa589ULL);
+    ExpectPhaseAccountingConsistent(*bed.net);
+  }
 }
 
 TEST(GoldenEquivalenceTest, IncrementalRepairStaysExactAndCheaper) {

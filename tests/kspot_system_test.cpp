@@ -218,6 +218,75 @@ TEST(ServerTest, ChurnDisabledLeavesPanelStatusEmpty) {
   EXPECT_EQ(outcome.value().panel.Render().find("nodes up"), std::string::npos);
 }
 
+/// Order- and run-independent digest of everything a query returned.
+std::string OutcomeDigest(const RunOutcome& r) {
+  char buf[96];
+  std::string out;
+  for (const auto& epoch : r.per_epoch) {
+    for (const auto& item : epoch.items) {
+      snprintf(buf, sizeof buf, "%d:%.17g;", item.group, item.value);
+      out += buf;
+    }
+    out += '|';
+  }
+  for (const auto& rows : r.rows_per_epoch) {
+    for (const auto& t : rows) {
+      snprintf(buf, sizeof buf, "%u=%.17g;", t.node, t.value);
+      out += buf;
+    }
+    out += '|';
+  }
+  for (const auto& item : r.historic.items) {
+    snprintf(buf, sizeof buf, "H%d:%.17g;", item.group, item.value);
+    out += buf;
+  }
+  snprintf(buf, sizeof buf, "m=%llu,b=%llu,E=%.17g",
+           static_cast<unsigned long long>(r.cost.messages),
+           static_cast<unsigned long long>(r.cost.payload_bytes), r.cost.energy_j());
+  out += buf;
+  return out;
+}
+
+TEST(ServerTest, ExecuteTwiceIsBitIdentical) {
+  // The coordinator reuses one server-side deployment for many queries, so
+  // Execute must never perturb state a later Execute reads: two sequential
+  // calls with the same SQL and seed are bit-identical, per query class,
+  // even interleaved with other queries and under churn + loss + batteries.
+  KSpotServer::Options opt;
+  opt.epochs = 12;
+  opt.seed = 42;
+  opt.loss_prob = 0.08;
+  opt.max_retries = 1;
+  opt.battery_j = 0.5;
+  opt.enable_churn = true;
+  opt.churn.crash_prob = 0.01;
+  opt.churn.mean_downtime = 5;
+  KSpotServer server(Scenario::ConferenceFloor(6, 3, 5), opt);
+  const char* queries[] = {
+      "SELECT TOP 3 roomid, AVG(sound) FROM sensors GROUP BY roomid",
+      "SELECT nodeid, sound FROM sensors WHERE sound > 40",
+      "SELECT roomid, AVG(sound) FROM sensors GROUP BY roomid",
+      "SELECT TOP 3 epoch, AVG(sound) FROM sensors GROUP BY epoch WITH HISTORY 64",
+      "SELECT TOP 2 roomid, AVG(sound) FROM sensors GROUP BY roomid WITH HISTORY 8",
+  };
+  std::vector<std::string> first;
+  for (const char* sql : queries) {
+    auto outcome = server.Execute(sql);
+    ASSERT_TRUE(outcome.ok()) << sql << ": " << outcome.status().message();
+    first.push_back(OutcomeDigest(outcome.value()));
+  }
+  for (size_t i = 0; i < std::size(queries); ++i) {
+    auto outcome = server.Execute(queries[i]);
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_EQ(OutcomeDigest(outcome.value()), first[i]) << queries[i];
+  }
+  // And a fresh server over the same scenario/options reproduces them too.
+  KSpotServer fresh(Scenario::ConferenceFloor(6, 3, 5), opt);
+  auto outcome = fresh.Execute(queries[0]);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(OutcomeDigest(outcome.value()), first[0]);
+}
+
 TEST(ServerTest, StreamingCallbackFiresPerEpoch) {
   KSpotServer server(Scenario::ConferenceFloor(4, 3, 5), SmallRun(6));
   size_t calls = 0;

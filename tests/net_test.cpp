@@ -41,6 +41,51 @@ TEST(SerializerTest, StringRoundTrip) {
   EXPECT_TRUE(r.ok());
 }
 
+TEST(SerializerTest, StringLengthEdgeCases) {
+  // Empty and the largest representable string round-trip exactly.
+  std::string max_len(Writer::kMaxStringBytes, 'x');
+  max_len[0] = 'a';
+  max_len[Writer::kMaxStringBytes - 1] = 'z';
+  Writer w;
+  w.PutString("");
+  w.PutString(max_len);
+  EXPECT_EQ(w.size(), 2 + 2 + Writer::kMaxStringBytes);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.GetString(), "");
+  EXPECT_EQ(r.GetString(), max_len);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(SerializerTest, OversizedStringAbortsInsteadOfTruncating) {
+  // 65536 bytes: one past the u16 length prefix. The old writer cast the
+  // length to uint16_t (emitting a prefix of 0 followed by 64 KiB of
+  // payload); now it must fail loudly.
+  std::string too_long(static_cast<size_t>(Writer::kMaxStringBytes) + 1, 'y');
+  EXPECT_DEATH(
+      {
+        Writer w;
+        w.PutString(too_long);
+      },
+      "exceeds the u16 length prefix");
+}
+
+TEST(SerializerTest, TruncatedStringBufferSetsStickyError) {
+  Writer w;
+  w.PutString("hello world");
+  // Chop the buffer mid-payload: the length prefix promises more bytes than
+  // the frame carries.
+  std::vector<uint8_t> image = w.Take();
+  image.resize(image.size() - 4);
+  Reader r(image);
+  EXPECT_EQ(r.GetString(), "");
+  EXPECT_FALSE(r.ok());
+  // And chop inside the length prefix itself.
+  Reader r2(image.data(), 1);
+  EXPECT_EQ(r2.GetString(), "");
+  EXPECT_FALSE(r2.ok());
+}
+
 TEST(SerializerTest, OverrunSetsStickyError) {
   Writer w;
   w.PutU16(7);
