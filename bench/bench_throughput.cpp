@@ -30,6 +30,9 @@ struct ThroughputConfig {
   size_t epochs = 200;
   uint64_t seed = 161;
   bool churn = false;
+  /// Shard lanes for the epoch waves (1 = serial; results are invariant,
+  /// wall-clock is what changes — which is exactly what E16 measures).
+  size_t shards = 1;
 };
 
 struct ThroughputStats {
@@ -51,6 +54,7 @@ ThroughputStats RunThroughput(const ThroughputConfig& cfg) {
   using Clock = std::chrono::steady_clock;
   core::QuerySpec spec = RoomAvgSpec(3);
   auto bed = Bed::Grid(cfg.nodes, cfg.rooms, cfg.seed);
+  bed.EnableSharding(cfg.shards);
   auto gen = bed.RoomData(cfg.seed);
   auto algorithm = MakeSnapshotAlgo(SnapshotAlgo::kMint, bed.net.get(), gen.get(), spec);
 
@@ -112,6 +116,14 @@ void RegisterThroughput(runner::ScenarioRegistry& registry) {
     const std::vector<Point> points = {
         {200, 16, 600, 120}, {1000, 32, 200, 60}, {5000, 64, 40, 10}};
     std::vector<runner::Trial> trials;
+    auto run_metrics = [](const ThroughputConfig& cfg) -> runner::MetricList {
+      ThroughputStats st = RunThroughput(cfg);
+      return {{"epochs_per_sec", st.epochs_per_sec},
+              {"wall_ms_p50", st.wall_ms_p50},
+              {"wall_ms_p95", st.wall_ms_p95},
+              {"wall_ms_p99", st.wall_ms_p99},
+              {"msgs_per_epoch", st.msgs_per_epoch}};
+    };
     for (const Point& point : points) {
       for (bool churn : {false, true}) {
         runner::Trial t;
@@ -125,16 +137,42 @@ void RegisterThroughput(runner::ScenarioRegistry& registry) {
         cfg.epochs = opt.quick ? point.quick_epochs : point.epochs;
         cfg.seed = t.spec.seed;
         cfg.churn = churn;
-        t.run = [cfg]() -> runner::MetricList {
-          ThroughputStats st = RunThroughput(cfg);
-          return {{"epochs_per_sec", st.epochs_per_sec},
-                  {"wall_ms_p50", st.wall_ms_p50},
-                  {"wall_ms_p95", st.wall_ms_p95},
-                  {"wall_ms_p99", st.wall_ms_p99},
-                  {"msgs_per_epoch", st.msgs_per_epoch}};
-        };
+        cfg.shards = opt.shards;
+        t.run = [cfg, run_metrics]() -> runner::MetricList { return run_metrics(cfg); };
         trials.push_back(std::move(t));
       }
+    }
+    // Sharded large-extent rows: the parallel-epoch execution measured at
+    // scales the serial path cannot reach in sensible wall-clock. These rows
+    // carry an explicit "shards" parameter (the serial rows above stay
+    // param-compatible with their historical baselines) and fix their shard
+    // count regardless of --shards, so the serial/sharded comparison is
+    // always present in one sweep.
+    struct ShardPoint {
+      size_t nodes;
+      size_t rooms;
+      size_t epochs;
+      size_t quick_epochs;
+      size_t shards;
+    };
+    const std::vector<ShardPoint> shard_points = {
+        {20000, 64, 20, 5, 1}, {20000, 64, 20, 5, 8}, {100000, 128, 4, 2, 8}};
+    for (const ShardPoint& point : shard_points) {
+      runner::Trial t;
+      t.spec.algorithm = "MINT";
+      t.spec.seed = opt.seed != 0 ? opt.seed : 161;
+      t.spec.params = {{"n", std::to_string(point.nodes)},
+                       {"churn", "off"},
+                       {"shards", std::to_string(point.shards)}};
+      ThroughputConfig cfg;
+      cfg.nodes = point.nodes;
+      cfg.rooms = point.rooms;
+      cfg.epochs = opt.quick ? point.quick_epochs : point.epochs;
+      cfg.seed = t.spec.seed;
+      cfg.churn = false;
+      cfg.shards = point.shards;
+      t.run = [cfg, run_metrics]() -> runner::MetricList { return run_metrics(cfg); };
+      trials.push_back(std::move(t));
     }
     return trials;
   };

@@ -24,6 +24,16 @@ class DataGenerator {
   /// Reading of node `id` at `epoch`. Node 0 (the sink) reads 0.
   virtual double Value(sim::NodeId id, sim::Epoch epoch) = 0;
 
+  /// Advances the generator's stochastic process to `epoch` so that
+  /// subsequent `Value(_, epoch)` calls are pure cache reads. Stateful
+  /// generators mutate on the first Value() of a new epoch; a sharded wave
+  /// calls Value() concurrently, so algorithms prime the epoch serially
+  /// (before launching lanes) through this hook. Calling it is always safe —
+  /// it performs exactly the mutation the first Value() would have, so the
+  /// serial draw order is unchanged — and the default is a no-op for
+  /// stateless generators.
+  virtual void PrepareEpoch(sim::Epoch epoch) { (void)epoch; }
+
   /// The modality generated (defines the bounded domain).
   virtual const ModalityInfo& modality() const = 0;
 };
@@ -48,6 +58,7 @@ class UniformGenerator : public DataGenerator {
   UniformGenerator(size_t num_nodes, Modality modality, util::Rng rng);
 
   double Value(sim::NodeId id, sim::Epoch epoch) override;
+  void PrepareEpoch(sim::Epoch epoch) override { FillEpoch(epoch); }
   const ModalityInfo& modality() const override { return info_; }
 
  private:
@@ -69,6 +80,7 @@ class GaussianGenerator : public DataGenerator {
   GaussianGenerator(size_t num_nodes, Modality modality, double stddev, util::Rng rng);
 
   double Value(sim::NodeId id, sim::Epoch epoch) override;
+  void PrepareEpoch(sim::Epoch epoch) override { FillEpoch(epoch); }
   const ModalityInfo& modality() const override { return info_; }
 
  private:
@@ -94,6 +106,7 @@ class RandomWalkGenerator : public DataGenerator {
                       double quantize_step = 0.0);
 
   double Value(sim::NodeId id, sim::Epoch epoch) override;
+  void PrepareEpoch(sim::Epoch epoch) override { AdvanceTo(epoch); }
   const ModalityInfo& modality() const override { return info_; }
 
  private:
@@ -126,6 +139,7 @@ class RoomCorrelatedGenerator : public DataGenerator {
                           double global_sigma = 0.0, double quantize_step = 0.0);
 
   double Value(sim::NodeId id, sim::Epoch epoch) override;
+  void PrepareEpoch(sim::Epoch epoch) override { AdvanceTo(epoch); }
   const ModalityInfo& modality() const override { return info_; }
 
  private:
@@ -154,6 +168,7 @@ class SpikeGenerator : public DataGenerator {
                  util::Rng rng);
 
   double Value(sim::NodeId id, sim::Epoch epoch) override;
+  void PrepareEpoch(sim::Epoch epoch) override { FillEpoch(epoch); }
   const ModalityInfo& modality() const override { return info_; }
 
  private:

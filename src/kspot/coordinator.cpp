@@ -11,6 +11,7 @@
 #include "core/tag.hpp"
 #include "data/windowed.hpp"
 #include "fault/churn_engine.hpp"
+#include "sim/shard_runtime.hpp"
 #include "storage/history_store.hpp"
 
 namespace kspot::system {
@@ -181,6 +182,15 @@ util::StatusOr<CoordinatorReport> QueryCoordinator::Run() {
   sim::RoutingTree tree = deployment_.tree;
   sim::Network net(&deployment_.topology, &tree, NetOptions(), util::Rng(options_.seed ^ 0x77));
   std::unique_ptr<data::DataGenerator> shared_gen = MakeGenerator(options_.seed);
+
+  // Parallel epoch execution: cut the tree at its cluster heads and run the
+  // subtree lanes concurrently (merged deterministically every epoch).
+  // shards <= 1 attaches nothing — the serial path runs exactly as before.
+  std::unique_ptr<sim::ShardRuntime> shard_rt;
+  if (options_.shards > 1) {
+    shard_rt = std::make_unique<sim::ShardRuntime>(
+        &net, sim::ShardRuntime::Options{options_.shards, options_.shard_threads});
+  }
 
   std::unique_ptr<fault::ChurnEngine> churn;
   if (options_.enable_churn) {

@@ -100,6 +100,15 @@ class QueryCoordinator {
     /// drives its own operator on the shared network (for measuring what the
     /// piggybacking saves).
     bool share_operators = true;
+    /// Shard lanes for parallel epoch execution inside this one deployment:
+    /// the routing tree is cut at its cluster-head subtrees and lanes run
+    /// concurrently, merged deterministically at each epoch boundary.
+    /// Results are bit-identical to the serial path for any value. 1 (the
+    /// default) keeps today's serial execution with no runtime attached.
+    size_t shards = 1;
+    /// Worker threads for sharded execution; 0 picks hardware concurrency.
+    /// (Results do not depend on this — only wall-clock does.)
+    size_t shard_threads = 0;
   };
 
   /// Builds the long-lived deployment for `scenario`.

@@ -1,10 +1,12 @@
 #include "runner/experiment_engine.hpp"
 
-#include <atomic>
+#include <algorithm>
 #include <chrono>
 #include <exception>
 #include <thread>
 #include <utility>
+
+#include "util/task_pool.hpp"
 
 namespace kspot::runner {
 
@@ -46,6 +48,7 @@ ScenarioRun ExperimentEngine::Run(const Scenario& scenario) const {
   SweepOptions sweep;
   sweep.quick = options_.quick;
   sweep.seed = options_.seed;
+  sweep.shards = options_.shards;
   std::vector<Trial> trials = scenario.make_trials(sweep);
 
   run.trials.resize(trials.size());
@@ -55,39 +58,26 @@ ScenarioRun ExperimentEngine::Run(const Scenario& scenario) const {
     run.trials[i].spec = trials[i].spec;
   }
 
-  // Work-stealing by atomic counter: workers claim the next unclaimed index
-  // and write into their own result slot, so the output order is the
-  // enumeration order regardless of scheduling.
-  std::atomic<size_t> next{0};
-  auto worker = [&] {
-    while (true) {
-      size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= trials.size()) return;
-      TrialResult& result = run.trials[i];
-      auto trial_start = std::chrono::steady_clock::now();
-      try {
-        result.metrics = trials[i].run();
-        result.ok = true;
-      } catch (const std::exception& e) {
-        result.ok = false;
-        result.error = e.what();
-      } catch (...) {
-        result.ok = false;
-        result.error = "unknown exception";
-      }
-      result.wall_ms = MsSince(trial_start);
+  // Fork-join over the trial indices: each worker claims indices and writes
+  // into its own result slot, so the output order is the enumeration order
+  // regardless of scheduling. Exceptions stay per-trial (recorded in the
+  // result), never escape the pool.
+  util::TaskPool pool(std::min(options_.threads, std::max<size_t>(trials.size(), 1)));
+  pool.ParallelFor(trials.size(), [&](size_t i) {
+    TrialResult& result = run.trials[i];
+    auto trial_start = std::chrono::steady_clock::now();
+    try {
+      result.metrics = trials[i].run();
+      result.ok = true;
+    } catch (const std::exception& e) {
+      result.ok = false;
+      result.error = e.what();
+    } catch (...) {
+      result.ok = false;
+      result.error = "unknown exception";
     }
-  };
-
-  size_t pool = std::min(options_.threads, trials.size());
-  if (pool <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> workers;
-    workers.reserve(pool);
-    for (size_t t = 0; t < pool; ++t) workers.emplace_back(worker);
-    for (std::thread& t : workers) t.join();
-  }
+    result.wall_ms = MsSince(trial_start);
+  });
 
   run.wall_ms = MsSince(sweep_start);
   return run;

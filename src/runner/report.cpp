@@ -1,6 +1,7 @@
 #include "runner/report.hpp"
 
 #include <cmath>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <vector>
@@ -166,6 +167,19 @@ std::string ToJsonString(const ScenarioRun& run) {
 }
 
 util::Status WriteJsonFile(const ScenarioRun& run, const std::string& path) {
+  // Create missing parent directories so a target like
+  // results/2026-08/BENCH_foo.json works without a separate mkdir step
+  // (callers pass arbitrary nested paths; losing a finished sweep to a
+  // missing directory is strictly worse than creating it).
+  std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+    if (ec) {
+      return util::Status::Error("cannot create directory '" + parent.string() +
+                                 "': " + ec.message());
+    }
+  }
   std::ofstream out(path);
   if (!out) return util::Status::Error("cannot open '" + path + "' for writing");
   WriteJson(run, out);

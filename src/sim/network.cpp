@@ -43,50 +43,50 @@ const std::string& Network::PhaseName(PhaseId id) {
   return reg.names.at(id);
 }
 
-void TrafficCounters::Add(const TrafficCounters& other) {
-  messages += other.messages;
-  frames += other.frames;
-  payload_bytes += other.payload_bytes;
-  onair_bytes += other.onair_bytes;
-  tx_energy_j += other.tx_energy_j;
-  rx_energy_j += other.rx_energy_j;
-}
-
-TrafficCounters TrafficCounters::Since(const TrafficCounters& earlier) const {
-  TrafficCounters d;
-  d.messages = messages - earlier.messages;
-  d.frames = frames - earlier.frames;
-  d.payload_bytes = payload_bytes - earlier.payload_bytes;
-  d.onair_bytes = onair_bytes - earlier.onair_bytes;
-  d.tx_energy_j = tx_energy_j - earlier.tx_energy_j;
-  d.rx_energy_j = rx_energy_j - earlier.rx_energy_j;
-  return d;
-}
-
 Network::Network(const Topology* topology, const RoutingTree* tree, NetworkOptions options,
                  util::Rng rng)
-    : topology_(topology),
-      tree_(tree),
-      options_(options),
-      rng_(rng),
-      meters_(topology->num_nodes(), EnergyMeter(options.battery_j)),
-      up_(topology->num_nodes(), 1),
-      extra_loss_(topology->num_nodes(), 0.0),
-      sent_by_(topology->num_nodes(), 0) {
+    : topology_(topology), tree_(tree), options_(options), rng_(rng) {
+  state_.Reset(topology->num_nodes(), options.battery_j);
   static const PhaseId kDefaultPhase = InternPhase("default");
   SetPhase(kDefaultPhase);
 }
 
+Network::Network(const Network& other)
+    : topology_(other.topology_),
+      tree_(other.tree_),
+      options_(other.options_),
+      rng_(other.rng_),
+      events_(other.events_),
+      state_(other.state_),
+      phase_id_(other.phase_id_),
+      phase_name_(other.phase_name_) {
+  // A shard runtime is bound to the object it was attached to; the copy
+  // starts serial.
+}
+
+Network& Network::operator=(const Network& other) {
+  if (this == &other) return *this;
+  topology_ = other.topology_;
+  tree_ = other.tree_;
+  options_ = other.options_;
+  rng_ = other.rng_;
+  events_ = other.events_;
+  state_ = other.state_;
+  phase_id_ = other.phase_id_;
+  phase_name_ = other.phase_name_;
+  shard_runtime_ = nullptr;
+  return *this;
+}
+
 void Network::SetPhase(PhaseId id) {
-  if (phase_counters_ != nullptr && id == phase_id_) return;
-  if (id >= by_phase_.size()) {
-    by_phase_.resize(id + 1);
-    phase_touched_.resize(id + 1, 0);
+  if (phase_name_ != nullptr && id == phase_id_) return;
+  if (id >= state_.by_phase.size()) {
+    state_.by_phase.resize(id + 1);
+    state_.phase_touched.resize(id + 1, 0);
   }
   phase_id_ = id;
   phase_name_ = &PhaseName(id);
-  phase_touched_[id] = 1;
-  phase_counters_ = &by_phase_[id];
+  state_.phase_touched[id] = 1;
 }
 
 void Network::SetPhase(const std::string& phase) {
@@ -107,20 +107,20 @@ TrafficCounters Network::PhaseTotal(const std::string& phase) const {
 }
 
 TrafficCounters Network::PhaseTotal(PhaseId id) const {
-  return id < by_phase_.size() ? by_phase_[id] : TrafficCounters{};
+  return id < state_.by_phase.size() ? state_.by_phase[id] : TrafficCounters{};
 }
 
 std::map<std::string, TrafficCounters> Network::by_phase() const {
   std::map<std::string, TrafficCounters> out;
-  for (PhaseId id = 0; id < by_phase_.size(); ++id) {
-    if (phase_touched_[id]) out.emplace(PhaseName(id), by_phase_[id]);
+  for (PhaseId id = 0; id < state_.by_phase.size(); ++id) {
+    if (state_.phase_touched[id]) out.emplace(PhaseName(id), state_.by_phase[id]);
   }
   return out;
 }
 
 size_t Network::AliveCount() const {
   size_t n = 0;
-  for (size_t i = 0; i < meters_.size(); ++i) {
+  for (size_t i = 0; i < state_.meters.size(); ++i) {
     if (NodeAlive(static_cast<NodeId>(i))) ++n;
   }
   return n;
@@ -140,7 +140,7 @@ double Network::LinkLossProb(NodeId from, NodeId to) const {
   }
   // Degradation episodes at either endpoint compound independently with the
   // link's baseline loss (each is one more way a frame can die).
-  for (double extra : {extra_loss_[from], extra_loss_[to]}) {
+  for (double extra : {state_.extra_loss[from], state_.extra_loss[to]}) {
     if (extra > 0.0) p = p + (1.0 - p) * std::min(1.0, extra);
   }
   return p;
@@ -150,8 +150,8 @@ void Network::ChargeTx(NodeId sender, size_t payload_bytes, TrafficCounters& cou
   const RadioModel& radio = options_.radio;
   double airtime = radio.AirtimeSeconds(payload_bytes);
   double tx_j = options_.energy.TxEnergy(airtime);
-  meters_[sender].AddTx(tx_j);
-  sent_by_[sender] += 1;
+  state_.meters[sender].AddTx(tx_j);
+  state_.sent_by[sender] += 1;
   counters.messages += 1;
   counters.frames += radio.FramesForPayload(payload_bytes);
   counters.payload_bytes += payload_bytes;
@@ -159,11 +159,9 @@ void Network::ChargeTx(NodeId sender, size_t payload_bytes, TrafficCounters& cou
   counters.tx_energy_j += tx_j;
 }
 
-bool Network::UnicastToParent(NodeId child, size_t payload_bytes) {
+bool Network::UnicastToParentWith(NodeId child, size_t payload_bytes, util::Rng& loss_rng,
+                                  TrafficCounters& delta) {
   NodeId parent = tree_->parent(child);
-  if (parent == kNoNode) return false;
-  if (!NodeAlive(child)) return false;
-  TrafficCounters delta;
   bool delivered = false;
   // Per-frame loss: the message survives an attempt only if every fragment does.
   size_t frames = options_.radio.FramesForPayload(payload_bytes);
@@ -173,19 +171,45 @@ bool Network::UnicastToParent(NodeId child, size_t payload_bytes) {
     ChargeTx(child, payload_bytes, delta);
     bool lost = false;
     for (size_t f = 0; f < frames && !lost; ++f) {
-      lost = rng_.NextBernoulli(link_loss);
+      lost = loss_rng.NextBernoulli(link_loss);
     }
     if (!lost && NodeAlive(parent)) {
       double rx_j = options_.energy.RxEnergy(options_.radio.AirtimeSeconds(payload_bytes));
-      meters_[parent].AddRx(rx_j);
+      state_.meters[parent].AddRx(rx_j);
       delta.rx_energy_j += rx_j;
       delivered = true;
     }
   }
-  total_.Add(delta);
-  phase_counters_->Add(delta);
+  return delivered;
+}
+
+bool Network::UnicastToParent(NodeId child, size_t payload_bytes) {
+  NodeId parent = tree_->parent(child);
+  if (parent == kNoNode) return false;
+  if (!NodeAlive(child)) return false;
+  TrafficCounters delta;
+  bool delivered = UnicastToParentWith(child, payload_bytes, rng_, delta);
+  state_.total.Add(delta);
+  state_.by_phase[phase_id_].Add(delta);
   events_.AdvanceTo(events_.now() + options_.radio.AirtimeMicros(payload_bytes));
   return delivered;
+}
+
+bool Network::LaneUnicastToParent(NodeId child, size_t payload_bytes, LaneSendEffect* fx) {
+  NodeId parent = tree_->parent(child);
+  if (parent == kNoNode) return false;
+  if (!NodeAlive(child)) return false;
+  bool delivered =
+      UnicastToParentWith(child, payload_bytes, state_.node_rngs[child], fx->delta);
+  fx->airtime = options_.radio.AirtimeMicros(payload_bytes);
+  fx->sent = true;
+  return delivered;
+}
+
+void Network::CommitLaneSend(const LaneSendEffect& fx) {
+  state_.total.Add(fx.delta);
+  state_.by_phase[phase_id_].Add(fx.delta);
+  events_.AdvanceTo(events_.now() + fx.airtime);
 }
 
 bool Network::UnicastUpPath(NodeId from, size_t payload_bytes) {
@@ -221,13 +245,13 @@ bool Network::UnicastDownPath(NodeId target, size_t payload_bytes) {
       }
       if (!lost && NodeAlive(receiver)) {
         double rx_j = options_.energy.RxEnergy(options_.radio.AirtimeSeconds(payload_bytes));
-        meters_[receiver].AddRx(rx_j);
+        state_.meters[receiver].AddRx(rx_j);
         delta.rx_energy_j += rx_j;
         delivered = true;
       }
     }
-    total_.Add(delta);
-    phase_counters_->Add(delta);
+    state_.total.Add(delta);
+    state_.by_phase[phase_id_].Add(delta);
     events_.AdvanceTo(events_.now() + options_.radio.AirtimeMicros(payload_bytes));
     if (!delivered) return false;
   }
@@ -252,12 +276,12 @@ std::vector<NodeId> Network::BroadcastToChildren(NodeId node, size_t payload_byt
     }
     // Listening children pay receive energy whether or not the CRC passes.
     double rx_j = options_.energy.RxEnergy(rx_airtime);
-    meters_[child].AddRx(rx_j);
+    state_.meters[child].AddRx(rx_j);
     delta.rx_energy_j += rx_j;
     if (!lost) delivered.push_back(child);
   }
-  total_.Add(delta);
-  phase_counters_->Add(delta);
+  state_.total.Add(delta);
+  state_.by_phase[phase_id_].Add(delta);
   events_.AdvanceTo(events_.now() + options_.radio.AirtimeMicros(payload_bytes));
   return delivered;
 }
@@ -266,10 +290,10 @@ void Network::DeliverControl(NodeId from, NodeId to, size_t payload_bytes) {
   TrafficCounters delta;
   ChargeTx(from, payload_bytes, delta);
   double rx_j = options_.energy.RxEnergy(options_.radio.AirtimeSeconds(payload_bytes));
-  meters_[to].AddRx(rx_j);
+  state_.meters[to].AddRx(rx_j);
   delta.rx_energy_j += rx_j;
-  total_.Add(delta);
-  phase_counters_->Add(delta);
+  state_.total.Add(delta);
+  state_.by_phase[phase_id_].Add(delta);
   events_.AdvanceTo(events_.now() + options_.radio.AirtimeMicros(payload_bytes));
 }
 

@@ -10,37 +10,14 @@
 #include "sim/event_queue.hpp"
 #include "sim/radio_model.hpp"
 #include "sim/routing_tree.hpp"
+#include "sim/shard_state.hpp"
 #include "sim/topology.hpp"
 #include "sim/types.hpp"
 #include "util/rng.hpp"
 
 namespace kspot::sim {
 
-/// Aggregated traffic counters. These are exactly the numbers the KSpot
-/// System Panel projects at the demo: message count, frame (packet) count,
-/// application bytes, on-air bytes and radio energy.
-struct TrafficCounters {
-  uint64_t messages = 0;      ///< Logical messages sent (suppressed sends cost nothing).
-  uint64_t frames = 0;        ///< TinyOS frames after fragmentation.
-  uint64_t payload_bytes = 0; ///< Application payload bytes.
-  uint64_t onair_bytes = 0;   ///< Bytes on the air incl. headers + preambles.
-  double tx_energy_j = 0.0;   ///< Sender-side radio energy, joules.
-  double rx_energy_j = 0.0;   ///< Receiver-side radio energy, joules.
-
-  /// Element-wise accumulate.
-  void Add(const TrafficCounters& other);
-  /// Element-wise difference (this - other); counters must be monotone.
-  TrafficCounters Since(const TrafficCounters& earlier) const;
-  /// Total radio energy.
-  double energy_j() const { return tx_energy_j + rx_energy_j; }
-};
-
-/// Interned identifier of a protocol-phase label ("mint.update", "tja.lb").
-/// Ids are process-global: the same label always interns to the same id, so
-/// algorithms cache the id of their string literals once and per-epoch phase
-/// switches are an integer compare plus an array index instead of a
-/// string-keyed map lookup.
-using PhaseId = uint32_t;
+class ShardRuntime;
 
 /// Configuration for the simulated radio network.
 struct NetworkOptions {
@@ -66,23 +43,41 @@ struct NetworkOptions {
 /// The simulated radio network: delivers messages along the routing tree,
 /// charges energy to both endpoints, applies losses, and maintains the
 /// traffic counters (globally and attributed to named protocol phases).
+///
+/// All per-epoch mutable state lives in one value-type ShardState, so a
+/// Network is freely copyable (copies evolve independently; an attached
+/// shard runtime does not follow the copy) and the sharded UpWave can hand
+/// worker lanes disjoint per-node slices of the state.
 class Network {
  public:
   /// `topology` and `tree` must outlive the network.
   Network(const Topology* topology, const RoutingTree* tree, NetworkOptions options,
           util::Rng rng);
 
-  // Non-copyable/movable: phase_counters_ points into this object's
-  // by_phase_ storage, so a defaulted copy would write through a pointer
-  // into the source object.
-  Network(const Network&) = delete;
-  Network& operator=(const Network&) = delete;
+  Network(const Network& other);
+  Network& operator=(const Network& other);
 
   /// Sends `payload_bytes` from `child` to its parent, applying loss and up
   /// to `max_retries` retransmissions. Every attempt is charged to the
   /// sender; receive energy only on delivered attempts. Returns true when
   /// the message was delivered (false also when either endpoint is dead).
   bool UnicastToParent(NodeId child, size_t payload_bytes);
+
+  /// Lane-scoped variant for the sharded UpWave: identical charging, retry
+  /// and aliveness discipline, but loss is drawn from the *sender's* RNG
+  /// substream (state().node_rngs, populated by the attached ShardRuntime)
+  /// and neither the global counters nor the shared clock are touched — the
+  /// per-message counter delta and airtime land in `fx` instead, for the
+  /// canonical wave-order replay at the merge barrier (CommitLaneSend).
+  /// Safe to call concurrently for senders in disjoint subtrees: it writes
+  /// only the sender's and receiver's per-node entries.
+  bool LaneUnicastToParent(NodeId child, size_t payload_bytes, LaneSendEffect* fx);
+
+  /// Commits one lane send's effect to the global ledgers in canonical
+  /// order: total/phase counters accumulate the delta and the clock advances
+  /// by the airtime, exactly as the serial path would have at this message's
+  /// slot. Serial-only (the merge phase of a sharded wave).
+  void CommitLaneSend(const LaneSendEffect& fx);
 
   /// Broadcasts `payload_bytes` from `node`: one transmission, every alive
   /// child listens; loss is independent per child. Returns the children that
@@ -106,7 +101,8 @@ class Network {
 
   /// Attributes subsequent traffic to an interned protocol phase. The hot
   /// path: an integer compare when the phase is unchanged, an array index
-  /// when it switches.
+  /// when it switches. Serial-only: a sharded wave runs entirely under the
+  /// phase in force when it launched.
   void SetPhase(PhaseId id);
   /// Attributes subsequent traffic to a named protocol phase
   /// (e.g. "mint.update", "tja.lb"). Cheap when the phase is unchanged;
@@ -118,7 +114,7 @@ class Network {
   PhaseId phase_id() const { return phase_id_; }
 
   /// Grand-total counters.
-  const TrafficCounters& total() const { return total_; }
+  const TrafficCounters& total() const { return state_.total; }
   /// Counters attributed to `phase` (zeroes if the phase never sent).
   TrafficCounters PhaseTotal(const std::string& phase) const;
   /// Counters attributed to the interned phase `id`.
@@ -128,24 +124,24 @@ class Network {
   std::map<std::string, TrafficCounters> by_phase() const;
 
   /// Per-node energy ledger.
-  EnergyMeter& meter(NodeId id) { return meters_[id]; }
-  const EnergyMeter& meter(NodeId id) const { return meters_[id]; }
+  EnergyMeter& meter(NodeId id) { return state_.meters[id]; }
+  const EnergyMeter& meter(NodeId id) const { return state_.meters[id]; }
 
   /// Administrative up/down control (crash-fault injection). A node taken
   /// down neither sends nor receives until brought back up; its battery
   /// ledger is untouched, so crash and battery death stay distinguishable.
-  void SetNodeUp(NodeId id, bool up) { up_[id] = up ? 1 : 0; }
+  void SetNodeUp(NodeId id, bool up) { state_.up[id] = up ? 1 : 0; }
   /// True unless the node was administratively taken down.
-  bool NodeUp(NodeId id) const { return up_[id] != 0; }
+  bool NodeUp(NodeId id) const { return state_.up[id] != 0; }
 
   /// Extra per-frame loss applied to every link touching `id` (link-quality
   /// degradation episodes); compounds with the baseline loss model.
-  void SetNodeExtraLoss(NodeId id, double extra_loss) { extra_loss_[id] = extra_loss; }
+  void SetNodeExtraLoss(NodeId id, double extra_loss) { state_.extra_loss[id] = extra_loss; }
   /// The degradation episode loss currently in force at `id` (0 = none).
-  double NodeExtraLoss(NodeId id) const { return extra_loss_[id]; }
+  double NodeExtraLoss(NodeId id) const { return state_.extra_loss[id]; }
 
   /// True while `id` is administratively up and has battery left.
-  bool NodeAlive(NodeId id) const { return up_[id] != 0 && meters_[id].alive(); }
+  bool NodeAlive(NodeId id) const { return state_.up[id] != 0 && state_.meters[id].alive(); }
   /// Number of alive nodes.
   size_t AliveCount() const;
 
@@ -157,7 +153,7 @@ class Network {
   void DeliverControl(NodeId from, NodeId to, size_t payload_bytes);
 
   /// Messages transmitted by each node (for hotspot analysis near the sink).
-  uint64_t MessagesSentBy(NodeId id) const { return sent_by_[id]; }
+  uint64_t MessagesSentBy(NodeId id) const { return state_.sent_by[id]; }
 
   /// The event queue that sequences transmissions.
   EventQueue& events() { return events_; }
@@ -172,6 +168,16 @@ class Network {
   /// Loss / fading RNG (exposed for tests).
   util::Rng& rng() { return rng_; }
 
+  /// The whole per-epoch mutable state as a value (exposed for the shard
+  /// runtime and for state-snapshot tests).
+  ShardState& state() { return state_; }
+  const ShardState& state() const { return state_; }
+
+  /// The shard runtime driving this network's parallel waves, nullptr on the
+  /// serial path. Attached by ShardRuntime's constructor; never owned here.
+  ShardRuntime* shard_runtime() const { return shard_runtime_; }
+  void AttachShardRuntime(ShardRuntime* runtime) { shard_runtime_ = runtime; }
+
   /// Per-frame loss probability of the link `from -> to` under the options'
   /// loss model (baseline + distance-dependent gray zone).
   double LinkLossProb(NodeId from, NodeId to) const;
@@ -182,26 +188,21 @@ class Network {
   NetworkOptions options_;
   util::Rng rng_;
   EventQueue events_;
-  std::vector<EnergyMeter> meters_;
-  std::vector<uint8_t> up_;
-  std::vector<double> extra_loss_;
-  std::vector<uint64_t> sent_by_;
-  TrafficCounters total_;
-  /// Per-phase counters indexed by PhaseId; slots are allocated lazily the
-  /// first time SetPhase selects the id. phase_touched_ marks slots this
-  /// network actually selected (so by_phase() reports exactly the phases the
-  /// run visited, zero-traffic ones included, as the old map did).
-  std::vector<TrafficCounters> by_phase_;
-  std::vector<uint8_t> phase_touched_;
+  /// Every mutable per-epoch ledger, owned as one value (see ShardState).
+  ShardState state_;
   PhaseId phase_id_ = 0;
   /// Label of the current phase (registry storage is pointer-stable), so the
   /// string SetPhase overload's unchanged-phase fast path needs no lock.
+  /// nullptr only before the constructor's initial SetPhase.
   const std::string* phase_name_ = nullptr;
-  /// Counter bucket of the current phase so per-message accounting skips any
-  /// lookup. Reassigned whenever by_phase_ grows.
-  TrafficCounters* phase_counters_ = nullptr;
+  /// Parallel-wave coordinator; non-owning, does not follow copies.
+  ShardRuntime* shard_runtime_ = nullptr;
 
   void ChargeTx(NodeId sender, size_t payload_bytes, TrafficCounters& counters);
+  /// The retry/loss/charge core shared by the serial and lane unicast paths;
+  /// `loss_rng` selects which stream pays the Bernoulli draws.
+  bool UnicastToParentWith(NodeId child, size_t payload_bytes, util::Rng& loss_rng,
+                           TrafficCounters& delta);
 };
 
 }  // namespace kspot::sim

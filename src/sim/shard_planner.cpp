@@ -1,0 +1,68 @@
+#include "sim/shard_planner.hpp"
+
+#include <algorithm>
+
+namespace kspot::sim {
+
+ShardPlan ShardPlanner::Build(const RoutingTree& tree, size_t shards) {
+  ShardPlan plan;
+  plan.requested = std::max<size_t>(shards, 1);
+  plan.lane_of.assign(tree.num_nodes(), kNoLane);
+
+  // The cluster-head subtrees: one per depth-1 node attached to the sink.
+  const std::vector<NodeId>& heads = tree.children(kSinkId);
+  if (heads.empty()) {
+    plan.lanes.emplace_back();  // degenerate tree: one empty lane
+    return plan;
+  }
+  size_t lane_count = std::min(plan.requested, heads.size());
+
+  // Map every attached non-sink node to its cluster head by walking pre-order
+  // (parents before children), then seed from the heads themselves.
+  std::vector<NodeId> head_of(tree.num_nodes(), kNoNode);
+  for (NodeId head : heads) head_of[head] = head;
+  for (NodeId node : tree.pre_order()) {
+    if (node == kSinkId || head_of[node] != kNoNode) continue;
+    head_of[node] = head_of[tree.parent(node)];
+  }
+
+  // Count each subtree's wave-order members as its load.
+  std::vector<uint64_t> load(tree.num_nodes(), 0);
+  for (NodeId node : tree.wave_order()) {
+    if (node == kSinkId) continue;
+    ++load[head_of[node]];
+  }
+
+  // Longest-processing-time packing with fully deterministic tie-breaks:
+  // heavier subtrees first (lower node id wins ties), each onto the least
+  // loaded lane (lower lane index wins ties).
+  std::vector<NodeId> order(heads);
+  std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    if (load[a] != load[b]) return load[a] > load[b];
+    return a < b;
+  });
+  std::vector<uint64_t> lane_load(lane_count, 0);
+  std::vector<LaneId> lane_of_head(tree.num_nodes(), kNoLane);
+  for (NodeId head : order) {
+    LaneId best = 0;
+    for (LaneId lane = 1; lane < lane_count; ++lane) {
+      if (lane_load[lane] < lane_load[best]) best = lane;
+    }
+    lane_of_head[head] = best;
+    lane_load[best] += load[head];
+  }
+
+  // Materialize each lane as a slice of the canonical wave order, and record
+  // the roots' canonical order for the deferred-send replay.
+  plan.lanes.assign(lane_count, {});
+  for (NodeId node : tree.wave_order()) {
+    if (node == kSinkId) continue;
+    LaneId lane = lane_of_head[head_of[node]];
+    plan.lane_of[node] = lane;
+    plan.lanes[lane].push_back(node);
+    if (head_of[node] == node) plan.roots_in_order.push_back(node);
+  }
+  return plan;
+}
+
+}  // namespace kspot::sim

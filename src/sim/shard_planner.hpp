@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "sim/routing_tree.hpp"
+#include "sim/types.hpp"
+
+namespace kspot::sim {
+
+/// Index of a shard lane inside a ShardPlan.
+using LaneId = uint32_t;
+
+/// Sentinel for "not in any lane" (the sink, and detached nodes).
+inline constexpr LaneId kNoLane = std::numeric_limits<LaneId>::max();
+
+/// How a routing tree's converge-cast work is cut into independent lanes.
+///
+/// The cut is at the cluster heads: every depth-1 node (a child of the sink)
+/// roots one subtree, and subtrees only interact at the sink, so lanes can
+/// run concurrently. Each lane's member list is a *slice of the canonical
+/// wave order* (relative order preserved), which is what makes the
+/// epoch-boundary merge deterministic: replaying per-message effects in
+/// global wave order reproduces the serial execution exactly, because every
+/// non-root member precedes every root (depth >= 2 before depth 1) and roots
+/// precede the sink.
+struct ShardPlan {
+  /// The shard count the plan was built for (before clamping to the number
+  /// of cluster heads).
+  size_t requested = 1;
+  /// Per lane: member nodes in canonical wave-order (subtree roots included,
+  /// sink excluded).
+  std::vector<std::vector<NodeId>> lanes;
+  /// Depth-1 subtree roots in canonical wave order — the order their
+  /// deferred sends execute at the merge barrier.
+  std::vector<NodeId> roots_in_order;
+  /// Per node: the lane it belongs to (kNoLane for the sink and for nodes
+  /// not in the wave order, i.e. detached by churn).
+  std::vector<LaneId> lane_of;
+
+  size_t lane_count() const { return lanes.size(); }
+  /// True when the plan actually enables parallel execution.
+  bool sharded() const { return lanes.size() > 1; }
+};
+
+/// Builds ShardPlans from a routing tree. Pure function of (tree, shards):
+/// the same tree and shard request always produce the same plan, and —
+/// because correctness never depends on *which* lane a subtree landed in,
+/// only on the wave-order slices — any shard count yields identical results.
+class ShardPlanner {
+ public:
+  /// Cuts `tree` into at most `shards` lanes (clamped to the number of
+  /// cluster-head subtrees; 0 and 1 both mean one lane). Subtrees are packed
+  /// onto lanes longest-processing-time first with deterministic tie-breaks,
+  /// so lane loads balance for grids and stay reproducible everywhere.
+  static ShardPlan Build(const RoutingTree& tree, size_t shards);
+};
+
+}  // namespace kspot::sim

@@ -1,0 +1,41 @@
+#include "sim/shard_runtime.hpp"
+
+namespace kspot::sim {
+
+ShardRuntime::ShardRuntime(Network* net, Options options) : net_(net), options_(options) {
+  // Per-node substreams, derived once from the network's loss RNG. Split is
+  // const — the parent stream is untouched, so the serial path's draw
+  // sequence is exactly what it would have been without a runtime.
+  auto& rngs = net_->state().node_rngs;
+  size_t n = net_->topology().num_nodes();
+  rngs.clear();
+  rngs.reserve(n);
+  for (size_t i = 0; i < n; ++i) rngs.push_back(net_->rng().Split(static_cast<uint64_t>(i)));
+  net_->AttachShardRuntime(this);
+}
+
+ShardRuntime::~ShardRuntime() {
+  if (net_ != nullptr && net_->shard_runtime() == this) net_->AttachShardRuntime(nullptr);
+}
+
+bool ShardRuntime::ShouldShard() {
+  if (options_.shards <= 1) return false;
+  return plan().sharded();
+}
+
+const ShardPlan& ShardRuntime::plan() {
+  if (!plan_.has_value()) plan_ = ShardPlanner::Build(net_->tree(), options_.shards);
+  return *plan_;
+}
+
+util::TaskPool& ShardRuntime::pool() {
+  if (!pool_) pool_ = std::make_unique<util::TaskPool>(options_.threads);
+  return *pool_;
+}
+
+std::vector<LaneSendEffect>& ShardRuntime::captures() {
+  captures_.resize(net_->topology().num_nodes());
+  return captures_;
+}
+
+}  // namespace kspot::sim

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "sim/shard_planner.hpp"
+#include "sim/shard_state.hpp"
+#include "util/task_pool.hpp"
+
+namespace kspot::sim {
+
+/// Drives parallel epoch execution for one Network: owns the shard plan (cut
+/// lazily from the current routing tree and rebuilt after churn repair), the
+/// worker pool, and the per-node lane-send capture scratch. Attaching a
+/// runtime also seeds the network's per-node RNG substreams, so every
+/// lane-scoped transmission draws loss from its sender's stream — that is
+/// what makes results invariant under shard count and thread count.
+///
+/// One runtime per network; the runtime must outlive no network it is
+/// attached to (it detaches itself on destruction).
+class ShardRuntime {
+ public:
+  struct Options {
+    /// Number of shard lanes to cut the tree into (clamped to the number of
+    /// cluster-head subtrees). 1 keeps the serial path.
+    size_t shards = 1;
+    /// Worker threads for lane execution; 0 picks the hardware concurrency.
+    size_t threads = 0;
+  };
+
+  /// Attaches to `net` (which must outlive this runtime or be destroyed
+  /// after it) and seeds net->state().node_rngs with per-node substreams
+  /// split off the network's loss RNG. Splitting is a pure function of the
+  /// parent stream, so attaching does not perturb the serial draw sequence.
+  ShardRuntime(Network* net, Options options);
+  ~ShardRuntime();
+
+  ShardRuntime(const ShardRuntime&) = delete;
+  ShardRuntime& operator=(const ShardRuntime&) = delete;
+
+  /// True when sharded waves should run: more than one lane was requested
+  /// and the current tree actually yields more than one.
+  bool ShouldShard();
+
+  /// The shard plan for the network's current tree (built on first use).
+  const ShardPlan& plan();
+
+  /// Drops the cached plan; call after any topology change (churn repair)
+  /// so the next wave re-cuts the tree.
+  void InvalidateTopology() { plan_.reset(); }
+
+  /// Lanes in the current plan.
+  size_t lane_count() { return plan().lane_count(); }
+
+  /// The worker pool (created on first use).
+  util::TaskPool& pool();
+
+  /// Per-node lane-send capture slots, sized to the network. Each node sends
+  /// at most once per UpWave, so a slot per node suffices; lanes reset the
+  /// slots of the nodes they visit.
+  std::vector<LaneSendEffect>& captures();
+
+  size_t shards() const { return options_.shards; }
+  Network& network() { return *net_; }
+
+ private:
+  Network* net_;
+  Options options_;
+  std::optional<ShardPlan> plan_;
+  std::unique_ptr<util::TaskPool> pool_;
+  std::vector<LaneSendEffect> captures_;
+};
+
+}  // namespace kspot::sim

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/energy_model.hpp"
+#include "sim/types.hpp"
+#include "util/rng.hpp"
+
+namespace kspot::sim {
+
+/// Aggregated traffic counters. These are exactly the numbers the KSpot
+/// System Panel projects at the demo: message count, frame (packet) count,
+/// application bytes, on-air bytes and radio energy.
+struct TrafficCounters {
+  uint64_t messages = 0;      ///< Logical messages sent (suppressed sends cost nothing).
+  uint64_t frames = 0;        ///< TinyOS frames after fragmentation.
+  uint64_t payload_bytes = 0; ///< Application payload bytes.
+  uint64_t onair_bytes = 0;   ///< Bytes on the air incl. headers + preambles.
+  double tx_energy_j = 0.0;   ///< Sender-side radio energy, joules.
+  double rx_energy_j = 0.0;   ///< Receiver-side radio energy, joules.
+
+  /// Element-wise accumulate.
+  void Add(const TrafficCounters& other);
+  /// Element-wise difference (this - other); counters must be monotone.
+  TrafficCounters Since(const TrafficCounters& earlier) const;
+  /// Total radio energy.
+  double energy_j() const { return tx_energy_j + rx_energy_j; }
+};
+
+/// Interned identifier of a protocol-phase label ("mint.update", "tja.lb").
+/// Ids are process-global: the same label always interns to the same id, so
+/// algorithms cache the id of their string literals once and per-epoch phase
+/// switches are an integer compare plus an array index instead of a
+/// string-keyed map lookup.
+using PhaseId = uint32_t;
+
+/// Everything a Network mutates while an epoch runs, extracted into one
+/// plain value type: the per-node battery/energy ledger, the admin up flags
+/// and degradation episodes, the delivered-message accounting, the interned
+/// per-phase counter arrays, and the per-node loss-RNG substreams of the
+/// sharded execution path. Owning this as a value (rather than as loose
+/// members with a cached interior pointer) is what makes Network copyable
+/// and lets the shard runtime hand lanes disjoint slices of it: a lane only
+/// ever touches the per-node entries of its own subtree, so parallel waves
+/// write this struct race-free.
+struct ShardState {
+  /// Per-node energy ledger (battery budget included).
+  std::vector<EnergyMeter> meters;
+  /// 1 unless the node was administratively taken down (crash injection).
+  std::vector<uint8_t> up;
+  /// Extra per-frame loss in force at each node (degradation episodes).
+  std::vector<double> extra_loss;
+  /// Messages transmitted by each node (hotspot accounting).
+  std::vector<uint64_t> sent_by;
+  /// Grand-total counters.
+  TrafficCounters total;
+  /// Per-phase counters indexed by PhaseId; slots are allocated lazily the
+  /// first time SetPhase selects the id. `phase_touched` marks slots this
+  /// network actually selected (so by_phase() reports exactly the phases the
+  /// run visited, zero-traffic ones included).
+  std::vector<TrafficCounters> by_phase;
+  std::vector<uint8_t> phase_touched;
+  /// Per-node loss-RNG substreams, derived once (Rng::Split off the network
+  /// RNG's attach-time state) when a ShardRuntime attaches. Empty on the
+  /// serial path. In a sharded wave every transmission draws loss from the
+  /// *sender's* substream, so outcomes are independent of how subtrees are
+  /// packed into shards and of the worker-thread count.
+  std::vector<util::Rng> node_rngs;
+
+  /// Sizes the per-node arrays for `num_nodes` nodes with fresh batteries.
+  void Reset(size_t num_nodes, double battery_j);
+};
+
+/// The bookkeeping one deferred (lane-local) transmission produces: the
+/// counter delta the canonical epoch-boundary replay commits, and the
+/// airtime by which the shared clock advances at the message's slot.
+struct LaneSendEffect {
+  TrafficCounters delta;
+  TimeUs airtime = 0;
+  bool sent = false;  ///< True when any attempt was charged (delta is live).
+};
+
+}  // namespace kspot::sim

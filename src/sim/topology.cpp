@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <set>
+#include <unordered_map>
 
 namespace kspot::sim {
 
@@ -33,15 +34,42 @@ std::vector<NodeId> Topology::NodesInRoom(GroupId room) const {
 }
 
 std::vector<std::vector<NodeId>> Topology::BuildAdjacency() const {
+  // Spatial-hash neighbor search: bucket nodes into comm_range-sized cells,
+  // then each node only tests candidates from its 3x3 cell neighborhood —
+  // O(n + edges) expected instead of the O(n^2) all-pairs scan, which is what
+  // makes 100k-node deployments buildable. Each adjacency list is sorted
+  // ascending, exactly the order the all-pairs scan produced.
   size_t n = positions_.size();
   std::vector<std::vector<NodeId>> adj(n);
+  if (n == 0) return adj;
+  double cell = comm_range_ > 0.0 ? comm_range_ : 1.0;
+  auto cell_key = [&](const Position& p) {
+    auto cx = static_cast<int64_t>(std::floor(p.x / cell));
+    auto cy = static_cast<int64_t>(std::floor(p.y / cell));
+    return (static_cast<uint64_t>(cx) << 32) ^ static_cast<uint64_t>(cy & 0xFFFFFFFFLL);
+  };
+  std::unordered_map<uint64_t, std::vector<NodeId>> buckets;
+  buckets.reserve(n);
+  for (size_t i = 0; i < n; ++i) buckets[cell_key(positions_[i])].push_back(static_cast<NodeId>(i));
+  std::vector<NodeId> neighbors;
   for (size_t i = 0; i < n; ++i) {
-    for (size_t j = i + 1; j < n; ++j) {
-      if (Distance(positions_[i], positions_[j]) <= comm_range_) {
-        adj[i].push_back(static_cast<NodeId>(j));
-        adj[j].push_back(static_cast<NodeId>(i));
+    neighbors.clear();
+    auto cx = static_cast<int64_t>(std::floor(positions_[i].x / cell));
+    auto cy = static_cast<int64_t>(std::floor(positions_[i].y / cell));
+    for (int64_t dx = -1; dx <= 1; ++dx) {
+      for (int64_t dy = -1; dy <= 1; ++dy) {
+        uint64_t key = (static_cast<uint64_t>(cx + dx) << 32) ^
+                       static_cast<uint64_t>((cy + dy) & 0xFFFFFFFFLL);
+        auto it = buckets.find(key);
+        if (it == buckets.end()) continue;
+        for (NodeId j : it->second) {
+          if (j == static_cast<NodeId>(i)) continue;
+          if (Distance(positions_[i], positions_[j]) <= comm_range_) neighbors.push_back(j);
+        }
       }
     }
+    std::sort(neighbors.begin(), neighbors.end());
+    adj[i].assign(neighbors.begin(), neighbors.end());
   }
   return adj;
 }

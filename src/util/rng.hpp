@@ -39,8 +39,22 @@ class Rng {
   /// Returns true with probability `p` (clamped to [0,1]).
   bool NextBernoulli(double p);
 
-  /// Derives an independent generator; streams indexed by `stream_id` do not
-  /// overlap with this generator's own output.
+  /// Derives an independent child generator for substream `stream_id`.
+  ///
+  /// The child is seeded by mixing this generator's *current* state with the
+  /// stream id through splitmix64, so:
+  ///   - Split is `const`: it never advances this generator. Calling
+  ///     `Split(i)` for any set of ids and then drawing from the parent
+  ///     yields exactly the sequence the parent would have produced anyway.
+  ///   - distinct ids give decorrelated streams (different splitmix seeds),
+  ///     and the same id from the same parent state reproduces the same
+  ///     stream — the property the sharded epoch waves rely on to stay
+  ///     bit-identical for any shard or thread count (each sender draws
+  ///     loss from its own `Split(node_id)` substream).
+  ///   - splitting after the parent has advanced yields different children;
+  ///     split at a well-defined point (e.g. shard-runtime attach).
+  ///
+  /// The exact child sequences are pinned by RngTest.SplitGoldenVectors.
   Rng Split(uint64_t stream_id) const;
 
   /// Fisher-Yates shuffles `items` in place.

@@ -1,0 +1,94 @@
+#include "util/task_pool.hpp"
+
+#include <exception>
+
+namespace kspot::util {
+
+TaskPool::TaskPool(size_t threads) {
+  if (threads == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 1 : hw;
+  }
+  // The calling thread always participates, so N requested threads need
+  // only N-1 parked workers.
+  worker_count_ = threads - 1;
+  workers_.reserve(worker_count_);
+  for (size_t t = 0; t < worker_count_; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void TaskPool::RunIndices(Job& job) {
+  while (true) {
+    size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job.count) return;
+    try {
+      (*job.fn)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(job.error_mu);
+      if (!job.error) job.error = std::current_exception();
+    }
+    if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 == job.count) {
+      // Last index: wake the caller waiting at the barrier.
+      std::lock_guard<std::mutex> lock(mu_);
+      cv_done_.notify_all();
+    }
+  }
+}
+
+void TaskPool::WorkerLoop() {
+  uint64_t seen = 0;
+  while (true) {
+    // Each worker holds its own reference to the job, so a worker that wakes
+    // after the caller already left the barrier (every index claimed by
+    // others) still reads valid Job state when it checks out empty-handed.
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+    }
+    if (job != nullptr) RunIndices(*job);
+  }
+}
+
+void TaskPool::ParallelFor(size_t count, const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  if (worker_count_ == 0 || count == 1) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->count = count;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = job;
+    ++generation_;
+  }
+  cv_work_.notify_all();
+  RunIndices(*job);
+  {
+    // Workers that claimed an index may still be inside fn; the barrier waits
+    // for the completion count, not the claim count. `fn` itself is safe to
+    // release after that: a late worker's first claim is >= count, so it
+    // never dereferences the callback.
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [&] { return job->done.load(std::memory_order_acquire) == job->count; });
+    job_ = nullptr;
+  }
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+}  // namespace kspot::util

@@ -7,7 +7,11 @@
 ///     E14 churn_accuracy) produce byte-identical metrics through 1 and 8
 ///     worker threads — the engine determinism contract over the new
 ///     data plane;
-///  3. MINT's incremental churn repair is answer-equivalent to the full
+///  3. sharded epoch execution is invisible to results: the same sweeps are
+///     byte-identical for shards in {1, 2, 8} and 1 or 8 engine threads, and
+///     the E16 bed at n = 1000 pins the full network state (answers, phase
+///     counters, meters, clock) serial-vs-sharded;
+///  4. MINT's incremental churn repair is answer-equivalent to the full
 ///     creation-phase rebuild under lossless churn (both exact against the
 ///     survivor oracle) while touching far fewer rebuild messages.
 #include <gtest/gtest.h>
@@ -17,6 +21,7 @@
 #include <vector>
 
 #include "agg/group_view.hpp"
+#include "bench_util.hpp"
 #include "core/fila.hpp"
 #include "core/history_source.hpp"
 #include "core/mint.hpp"
@@ -150,6 +155,109 @@ TEST(GoldenEquivalenceTest, QuickSweepsBitIdenticalAcrossThreadCounts) {
         runner::ExperimentEngine({.threads = 8, .quick = true}).Run(*scenario);
     EXPECT_TRUE(single.AllOk());
     ExpectIdenticalRuns(single, pooled);
+  }
+}
+
+// ----------------------------------------------- sharded-wave equivalence
+
+/// Sharded epoch execution is a wall-clock knob, never a semantic one: the
+/// same sweeps must be byte-identical for every shard count and every
+/// runner thread count. E1 and E13 are lossless data planes, so this holds
+/// serial-vs-sharded exactly. (E14 churn_accuracy is deliberately absent:
+/// its degrade episodes draw real losses, and the sharded path draws them
+/// from per-node substreams — sharded runs agree with each other for any
+/// shard/thread count, which shard_test pins, but not with the serial
+/// single-stream path.)
+TEST(GoldenEquivalenceTest, QuickSweepsBitIdenticalAcrossShardCounts) {
+  runner::ScenarioRegistry registry;
+  bench::RegisterAllScenarios(registry);
+  for (const char* name : {"fig1_scenario", "churn_lifetime"}) {
+    SCOPED_TRACE(name);
+    const runner::Scenario* scenario = registry.Find(name);
+    ASSERT_NE(scenario, nullptr);
+    runner::ScenarioRun baseline =
+        runner::ExperimentEngine({.threads = 1, .quick = true, .shards = 1}).Run(*scenario);
+    EXPECT_TRUE(baseline.AllOk());
+    for (size_t shards : {size_t{2}, size_t{8}}) {
+      for (size_t threads : {size_t{1}, size_t{8}}) {
+        SCOPED_TRACE("shards=" + std::to_string(shards) + " threads=" +
+                     std::to_string(threads));
+        runner::ScenarioRun sharded =
+            runner::ExperimentEngine({.threads = threads, .quick = true, .shards = shards})
+                .Run(*scenario);
+        ExpectIdenticalRuns(baseline, sharded);
+      }
+    }
+  }
+}
+
+/// E16's bed at n = 1000. The scenario's own metrics are wall-clock (not
+/// comparable across configurations), so this pins the full observable
+/// simulation state instead: every epoch's answer, the total and per-phase
+/// traffic counters, each node's energy ledger and send count, and the
+/// virtual clock.
+TEST(GoldenEquivalenceTest, ThroughputBedBitIdenticalAcrossShardCounts) {
+  constexpr size_t kNodes = 1000;
+  constexpr size_t kRooms = 32;
+  constexpr size_t kEpochs = 20;
+  constexpr uint64_t kSeed = 161;
+
+  struct BedState {
+    std::vector<std::string> answers;
+    sim::TrafficCounters total;
+    std::map<std::string, sim::TrafficCounters> by_phase;
+    std::vector<double> meter_joules;
+    std::vector<uint64_t> sent_by;
+    sim::TimeUs now = 0;
+  };
+  auto run_bed = [&](size_t shards, size_t threads) {
+    bench::Bed bed = bench::Bed::Grid(kNodes, kRooms, kSeed);
+    bed.EnableSharding(shards, threads);
+    auto gen = bed.RoomData(kSeed);
+    auto algo = bench::MakeSnapshotAlgo(bench::SnapshotAlgo::kMint, bed.net.get(), gen.get(),
+                                        bench::RoomAvgSpec(3));
+    BedState state;
+    for (size_t e = 0; e < kEpochs; ++e) {
+      state.answers.push_back(algo->RunEpoch(static_cast<sim::Epoch>(e)).ToString());
+    }
+    state.total = bed.net->total();
+    state.by_phase = bed.net->by_phase();
+    for (sim::NodeId id = 0; id < kNodes; ++id) {
+      state.meter_joules.push_back(bed.net->meter(id).total_joules());
+      state.sent_by.push_back(bed.net->MessagesSentBy(id));
+    }
+    state.now = bed.net->events().now();
+    return state;
+  };
+  auto expect_same_counters = [](const sim::TrafficCounters& a, const sim::TrafficCounters& b) {
+    EXPECT_EQ(a.messages, b.messages);
+    EXPECT_EQ(a.frames, b.frames);
+    EXPECT_EQ(a.payload_bytes, b.payload_bytes);
+    EXPECT_EQ(a.onair_bytes, b.onair_bytes);
+    // Bit-exact, not approximate: the sharded merge replays sends in the
+    // serial wave order, so even FP accumulation order matches.
+    EXPECT_EQ(a.tx_energy_j, b.tx_energy_j);
+    EXPECT_EQ(a.rx_energy_j, b.rx_energy_j);
+  };
+
+  BedState serial = run_bed(1, 1);
+  for (size_t shards : {size_t{2}, size_t{8}}) {
+    for (size_t threads : {size_t{1}, size_t{8}}) {
+      SCOPED_TRACE("shards=" + std::to_string(shards) + " threads=" + std::to_string(threads));
+      BedState sharded = run_bed(shards, threads);
+      EXPECT_EQ(serial.answers, sharded.answers);
+      expect_same_counters(serial.total, sharded.total);
+      ASSERT_EQ(serial.by_phase.size(), sharded.by_phase.size());
+      for (const auto& [phase, counters] : serial.by_phase) {
+        SCOPED_TRACE(phase);
+        auto it = sharded.by_phase.find(phase);
+        ASSERT_NE(it, sharded.by_phase.end());
+        expect_same_counters(counters, it->second);
+      }
+      EXPECT_EQ(serial.meter_joules, sharded.meter_joules);
+      EXPECT_EQ(serial.sent_by, sharded.sent_by);
+      EXPECT_EQ(serial.now, sharded.now);
+    }
   }
 }
 

@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <set>
 #include <stdexcept>
 
 #include "runner/experiment_engine.hpp"
+#include "runner/report.hpp"
 #include "runner/scenario_registry.hpp"
 #include "scenarios.hpp"
 #include "util/rng.hpp"
@@ -193,6 +196,43 @@ TEST(ExperimentEngineTest, SeedOverrideReachesTrials) {
 TEST(ExperimentEngineTest, ZeroThreadsMeansHardwareConcurrency) {
   ExperimentEngine engine({.threads = 0});
   EXPECT_GE(engine.options().threads, 1u);
+}
+
+// ------------------------------------------------------------------ report
+
+/// Regression: `kspot_bench --json-dir some/new/dir` (and any caller passing
+/// a nested path) must not lose a finished sweep to a missing directory —
+/// WriteJsonFile creates missing parents itself.
+TEST(ReportTest, WriteJsonFileCreatesMissingParentDirectories) {
+  ExperimentEngine engine({.threads = 1});
+  ScenarioRun run = engine.Run(ToyScenario(2));
+
+  std::filesystem::path root =
+      std::filesystem::path(::testing::TempDir()) / "kspot_report_test";
+  std::filesystem::remove_all(root);
+  std::filesystem::path target = root / "nested" / "deeper" / "BENCH_toy.json";
+  ASSERT_FALSE(std::filesystem::exists(target.parent_path()));
+
+  util::Status status = WriteJsonFile(run, target.string());
+  ASSERT_TRUE(status.ok()) << status.message();
+  ASSERT_TRUE(std::filesystem::exists(target));
+
+  // The file holds the same JSON the in-memory writer produces.
+  std::ifstream in(target);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, ToJsonString(run));
+
+  // A bare filename (no parent component) still works.
+  std::filesystem::path flat = root / "flat.json";
+  std::filesystem::create_directories(root);
+  auto cwd = std::filesystem::current_path();
+  std::filesystem::current_path(root);
+  EXPECT_TRUE(WriteJsonFile(run, "flat.json").ok());
+  std::filesystem::current_path(cwd);
+  EXPECT_TRUE(std::filesystem::exists(flat));
+
+  std::filesystem::remove_all(root);
 }
 
 }  // namespace

@@ -104,6 +104,35 @@ TEST(RngTest, SplitStreamsAreIndependentAndDeterministic) {
   EXPECT_LT(same, 2);
 }
 
+// Pins the exact Split substream outputs. Per-node loss substreams are what
+// keep the sharded epoch waves bit-identical across shard/thread counts, so
+// a silent change to the Split mixing function would invalidate every pinned
+// sharded golden digest — this test makes such a change loud.
+TEST(RngTest, SplitGoldenVectors) {
+  const uint64_t kExpected[4][8] = {
+      {0xb344268a3ee87fbbULL, 0x9ad19b3ad4179cbcULL, 0xdb5068320b93fe90ULL, 0xfe5b252d327f601fULL,
+       0xb8facdab40c09031ULL, 0x6ca9ed4122dfc776ULL, 0xc500f01023d7823cULL, 0xa5f36db321f877e9ULL},
+      {0xfc67cd9e385300c3ULL, 0xc44c078a7e2c7cf6ULL, 0xf7a972ad67837bd5ULL, 0x7068187316be52e9ULL,
+       0x458d56ead6e1f301ULL, 0x58a495e40a205888ULL, 0xa6b6fbb37891d0edULL, 0x6e04e4ef08af5138ULL},
+      {0xff20afb2f1f90d7fULL, 0x6854a8ec7f77bfcfULL, 0x3829a8c235528363ULL, 0x69958e89b47d42a5ULL,
+       0x4643d0f1aacd6800ULL, 0x912bf01cab7188b4ULL, 0x956fd32112f58270ULL, 0xd70a9737411b27c6ULL},
+      {0xf42b81c14b09403dULL, 0x4a806c0bd6e0a956ULL, 0xd19e5e3a07c01522ULL, 0x2d2b5df7acc75ec6ULL,
+       0x416831a80fcc88c0ULL, 0x57c1f8ae0c07a08eULL, 0x4be78e90f0b0817aULL, 0x76f2546e0ed7886fULL},
+  };
+  Rng base(0x5EED);
+  for (uint64_t stream = 0; stream < 4; ++stream) {
+    Rng child = base.Split(stream);
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_EQ(child.NextU64(), kExpected[stream][i])
+          << "stream " << stream << " draw " << i;
+    }
+  }
+  // Split is const: after deriving 4 children the parent's own sequence is
+  // untouched — its next draw equals a fresh generator's first draw.
+  Rng fresh(0x5EED);
+  EXPECT_EQ(base.NextU64(), fresh.NextU64());
+}
+
 TEST(RngTest, ShufflePreservesElements) {
   Rng rng(37);
   std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
