@@ -10,6 +10,7 @@ the CI E17 gate passes --tolerance explicitly).
 Gated scenarios:
   E16 throughput         metric epochs_per_sec (the default)
   E17 server_throughput  metric coord_qps
+  E18 fanout_throughput  metric deliveries_per_sec
 
 The baselines are machine-dependent: refresh them (run the scenario with
 --quick --threads 1 and copy the JSON) whenever CI hardware changes, and

@@ -38,6 +38,7 @@ void RegisterChurnAccuracy(runner::ScenarioRegistry& registry);       // E14
 void RegisterRepairCost(runner::ScenarioRegistry& registry);          // E15
 void RegisterThroughput(runner::ScenarioRegistry& registry);          // E16
 void RegisterServerThroughput(runner::ScenarioRegistry& registry);    // E17
+void RegisterFanoutThroughput(runner::ScenarioRegistry& registry);    // E18
 
 /// Registers every bench scenario.
 inline void RegisterAllScenarios(runner::ScenarioRegistry& registry) {
@@ -58,6 +59,7 @@ inline void RegisterAllScenarios(runner::ScenarioRegistry& registry) {
   RegisterRepairCost(registry);
   RegisterThroughput(registry);
   RegisterServerThroughput(registry);
+  RegisterFanoutThroughput(registry);
 }
 
 }  // namespace kspot::bench

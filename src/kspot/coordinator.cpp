@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <limits>
 #include <map>
 #include <utility>
 
@@ -17,6 +18,8 @@
 namespace kspot::system {
 
 namespace {
+
+constexpr sim::Epoch kNoEpoch = std::numeric_limits<sim::Epoch>::max();
 
 /// How a query executes on the shared data plane.
 enum class OpKind {
@@ -109,9 +112,15 @@ std::string CompatKey(const OperatorPlan& plan) {
 /// One operator instance of the shared data plane and the queries riding it.
 struct OpGroup {
   OperatorPlan plan;
+  std::string key;                       ///< CompatKey while alive.
   std::string algorithm;
-  /// Indices into the admitted set (admission order).
+  /// Indices into the admitted set of every query that EVER rode this
+  /// operator (admission order) — share_group_size reports this.
   std::vector<size_t> members;
+  bool alive = true;                     ///< False once released by Cancel.
+  /// A topology change happened during an epoch this group skipped
+  /// (rate-limited): evict stale caches before the next step.
+  bool pending_refresh = false;
   /// Epoch-driven operators (snapshot MINT, grouped-select TAG, horizontal
   /// MINT-over-windows) ...
   std::unique_ptr<core::EpochAlgorithm> algo;
@@ -125,22 +134,79 @@ struct OpGroup {
   sim::TrafficCounters cost;
   std::vector<core::TopKResult> per_epoch;
   std::vector<std::vector<core::SelectTuple>> rows_per_epoch;
+  /// Epoch stamps parallel to per_epoch / rows_per_epoch (rate limits and
+  /// mid-session joins make them sparse / offset).
+  std::vector<sim::Epoch> result_epochs;
   core::HistoricResult historic;
+
+  /// Releases the operator: the share group emptied, stop costing anything.
+  void Release() {
+    alive = false;
+    algo.reset();
+    select.reset();
+    window_gen.reset();
+    own_inner.reset();
+    key.clear();
+  }
 };
 
 }  // namespace
 
+/// Everything one open session owns: the shared data plane plus the
+/// query->group bindings it serves. Destroyed at Close().
+struct QueryCoordinator::Session {
+  sim::RoutingTree tree;
+  sim::Network net;
+  std::unique_ptr<data::DataGenerator> shared_gen;
+  std::unique_ptr<sim::ShardRuntime> shard_rt;
+  std::unique_ptr<fault::ChurnEngine> churn;
+
+  std::vector<OpGroup> groups;
+  std::map<std::string, size_t> group_of_key;
+
+  /// One entry per query this session served, admission order.
+  struct Served {
+    size_t admitted_index = 0;
+    size_t group = 0;
+    sim::Epoch join = 0;
+    sim::Epoch leave = kNoEpoch;  ///< Set when cancelled mid-session.
+  };
+  std::vector<Served> served;
+
+  sim::Epoch epoch = 0;  ///< Next epoch StepEpoch() executes.
+
+  Session(const Deployment& deployment, const sim::NetworkOptions& net_options,
+          uint64_t net_seed)
+      : tree(deployment.tree),
+        net(&deployment.topology, &tree, net_options, util::Rng(net_seed)) {}
+};
+
 QueryCoordinator::QueryCoordinator(Scenario scenario, Options options)
-    : options_(std::move(options)), deployment_(std::move(scenario), options_.seed) {}
+    : options_(std::move(options)),
+      owned_deployment_(std::make_unique<Deployment>(std::move(scenario), options_.seed)),
+      deployment_(owned_deployment_.get()) {}
+
+QueryCoordinator::QueryCoordinator(const Deployment* deployment, Options options)
+    : options_(std::move(options)), deployment_(deployment) {}
+
+QueryCoordinator::~QueryCoordinator() = default;
+QueryCoordinator::QueryCoordinator(QueryCoordinator&&) noexcept = default;
+QueryCoordinator& QueryCoordinator::operator=(QueryCoordinator&&) noexcept = default;
 
 std::unique_ptr<data::DataGenerator> QueryCoordinator::MakeGenerator(uint64_t seed) const {
-  if (options_.make_generator) return options_.make_generator(deployment_.scenario, seed);
-  return deployment_.DefaultGenerator(seed);
+  if (options_.make_generator) return options_.make_generator(deployment_->scenario, seed);
+  return deployment_->DefaultGenerator(seed);
 }
 
 sim::NetworkOptions QueryCoordinator::NetOptions() const { return RadioOptionsFrom(options_); }
 
 util::StatusOr<QueryId> QueryCoordinator::Admit(const std::string& sql) {
+  return Admit(sql, AdmitOptions{});
+}
+
+util::StatusOr<QueryId> QueryCoordinator::Admit(const std::string& sql,
+                                                const AdmitOptions& admit) {
+  if (admit.period < 1) return util::Status::Error("AdmitOptions::period must be >= 1");
   util::StatusOr<query::ParsedQuery> parsed = query::Parse(sql);
   if (!parsed.ok()) return parsed.status();
   util::Status valid = query::Validate(parsed.value());
@@ -150,18 +216,47 @@ util::StatusOr<QueryId> QueryCoordinator::Admit(const std::string& sql) {
   entry.sql = sql;
   entry.parsed = parsed.value();
   entry.query_class = query::Classify(entry.parsed);
+  entry.admit = admit;
   admitted_.push_back(std::move(entry));
+  // Live admission: the query joins the running deployment at the next
+  // epoch (creating its operator now if no compatible group exists).
+  if (session_) BindToSession(admitted_.size() - 1);
   return admitted_.back().id;
 }
 
 util::Status QueryCoordinator::Cancel(QueryId id) {
-  for (Admitted& entry : admitted_) {
-    if (entry.id == id && entry.active) {
-      entry.active = false;
-      return util::Status::Ok();
+  for (size_t qi = 0; qi < admitted_.size(); ++qi) {
+    Admitted& entry = admitted_[qi];
+    if (entry.id != id) continue;
+    if (!entry.active) break;  // same clean error as an unknown id
+    entry.active = false;
+    if (!session_) return util::Status::Ok();
+    // Live withdrawal: leave the share group; release the operator when the
+    // group empties so it stops costing the shared network.
+    for (Session::Served& served : session_->served) {
+      if (served.admitted_index != qi || served.leave != kNoEpoch) continue;
+      served.leave = session_->epoch;
+      OpGroup& group = session_->groups[served.group];
+      bool any_active = false;
+      for (const Session::Served& other : session_->served) {
+        if (other.group == served.group && other.leave == kNoEpoch) any_active = true;
+      }
+      if (!any_active && group.alive) {
+        session_->group_of_key.erase(group.key);
+        group.Release();
+      }
+      break;
     }
+    return util::Status::Ok();
   }
   return util::Status::Error("no active query with id " + std::to_string(id));
+}
+
+bool QueryCoordinator::query_active(QueryId id) const {
+  for (const Admitted& entry : admitted_) {
+    if (entry.id == id) return entry.active;
+  }
+  return false;
 }
 
 size_t QueryCoordinator::active_queries() const {
@@ -170,160 +265,259 @@ size_t QueryCoordinator::active_queries() const {
   return n;
 }
 
-util::StatusOr<CoordinatorReport> QueryCoordinator::Run() {
-  CoordinatorReport report;
-  report.epochs = options_.epochs;
+bool QueryCoordinator::session_open() const { return session_ != nullptr; }
+
+sim::Epoch QueryCoordinator::session_epoch() const { return session_ ? session_->epoch : 0; }
+
+size_t QueryCoordinator::active_operators() const {
+  if (!session_) return 0;
+  size_t n = 0;
+  for (const OpGroup& group : session_->groups) n += group.alive ? 1 : 0;
+  return n;
+}
+
+/// Binds admitted_[admitted_index] to the open session: piggyback on an
+/// existing compatible group or create the operator, and run one-shot
+/// historic (TJA) queries immediately on the shared network. Mirrors the
+/// historical batch planning loop exactly for queries bound at Open().
+util::Status QueryCoordinator::BindToSession(size_t admitted_index) {
+  Session& session = *session_;
+  const Admitted& entry = admitted_[admitted_index];
+  OperatorPlan plan = PlanFor(entry.parsed, entry.query_class, deployment_->scenario);
+  std::string key = CompatKey(plan);
+  if (!options_.share_operators) key += "#" + std::to_string(entry.id);
+
+  Session::Served served;
+  served.admitted_index = admitted_index;
+  served.join = session.epoch;
+
+  auto it = session.group_of_key.find(key);
+  if (it != session.group_of_key.end()) {
+    // Joining an existing group never perturbs it: the operator keeps its
+    // state and wave schedule, the joiner just starts observing results.
+    session.groups[it->second].members.push_back(admitted_index);
+    served.group = it->second;
+    session.served.push_back(served);
+    return util::Status::Ok();
+  }
+
+  size_t n = deployment_->topology.num_nodes();
+  OpGroup group;
+  group.plan = plan;
+  group.key = key;
+  group.members.push_back(admitted_index);
+  switch (plan.kind) {
+    case OpKind::kTagFullView:
+      group.algo =
+          std::make_unique<core::TagTopK>(&session.net, session.shared_gen.get(), plan.spec);
+      group.algorithm = group.algo->name();
+      break;
+    case OpKind::kSelect:
+      group.select = std::make_unique<core::BasicSelect>(
+          &session.net, session.shared_gen.get(), plan.has_where, plan.where);
+      group.algorithm = "SELECT";
+      break;
+    case OpKind::kSnapshot:
+      group.algo =
+          std::make_unique<core::MintViews>(&session.net, session.shared_gen.get(), plan.spec);
+      group.algorithm = group.algo->name();
+      break;
+    case OpKind::kHorizontal:
+      group.own_inner = MakeGenerator(options_.seed);
+      group.window_gen = std::make_unique<data::WindowAggregateGenerator>(
+          group.own_inner.get(), n, plan.window, plan.spec.agg);
+      group.algo =
+          std::make_unique<core::MintViews>(&session.net, group.window_gen.get(), plan.spec);
+      group.algorithm = "MINT+history";
+      break;
+    case OpKind::kVertical: {
+      // One-shot historic: runs over already-buffered windows on the same
+      // network — its traffic drains the same batteries the continuous
+      // queries live off. Mid-session admits run theirs at admission.
+      auto gen = MakeGenerator(options_.seed);
+      std::vector<storage::HistoryStore> stores;
+      stores.reserve(n);
+      const data::ModalityInfo& info = data::GetModalityInfo(deployment_->scenario.modality);
+      for (sim::NodeId id = 0; id < n; ++id) {
+        stores.emplace_back(plan.window, /*archive_to_flash=*/false, info.min_value,
+                            info.max_value);
+      }
+      for (size_t t = 0; t < plan.window; ++t) {
+        for (sim::NodeId id = 1; id < n; ++id) {
+          stores[id].Append(static_cast<sim::Epoch>(t),
+                            gen->Value(id, static_cast<sim::Epoch>(t)));
+        }
+      }
+      storage::StoreHistorySource source(&stores);
+      core::Tja tja(&session.net, &source, plan.historic);
+      sim::TrafficCounters before = session.net.total();
+      group.historic = tja.Run();
+      group.algorithm = tja.name();
+      group.cost = session.net.total().Since(before);
+      break;
+    }
+  }
+  served.group = session.groups.size();
+  session.group_of_key.emplace(std::move(key), session.groups.size());
+  session.groups.push_back(std::move(group));
+  session.served.push_back(served);
+  return util::Status::Ok();
+}
+
+util::Status QueryCoordinator::Open() {
+  if (session_) return util::Status::Error("session already open");
 
   // ------------------------------------------------------- shared data plane
-  // One tree copy per run (churn repairs it in place; the deployment stays
-  // pristine), one network, one generator: the per-epoch data wave every
-  // epoch-driven operator reads. Seed derivations match KSpotServer's
+  // One tree copy per session (churn repairs it in place; the deployment
+  // stays pristine), one network, one generator: the per-epoch data wave
+  // every epoch-driven operator reads. Seed derivations match KSpotServer's
   // snapshot path exactly, so a lone snapshot query reproduces Execute().
-  sim::RoutingTree tree = deployment_.tree;
-  sim::Network net(&deployment_.topology, &tree, NetOptions(), util::Rng(options_.seed ^ 0x77));
-  std::unique_ptr<data::DataGenerator> shared_gen = MakeGenerator(options_.seed);
+  session_ =
+      std::make_unique<Session>(*deployment_, NetOptions(), options_.seed ^ options_.net_salt);
+  session_->shared_gen = MakeGenerator(options_.seed);
 
   // Parallel epoch execution: cut the tree at its cluster heads and run the
   // subtree lanes concurrently (merged deterministically every epoch).
   // shards <= 1 attaches nothing — the serial path runs exactly as before.
-  std::unique_ptr<sim::ShardRuntime> shard_rt;
   if (options_.shards > 1) {
-    shard_rt = std::make_unique<sim::ShardRuntime>(
-        &net, sim::ShardRuntime::Options{options_.shards, options_.shard_threads});
+    session_->shard_rt = std::make_unique<sim::ShardRuntime>(
+        &session_->net, sim::ShardRuntime::Options{options_.shards, options_.shard_threads});
   }
 
-  std::unique_ptr<fault::ChurnEngine> churn;
   if (options_.enable_churn) {
     fault::FaultPlanOptions churn_opt = options_.churn;
     if (churn_opt.horizon == 0 || churn_opt.horizon > options_.epochs) {
       churn_opt.horizon = static_cast<sim::Epoch>(options_.epochs);
     }
     fault::FaultPlan plan =
-        fault::FaultPlan::Generate(deployment_.topology, churn_opt, options_.seed ^ 0xFA11);
-    churn = std::make_unique<fault::ChurnEngine>(&net, &tree, std::move(plan));
+        fault::FaultPlan::Generate(deployment_->topology, churn_opt, options_.seed ^ 0xFA11);
+    session_->churn =
+        std::make_unique<fault::ChurnEngine>(&session_->net, &session_->tree, std::move(plan));
   }
 
-  // ------------------------------------------------- operator group planning
-  std::vector<OpGroup> groups;
-  std::map<std::string, size_t> group_of_key;
-  std::vector<size_t> group_of_query(admitted_.size(), SIZE_MAX);
-  size_t n = deployment_.topology.num_nodes();
-
+  // Bind every admitted query: group planning in admission order, exactly
+  // the historical batch planning loop (operator constructors are pure state
+  // allocation, so inline one-shot TJA runs land in the same group order the
+  // batch TJA phase used).
   for (size_t qi = 0; qi < admitted_.size(); ++qi) {
-    const Admitted& entry = admitted_[qi];
-    if (!entry.active) continue;
-    OperatorPlan plan = PlanFor(entry.parsed, entry.query_class, deployment_.scenario);
-    std::string key = CompatKey(plan);
-    if (!options_.share_operators) key += "#" + std::to_string(entry.id);
-    auto it = group_of_key.find(key);
-    if (it != group_of_key.end()) {
-      groups[it->second].members.push_back(qi);
-      group_of_query[qi] = it->second;
+    if (!admitted_[qi].active) continue;
+    BindToSession(qi);
+  }
+  return util::Status::Ok();
+}
+
+util::StatusOr<EpochUpdate> QueryCoordinator::StepEpoch() {
+  if (!session_) return util::Status::Error("no open session (call Open first)");
+  Session& session = *session_;
+  const sim::Epoch epoch = session.epoch;
+  EpochUpdate update;
+  update.epoch = epoch;
+  sim::TrafficCounters epoch_start = session.net.total();
+
+  bool topology_changed = false;
+  sim::TopologyDelta delta;
+  if (session.churn) {
+    fault::ChurnReport churn_report = session.churn->BeginEpoch(epoch);
+    topology_changed = churn_report.topology_changed;
+    delta = churn_report.delta;
+  }
+
+  // Execution order: priority-desc over the live epoch-driven groups, ties
+  // in creation (= admission) order — all-default priorities reproduce the
+  // batch ordering bit-exactly.
+  std::vector<size_t> order;
+  std::vector<int> group_priority(session.groups.size(), 0);
+  std::vector<char> group_eligible(session.groups.size(), 0);
+  for (const Session::Served& served : session.served) {
+    if (served.leave != kNoEpoch) continue;
+    const AdmitOptions& admit = admitted_[served.admitted_index].admit;
+    size_t gi = served.group;
+    group_priority[gi] = std::max(group_priority[gi], admit.priority);
+    if (epoch >= served.join &&
+        (epoch - served.join) % static_cast<sim::Epoch>(admit.period) == 0) {
+      group_eligible[gi] = 1;
+    }
+  }
+  for (size_t gi = 0; gi < session.groups.size(); ++gi) {
+    if (session.groups[gi].alive && session.groups[gi].plan.kind != OpKind::kVertical) {
+      order.push_back(gi);
+    }
+  }
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return group_priority[a] > group_priority[b];
+  });
+
+  for (size_t gi : order) {
+    OpGroup& group = session.groups[gi];
+    GroupUpdate gu;
+    gu.group_id = gi;
+    gu.algorithm = group.algorithm;
+    for (const Session::Served& served : session.served) {
+      if (served.group == gi && served.leave == kNoEpoch) {
+        gu.members.push_back(admitted_[served.admitted_index].id);
+      }
+    }
+    if (!group_eligible[gi]) {
+      // Rate-limited out of this epoch. Operators keep caches keyed against
+      // the tree; remember to evict them if it changed while we slept.
+      if (topology_changed) group.pending_refresh = true;
+      update.groups.push_back(std::move(gu));
       continue;
     }
-    OpGroup group;
-    group.plan = plan;
-    group.members.push_back(qi);
-    switch (plan.kind) {
-      case OpKind::kTagFullView:
-        group.algo = std::make_unique<core::TagTopK>(&net, shared_gen.get(), plan.spec);
-        group.algorithm = group.algo->name();
-        break;
-      case OpKind::kSelect:
-        group.select = std::make_unique<core::BasicSelect>(&net, shared_gen.get(),
-                                                           plan.has_where, plan.where);
-        group.algorithm = "SELECT";
-        break;
-      case OpKind::kSnapshot:
-        group.algo = std::make_unique<core::MintViews>(&net, shared_gen.get(), plan.spec);
-        group.algorithm = group.algo->name();
-        break;
-      case OpKind::kHorizontal:
-        group.own_inner = MakeGenerator(options_.seed);
-        group.window_gen = std::make_unique<data::WindowAggregateGenerator>(
-            group.own_inner.get(), n, plan.window, plan.spec.agg);
-        group.algo = std::make_unique<core::MintViews>(&net, group.window_gen.get(), plan.spec);
-        group.algorithm = "MINT+history";
-        break;
-      case OpKind::kVertical:
-        group.algorithm = "TJA";
-        break;
+    sim::TrafficCounters before = session.net.total();
+    // The operator's own churn repair (e.g. MINT's cardinality-delta
+    // converge-cast) is part of what this query group costs the network,
+    // so it books inside the group's delta; only the tree-level join
+    // handshakes (phase "fault.repair", charged by the engine above) stay
+    // shared.
+    if (group.pending_refresh) {
+      if (group.algo) group.algo->OnTopologyChanged();
+      group.pending_refresh = false;
     }
-    group_of_key.emplace(std::move(key), groups.size());
-    group_of_query[qi] = groups.size();
-    groups.push_back(std::move(group));
+    if (topology_changed && group.algo) group.algo->OnTopologyChanged(delta);
+    gu.ran = true;
+    if (group.algo) {
+      group.per_epoch.push_back(group.algo->RunEpoch(epoch));
+      gu.result = std::make_shared<core::TopKResult>(group.per_epoch.back());
+    } else {
+      group.rows_per_epoch.push_back(group.select->RunEpoch(epoch));
+      gu.rows =
+          std::make_shared<std::vector<core::SelectTuple>>(group.rows_per_epoch.back());
+    }
+    group.result_epochs.push_back(epoch);
+    group.cost.Add(session.net.total().Since(before));
+    update.groups.push_back(std::move(gu));
   }
 
-  // ------------------------------------------ one-shot historic (TJA) phase
-  // Vertical queries run over already-buffered windows before the continuous
-  // loop starts, on the same network: their traffic drains the same
-  // batteries the continuous queries live off.
-  for (OpGroup& group : groups) {
-    if (group.plan.kind != OpKind::kVertical) continue;
-    auto gen = MakeGenerator(options_.seed);
-    std::vector<storage::HistoryStore> stores;
-    stores.reserve(n);
-    const data::ModalityInfo& info = data::GetModalityInfo(deployment_.scenario.modality);
-    for (sim::NodeId id = 0; id < n; ++id) {
-      stores.emplace_back(group.plan.window, /*archive_to_flash=*/false, info.min_value,
-                          info.max_value);
-    }
-    for (size_t t = 0; t < group.plan.window; ++t) {
-      for (sim::NodeId id = 1; id < n; ++id) {
-        stores[id].Append(static_cast<sim::Epoch>(t),
-                          gen->Value(id, static_cast<sim::Epoch>(t)));
-      }
-    }
-    storage::StoreHistorySource source(&stores);
-    core::Tja tja(&net, &source, group.plan.historic);
-    sim::TrafficCounters before = net.total();
-    group.historic = tja.Run();
-    group.algorithm = tja.name();
-    group.cost = net.total().Since(before);
+  update.epoch_cost = session.net.total().Since(epoch_start);
+  update.alive = session.net.AliveCount();
+  if (session.churn) {
+    update.detached = session.churn->detached_count();
+    update.repair_events = session.churn->repair_events();
+    update.repair_messages = session.churn->repair_messages();
+  }
+  session.epoch = epoch + 1;
+  return update;
+}
+
+util::StatusOr<CoordinatorReport> QueryCoordinator::Close() {
+  if (!session_) return util::Status::Error("no open session (call Open first)");
+  Session& session = *session_;
+  CoordinatorReport report;
+  report.epochs = session.epoch;
+  report.total = session.net.total();
+  report.operators = session.groups.size();
+  if (session.churn) {
+    report.repair_events = session.churn->repair_events();
+    report.repair_messages = session.churn->repair_messages();
+    report.detached_nodes = session.churn->detached_count();
   }
 
-  // ------------------------------------------------------ lockstep epoch loop
-  for (size_t e = 0; e < options_.epochs; ++e) {
-    auto epoch = static_cast<sim::Epoch>(e);
-    bool topology_changed = false;
-    sim::TopologyDelta delta;
-    if (churn) {
-      fault::ChurnReport churn_report = churn->BeginEpoch(epoch);
-      topology_changed = churn_report.topology_changed;
-      delta = churn_report.delta;
-    }
-    for (OpGroup& group : groups) {
-      if (group.plan.kind == OpKind::kVertical) continue;
-      sim::TrafficCounters before = net.total();
-      // The operator's own churn repair (e.g. MINT's cardinality-delta
-      // converge-cast) is part of what this query group costs the network,
-      // so it books inside the group's delta; only the tree-level join
-      // handshakes (phase "fault.repair", charged by the engine above) stay
-      // shared.
-      if (topology_changed && group.algo) group.algo->OnTopologyChanged(delta);
-      if (group.algo) {
-        group.per_epoch.push_back(group.algo->RunEpoch(epoch));
-      } else {
-        group.rows_per_epoch.push_back(group.select->RunEpoch(epoch));
-      }
-      group.cost.Add(net.total().Since(before));
-    }
-  }
-
-  // --------------------------------------------------------------- reporting
-  report.total = net.total();
-  report.operators = groups.size();
-  if (churn) {
-    report.repair_events = churn->repair_events();
-    report.repair_messages = churn->repair_messages();
-    report.detached_nodes = churn->detached_count();
-  }
-  std::vector<size_t> members_left(groups.size());
-  for (size_t gi = 0; gi < groups.size(); ++gi) members_left[gi] = groups[gi].members.size();
-  for (size_t qi = 0; qi < admitted_.size(); ++qi) {
-    const Admitted& entry = admitted_[qi];
-    if (!entry.active) continue;
-    OpGroup& group = groups[group_of_query[qi]];
+  std::vector<size_t> members_left(session.groups.size(), 0);
+  for (const Session::Served& served : session.served) ++members_left[served.group];
+  for (const Session::Served& served : session.served) {
+    const Admitted& entry = admitted_[served.admitted_index];
+    OpGroup& group = session.groups[served.group];
     QueryOutcome outcome;
     outcome.id = entry.id;
     outcome.sql = entry.sql;
@@ -331,21 +525,50 @@ util::StatusOr<CoordinatorReport> QueryCoordinator::Run() {
     outcome.algorithm = group.algorithm;
     outcome.shared_cost = group.cost;
     outcome.share_group_size = group.members.size();
-    // Each member gets the group's full results per the API; the last one
-    // takes them by move so an N-way share costs N-1 copies, not N.
-    if (--members_left[group_of_query[qi]] == 0) {
+    outcome.joined_epoch = served.join;
+    outcome.cancelled_mid_session = served.leave != kNoEpoch;
+    // The query observes the group results produced inside its [join, leave)
+    // window. Full-span members get the whole history; the last of them
+    // takes it by move so an N-way share costs N-1 copies, not N.
+    size_t lo = 0;
+    size_t hi = group.result_epochs.size();
+    while (lo < hi && group.result_epochs[lo] < served.join) ++lo;
+    while (hi > lo && group.result_epochs[hi - 1] >= served.leave) --hi;
+    bool full_span = lo == 0 && hi == group.result_epochs.size();
+    if (--members_left[served.group] == 0 && full_span) {
       outcome.per_epoch = std::move(group.per_epoch);
       outcome.rows_per_epoch = std::move(group.rows_per_epoch);
       outcome.historic = std::move(group.historic);
     } else {
-      outcome.per_epoch = group.per_epoch;
-      outcome.rows_per_epoch = group.rows_per_epoch;
+      if (!group.per_epoch.empty()) {
+        outcome.per_epoch.assign(group.per_epoch.begin() + lo, group.per_epoch.begin() + hi);
+      }
+      if (!group.rows_per_epoch.empty()) {
+        outcome.rows_per_epoch.assign(group.rows_per_epoch.begin() + lo,
+                                      group.rows_per_epoch.begin() + hi);
+      }
       outcome.historic = group.historic;
     }
     report.outcomes.push_back(std::move(outcome));
     ++report.queries;
   }
+  session_.reset();
   return report;
+}
+
+util::StatusOr<CoordinatorReport> QueryCoordinator::Run() {
+  // Batch mode is the session driven end to end: pure in the admitted set
+  // and seed, repeatable, bit-identical to the historical monolithic loop.
+  util::Status opened = Open();
+  if (!opened.ok()) return opened;
+  for (size_t e = 0; e < options_.epochs; ++e) {
+    util::StatusOr<EpochUpdate> step = StepEpoch();
+    if (!step.ok()) {
+      session_.reset();
+      return step.status();
+    }
+  }
+  return Close();
 }
 
 }  // namespace kspot::system

@@ -21,6 +21,21 @@ namespace kspot::system {
 /// Handle of an admitted query.
 using QueryId = uint32_t;
 
+/// Per-query admission controls for session mode.
+struct AdmitOptions {
+  /// Rate limit: the query asks to run every `period`-th epoch, counted from
+  /// its join epoch. A share group steps in an epoch when ANY member is
+  /// eligible, so a period only throttles the group once every member's
+  /// period skips the epoch. 1 (the default) = every epoch.
+  int period = 1;
+  /// Execution priority: within an epoch, groups step in descending
+  /// max-member-priority order (ties keep operator creation order, which is
+  /// admission order). Under loss the shared per-node RNG substreams are
+  /// consumed in execution order, so changing priorities may change realized
+  /// losses; the all-default ordering is the batch Run() ordering.
+  int priority = 0;
+};
+
 /// What one admitted query produced after a coordinator run.
 struct QueryOutcome {
   QueryId id = 0;
@@ -36,6 +51,11 @@ struct QueryOutcome {
   /// a per-query figure is shared_cost / share_group_size.
   sim::TrafficCounters shared_cost;
   size_t share_group_size = 1;
+  /// Session lifecycle: the epoch window this query was live for. Batch
+  /// queries span the whole run; mid-session admits start later, mid-session
+  /// cancels end early (their per_epoch/rows hold only the observed slice).
+  sim::Epoch joined_epoch = 0;
+  bool cancelled_mid_session = false;
 };
 
 /// The outcome of driving every admitted query over one run.
@@ -43,7 +63,8 @@ struct CoordinatorReport {
   size_t epochs = 0;
   size_t queries = 0;
   /// Distinct operator instances the shared data plane drove (snapshot
-  /// piggybacking makes this <= queries).
+  /// piggybacking makes this <= queries). Counts every operator the session
+  /// ever created, including ones released by mid-session cancels.
   size_t operators = 0;
   /// The deployment's whole radio bill for the run — one network, one
   /// battery ledger, everything included (tree-repair control traffic too).
@@ -52,7 +73,42 @@ struct CoordinatorReport {
   size_t repair_events = 0;
   uint64_t repair_messages = 0;
   size_t detached_nodes = 0;   ///< Up-but-unroutable after the last repair.
-  std::vector<QueryOutcome> outcomes;  ///< One per admitted query, admission order.
+  std::vector<QueryOutcome> outcomes;  ///< One per served query, admission order.
+};
+
+/// One epoch's worth of results for every operator group, as StepEpoch
+/// hands them out: the unit a fan-out layer (kspot/fanout.hpp) materializes
+/// and broadcasts to subscribers. Results are shared pointers — one
+/// materialization per group per epoch no matter how many consumers read it.
+struct GroupUpdate {
+  /// Stable operator-group id for the session (creation order).
+  size_t group_id = 0;
+  std::string algorithm;
+  /// Queries riding this operator right now, admission order.
+  std::vector<QueryId> members;
+  /// False when the group was rate-limited out of this epoch (no member
+  /// eligible) — consumers keep serving the previous materialized result.
+  bool ran = false;
+  /// Ranked answer of epoch-driven operators (MINT/TAG); null for selects
+  /// and skipped epochs.
+  std::shared_ptr<const core::TopKResult> result;
+  /// Tuple rows of ungrouped selects; null otherwise.
+  std::shared_ptr<const std::vector<core::SelectTuple>> rows;
+};
+
+struct EpochUpdate {
+  sim::Epoch epoch = 0;
+  /// The shared plane's radio bill for exactly this epoch (operator traffic
+  /// plus tree-repair handshakes).
+  sim::TrafficCounters epoch_cost;
+  /// Node status after this epoch's churn pass (zeros when churn is off).
+  size_t alive = 0;
+  size_t detached = 0;
+  size_t repair_events = 0;      ///< Cumulative over the session.
+  uint64_t repair_messages = 0;  ///< Cumulative over the session.
+  /// One entry per live operator group, in this epoch's execution order
+  /// (priority-desc, then creation order).
+  std::vector<GroupUpdate> groups;
 };
 
 /// The multi-query KSpot server core (PAPER.md §II scaled out): admits N
@@ -69,68 +125,104 @@ struct CoordinatorReport {
 /// paying full collection traffic. That sharing is where the multi-tenant
 /// energy story comes from; E17 (`server_throughput`) measures it.
 ///
-/// A run is a pure function of the admitted set and Options::seed: Run() may
-/// be called repeatedly and always reproduces the same report, and a single
-/// admitted snapshot query reproduces KSpotServer::Execute bit-exactly (the
-/// coordinator derives its generator, network RNG and fault plan the same
-/// way — pinned by coordinator_test).
+/// Two driving modes:
+///
+/// - **Batch**: Admit queries, call Run(). A run is a pure function of the
+///   admitted set and Options::seed: Run() may be called repeatedly and
+///   always reproduces the same report, and a single admitted snapshot query
+///   reproduces KSpotServer::Execute bit-exactly (pinned by
+///   coordinator_test). Run() is now a thin loop over the session surface
+///   below and stays bit-identical to the historical batch implementation.
+///
+/// - **Session**: Open() builds the shared data plane once, StepEpoch()
+///   advances it one epoch at a time, Close() tears it down and returns the
+///   report. Between steps the admitted set is LIVE: Admit() joins new
+///   queries to existing share groups (or spins up their operator
+///   mid-deployment, without perturbing anyone else's results), Cancel()
+///   withdraws a member and releases the operator when its share group
+///   empties. Per-query AdmitOptions add rate limits (run every k-th epoch)
+///   and priorities. Each StepEpoch returns the per-group materialized
+///   results for fan-out (kspot/fanout.hpp).
 class QueryCoordinator {
  public:
-  struct Options {
-    /// Epochs to drive the shared data plane for.
-    size_t epochs = 30;
-    /// RNG seed (tree growth, data, losses, fault plan).
-    uint64_t seed = 1;
-    /// Per-frame loss probability.
-    double loss_prob = 0.0;
-    /// Link-layer retries.
-    int max_retries = 0;
-    /// Per-node battery budget, joules; <= 0 means unlimited. Shared: every
-    /// query's traffic drains the same meters.
-    double battery_j = 0.0;
-    /// Fault & churn injection over the shared tree (one plan, one repair
-    /// per epoch, every operator notified). `churn.horizon` 0 = whole run.
-    bool enable_churn = false;
-    fault::FaultPlanOptions churn;
-    /// Data generator factory; defaults to the deployment's room-correlated
-    /// walk.
-    std::function<std::unique_ptr<data::DataGenerator>(const Scenario&, uint64_t seed)>
-        make_generator;
+  struct Options : DeploymentConfig {
     /// Allow compatible queries to share one operator. Off = every query
     /// drives its own operator on the shared network (for measuring what the
     /// piggybacking saves).
     bool share_operators = true;
-    /// Shard lanes for parallel epoch execution inside this one deployment:
-    /// the routing tree is cut at its cluster-head subtrees and lanes run
-    /// concurrently, merged deterministically at each epoch boundary.
-    /// Results are bit-identical to the serial path for any value. 1 (the
-    /// default) keeps today's serial execution with no runtime attached.
-    size_t shards = 1;
-    /// Worker threads for sharded execution; 0 picks hardware concurrency.
-    /// (Results do not depend on this — only wall-clock does.)
-    size_t shard_threads = 0;
+    /// Salt XORed into the seed of the shared plane's network RNG.
+    /// KSpotServer::Execute delegates every query class to a single-query
+    /// session and passes its historical per-class salt (0x77 snapshot/TAG,
+    /// 0x33 ungrouped select, 0x99 vertical historic, 0x55 horizontal) so
+    /// the delegation reproduces the pre-session server bit-exactly. The
+    /// multi-query default is the snapshot salt.
+    uint64_t net_salt = 0x77;
   };
 
   /// Builds the long-lived deployment for `scenario`.
   QueryCoordinator(Scenario scenario, Options options);
+  /// Serves an externally owned deployment (must outlive the coordinator)
+  /// instead of building one — how KSpotServer delegates Execute without
+  /// rebuilding topology and tree per query.
+  QueryCoordinator(const Deployment* deployment, Options options);
+  ~QueryCoordinator();
+  QueryCoordinator(QueryCoordinator&&) noexcept;
+  QueryCoordinator& operator=(QueryCoordinator&&) noexcept;
 
   /// Parses, validates and admits one query. Expected failures (syntax or
   /// semantic errors) come back as Status; the query set is unchanged.
+  /// While a session is open, the query joins the running deployment at the
+  /// next epoch: it piggybacks on an existing compatible group's operator
+  /// (observing results from its join epoch on) or gets a fresh operator;
+  /// vertical historic queries run their one-shot TJA immediately.
   util::StatusOr<QueryId> Admit(const std::string& sql);
+  util::StatusOr<QueryId> Admit(const std::string& sql, const AdmitOptions& admit);
 
-  /// Withdraws an admitted query before the next Run().
+  /// Withdraws an admitted query. Outside a session: before the next Run().
+  /// While a session is open: effective at the next epoch; when the last
+  /// member of a share group cancels, the group's operator is destroyed and
+  /// stops costing the network, and the query's outcome keeps the slice of
+  /// results it observed. Unknown or already-cancelled ids are clean errors.
   util::Status Cancel(QueryId id);
 
   /// Number of currently admitted queries.
   size_t active_queries() const;
+  /// True if `id` is admitted and not cancelled (what fan-out subscription
+  /// validates against).
+  bool query_active(QueryId id) const;
 
   /// Drives all admitted queries for Options::epochs epochs over the shared
   /// data plane and returns every query's outcome plus the shared bill.
+  /// Equivalent to Open() + epochs x StepEpoch() + Close(), bit-exactly.
   util::StatusOr<CoordinatorReport> Run();
+
+  // ------------------------------------------------------------- session API
+
+  /// Opens a session: builds the shared data plane (tree copy, network,
+  /// generator, churn engine), binds every admitted query to its operator
+  /// group and runs one-shot historic (TJA) queries. Error if already open.
+  util::Status Open();
+  /// True between Open() and Close().
+  bool session_open() const;
+  /// The next epoch StepEpoch() will execute (0 right after Open()).
+  sim::Epoch session_epoch() const;
+  /// Operator instances currently live (released groups excluded).
+  size_t active_operators() const;
+
+  /// Advances the shared data plane one epoch: churn/repair once for
+  /// everyone, then every eligible operator group in priority order.
+  /// Returns the per-group materialized results for fan-out.
+  util::StatusOr<EpochUpdate> StepEpoch();
+
+  /// Closes the session and returns the report over everything it served —
+  /// including queries cancelled mid-session (their observed slice) and
+  /// queries admitted mid-session (from their join epoch). The admitted set
+  /// survives for the next Run()/Open(); mid-session cancels stay withdrawn.
+  util::StatusOr<CoordinatorReport> Close();
 
   /// The deployment this coordinator administers (pristine; runs repair
   /// their own tree copies).
-  const Deployment& deployment() const { return deployment_; }
+  const Deployment& deployment() const { return *deployment_; }
   const Options& options() const { return options_; }
 
  private:
@@ -139,16 +231,21 @@ class QueryCoordinator {
     std::string sql;
     query::ParsedQuery parsed;
     query::QueryClass query_class = query::QueryClass::kBasicSelect;
+    AdmitOptions admit;
     bool active = true;
   };
+  struct Session;
 
   Options options_;
-  Deployment deployment_;
+  std::unique_ptr<Deployment> owned_deployment_;
+  const Deployment* deployment_ = nullptr;
   std::vector<Admitted> admitted_;
   QueryId next_id_ = 1;
+  std::unique_ptr<Session> session_;
 
   std::unique_ptr<data::DataGenerator> MakeGenerator(uint64_t seed) const;
   sim::NetworkOptions NetOptions() const;
+  util::Status BindToSession(size_t admitted_index);
 };
 
 }  // namespace kspot::system

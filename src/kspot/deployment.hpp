@@ -1,10 +1,12 @@
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "core/query_spec.hpp"
 #include "data/generators.hpp"
+#include "fault/fault_plan.hpp"
 #include "kspot/node_runtime.hpp"
 #include "kspot/scenario_config.hpp"
 #include "query/ast.hpp"
@@ -13,6 +15,45 @@
 #include "sim/topology.hpp"
 
 namespace kspot::system {
+
+/// The deployment-wide execution knobs every serving API shares — ONE struct
+/// so a knob added for one server cannot silently miss the other.
+/// KSpotServer::Options and QueryCoordinator::Options both derive from this;
+/// KSpotServer::Execute delegates to a single-query coordinator session, so
+/// these knobs reach the data plane through a single execution path.
+struct DeploymentConfig {
+  /// Epochs to drive continuous queries for.
+  size_t epochs = 30;
+  /// RNG seed (tree growth, data, losses, fault plan).
+  uint64_t seed = 1;
+  /// Per-frame loss probability.
+  double loss_prob = 0.0;
+  /// Link-layer retries.
+  int max_retries = 0;
+  /// Per-node battery budget, joules; <= 0 means unlimited. Shared: every
+  /// query's traffic drains the same meters.
+  double battery_j = 0.0;
+  /// Fault & churn injection over the routing tree: a FaultPlan drawn from
+  /// `churn` and the run's seed, one repair per epoch, every operator
+  /// notified. `churn.horizon` 0 = the whole run. (KSpotServer applies churn
+  /// to continuous snapshot queries only; historic one-shot queries run over
+  /// already-buffered windows and ignore it.)
+  bool enable_churn = false;
+  fault::FaultPlanOptions churn;
+  /// Data generator factory; defaults to the deployment's room-correlated
+  /// walk.
+  std::function<std::unique_ptr<data::DataGenerator>(const Scenario&, uint64_t seed)>
+      make_generator;
+  /// Shard lanes for parallel epoch execution inside one deployment: the
+  /// routing tree is cut at its cluster-head subtrees and lanes run
+  /// concurrently, merged deterministically at each epoch boundary. Results
+  /// are bit-identical to the serial path for any value; 1 (the default)
+  /// keeps serial execution with no runtime attached.
+  size_t shards = 1;
+  /// Worker threads for sharded execution; 0 picks hardware concurrency.
+  /// (Results do not depend on this — only wall-clock does.)
+  size_t shard_threads = 0;
+};
 
 /// One deployed sensor network as the base station administers it: the
 /// scenario, the simulator topology built from it, the routing tree grown
@@ -55,13 +96,11 @@ struct Deployment {
 /// report every group, modeled as K = all.
 core::QuerySpec SpecFromQuery(const query::ParsedQuery& parsed, const Scenario& scenario);
 
-/// Maps the radio knobs shared by KSpotServer::Options and
-/// QueryCoordinator::Options onto the simulator's NetworkOptions — ONE
-/// mapping, so a knob added to the serving options cannot reach one server's
-/// network but not the other's (the coordinator==Execute bit-exactness
-/// depends on identical NetworkOptions).
-template <typename ServingOptions>
-sim::NetworkOptions RadioOptionsFrom(const ServingOptions& options) {
+/// Maps the shared DeploymentConfig radio knobs onto the simulator's
+/// NetworkOptions — ONE mapping, so a knob added to the serving options
+/// cannot reach one server's network but not the other's (the
+/// coordinator==Execute bit-exactness depends on identical NetworkOptions).
+inline sim::NetworkOptions RadioOptionsFrom(const DeploymentConfig& options) {
   sim::NetworkOptions opts;
   opts.loss_prob = options.loss_prob;
   opts.max_retries = options.max_retries;

@@ -1,0 +1,105 @@
+#include "kspot/fanout.hpp"
+
+#include <string>
+#include <utility>
+
+namespace kspot::system {
+
+FanOutHub::FanOutHub(const QueryCoordinator* coordinator) : coordinator_(coordinator) {}
+
+util::StatusOr<SubscriberId> FanOutHub::Subscribe(QueryId query) {
+  if (!coordinator_->query_active(query)) {
+    return util::Status::Error("cannot subscribe: no active query with id " +
+                               std::to_string(query));
+  }
+  Subscriber sub;
+  sub.query = query;
+  sub.live = true;
+  QueryFeed& feed = feeds_[query];
+  sub.slot = static_cast<uint32_t>(feed.routing.size());
+  feed.routing.push_back(static_cast<uint32_t>(subs_.size()));
+  subs_.push_back(sub);
+  ++live_subscribers_;
+  return static_cast<SubscriberId>(subs_.size());  // ids are 1-based
+}
+
+util::Status FanOutHub::Unsubscribe(SubscriberId id) {
+  if (id == 0 || id > subs_.size() || !subs_[id - 1].live) {
+    return util::Status::Error("no live subscriber with id " + std::to_string(id));
+  }
+  Subscriber& sub = subs_[id - 1];
+  sub.live = false;
+  // Swap-pop out of the routing slab so Publish never scans dead entries.
+  QueryFeed& feed = feeds_[sub.query];
+  uint32_t moved = feed.routing.back();
+  feed.routing[sub.slot] = moved;
+  subs_[moved].slot = sub.slot;
+  feed.routing.pop_back();
+  --live_subscribers_;
+  return util::Status::Ok();
+}
+
+size_t FanOutHub::Publish(const EpochUpdate& update) {
+  size_t delivered = 0;
+  for (const GroupUpdate& group : update.groups) {
+    if (!group.ran) continue;
+    for (QueryId query : group.members) {
+      auto it = feeds_.find(query);
+      if (it == feeds_.end()) continue;
+      QueryFeed& feed = it->second;
+      feed.latest = group.result;
+      feed.latest_rows = group.rows;
+      for (uint32_t index : feed.routing) {
+        Subscriber& sub = subs_[index];
+        ++sub.deliveries;
+        sub.last_delivery_epoch = update.epoch;
+      }
+      delivered += feed.routing.size();
+    }
+  }
+  total_deliveries_ += delivered;
+  last_epoch_ = update.epoch;
+  published_ = true;
+  return delivered;
+}
+
+const FanOutHub::Subscriber* FanOutHub::Find(SubscriberId id) const {
+  if (id == 0 || id > subs_.size() || !subs_[id - 1].live) return nullptr;
+  return &subs_[id - 1];
+}
+
+std::shared_ptr<const core::TopKResult> FanOutHub::Latest(SubscriberId id) const {
+  const Subscriber* sub = Find(id);
+  if (sub == nullptr) return nullptr;
+  auto it = feeds_.find(sub->query);
+  return it == feeds_.end() ? nullptr : it->second.latest;
+}
+
+std::shared_ptr<const std::vector<core::SelectTuple>> FanOutHub::LatestRows(
+    SubscriberId id) const {
+  const Subscriber* sub = Find(id);
+  if (sub == nullptr) return nullptr;
+  auto it = feeds_.find(sub->query);
+  return it == feeds_.end() ? nullptr : it->second.latest_rows;
+}
+
+util::StatusOr<SubscriberStats> FanOutHub::Stats(SubscriberId id) const {
+  const Subscriber* sub = Find(id);
+  if (sub == nullptr) {
+    return util::Status::Error("no live subscriber with id " + std::to_string(id));
+  }
+  SubscriberStats stats;
+  stats.query = sub->query;
+  stats.deliveries = sub->deliveries;
+  stats.last_delivery_epoch = sub->last_delivery_epoch;
+  if (published_) {
+    if (sub->deliveries == 0) {
+      stats.staleness = last_epoch_ + 1;  // never delivered: the whole history
+    } else {
+      stats.staleness = last_epoch_ - sub->last_delivery_epoch;
+    }
+  }
+  return stats;
+}
+
+}  // namespace kspot::system

@@ -44,30 +44,12 @@ struct RunOutcome {
 /// requested number of epochs while maintaining the System Panel.
 class KSpotServer {
  public:
-  struct Options {
-    /// Epochs to run continuous queries for.
-    size_t epochs = 30;
-    /// RNG seed (topology nondeterminism, data, losses).
-    uint64_t seed = 1;
-    /// Per-frame loss probability.
-    double loss_prob = 0.0;
-    /// Link-layer retries.
-    int max_retries = 0;
-    /// Per-node battery budget, joules; <= 0 means unlimited.
-    double battery_j = 0.0;
-    /// Fault & churn injection for continuous (snapshot) queries: when
-    /// enabled, a FaultPlan is drawn from `churn` and the run's seed, the
-    /// same plan hits the KSpot run and the TAG shadow baseline, and the
-    /// System Panel surfaces the live node status. A `churn.horizon` of 0
-    /// (the default) means "the whole run"; an explicit horizon is honored.
-    /// Historic one-shot queries ignore churn (they run over
-    /// already-buffered windows).
-    bool enable_churn = false;
-    fault::FaultPlanOptions churn;
-    /// Data generator factory; defaults to a room-correlated walk matching
-    /// the scenario's modality.
-    std::function<std::unique_ptr<data::DataGenerator>(const Scenario&, uint64_t seed)>
-        make_generator;
+  /// Execution knobs: the deployment-wide set shared with QueryCoordinator
+  /// (see DeploymentConfig — epochs, seed, radio, battery, churn, shards)
+  /// plus the server's own baseline toggle. Churn applies to continuous
+  /// snapshot/grouped queries only; historic one-shot queries run over
+  /// already-buffered windows and ignore it.
+  struct Options : DeploymentConfig {
     /// Run a shadow TAG baseline over identical data for the System Panel.
     bool run_baseline = true;
   };
@@ -106,11 +88,18 @@ class KSpotServer {
   std::unique_ptr<data::DataGenerator> MakeGenerator(uint64_t seed) const;
   sim::NetworkOptions NetOptions() const;
 
-  util::StatusOr<RunOutcome> Dispatch(const query::ParsedQuery& parsed, const EpochCallback& cb);
-  RunOutcome RunSnapshot(const query::ParsedQuery& parsed, bool mint, const EpochCallback& cb);
-  RunOutcome RunBasicSelect(const query::ParsedQuery& parsed, const EpochCallback& cb);
-  RunOutcome RunHistoricVertical(const query::ParsedQuery& parsed);
-  RunOutcome RunHistoricHorizontal(const query::ParsedQuery& parsed, const EpochCallback& cb);
+  // Every class delegates the KSpot side to a single-query coordinator
+  // session over the shared deployment (one execution path); what stays
+  // server-side is the TAG shadow baseline and the System Panel.
+  util::StatusOr<RunOutcome> Dispatch(const std::string& sql, const query::ParsedQuery& parsed,
+                                      const EpochCallback& cb);
+  RunOutcome RunSnapshot(const std::string& sql, const query::ParsedQuery& parsed,
+                         const EpochCallback& cb);
+  RunOutcome RunBasicSelect(const std::string& sql, const query::ParsedQuery& parsed,
+                            const EpochCallback& cb);
+  RunOutcome RunHistoricVertical(const std::string& sql, const query::ParsedQuery& parsed);
+  RunOutcome RunHistoricHorizontal(const std::string& sql, const query::ParsedQuery& parsed,
+                                   const EpochCallback& cb);
 };
 
 }  // namespace kspot::system
