@@ -13,12 +13,12 @@
 /// scenario is deliberately excluded from the bit-determinism checks, and
 /// the regression gate should run it with --threads 1 so trials do not
 /// contend with each other.
-#include <algorithm>
 #include <chrono>
 
 #include "bench_util.hpp"
 #include "fault/churn_engine.hpp"
 #include "scenarios.hpp"
+#include "util/stats.hpp"
 
 namespace kspot::bench {
 
@@ -37,18 +37,11 @@ struct ThroughputConfig {
 
 struct ThroughputStats {
   double epochs_per_sec = 0.0;
-  double wall_ms_p50 = 0.0;
-  double wall_ms_p95 = 0.0;
-  double wall_ms_p99 = 0.0;
+  /// Per-epoch wall-time distribution (util::Percentiles::Summary — the one
+  /// quantile implementation bench code and obs histograms share).
+  util::DistSummary wall_ms;
   double msgs_per_epoch = 0.0;
 };
-
-double PercentileMs(std::vector<double>& sorted_ms, double q) {
-  if (sorted_ms.empty()) return 0.0;
-  size_t idx = static_cast<size_t>(q * static_cast<double>(sorted_ms.size() - 1) + 0.5);
-  idx = std::min(idx, sorted_ms.size() - 1);
-  return sorted_ms[idx];
-}
 
 ThroughputStats RunThroughput(const ThroughputConfig& cfg) {
   using Clock = std::chrono::steady_clock;
@@ -68,8 +61,7 @@ ThroughputStats RunThroughput(const ThroughputConfig& cfg) {
     churn = std::make_unique<fault::ChurnEngine>(bed.net.get(), &bed.tree, std::move(plan));
   }
 
-  std::vector<double> epoch_ms;
-  epoch_ms.reserve(cfg.epochs);
+  util::Percentiles epoch_ms;
   Clock::time_point run_start = Clock::now();
   for (size_t e = 0; e < cfg.epochs; ++e) {
     Clock::time_point epoch_start = Clock::now();
@@ -79,18 +71,14 @@ ThroughputStats RunThroughput(const ThroughputConfig& cfg) {
       if (report.topology_changed) algorithm->OnTopologyChanged(report.delta);
     }
     algorithm->RunEpoch(epoch);
-    epoch_ms.push_back(
-        std::chrono::duration<double, std::milli>(Clock::now() - epoch_start).count());
+    epoch_ms.Add(std::chrono::duration<double, std::milli>(Clock::now() - epoch_start).count());
   }
   double total_s = std::chrono::duration<double>(Clock::now() - run_start).count();
 
   ThroughputStats stats;
   stats.epochs_per_sec =
       total_s > 0.0 ? static_cast<double>(cfg.epochs) / total_s : 0.0;
-  std::sort(epoch_ms.begin(), epoch_ms.end());
-  stats.wall_ms_p50 = PercentileMs(epoch_ms, 0.50);
-  stats.wall_ms_p95 = PercentileMs(epoch_ms, 0.95);
-  stats.wall_ms_p99 = PercentileMs(epoch_ms, 0.99);
+  stats.wall_ms = epoch_ms.Summary();
   stats.msgs_per_epoch = PerEpoch(bed.net->total().messages, cfg.epochs);
   return stats;
 }
@@ -119,9 +107,9 @@ void RegisterThroughput(runner::ScenarioRegistry& registry) {
     auto run_metrics = [](const ThroughputConfig& cfg) -> runner::MetricList {
       ThroughputStats st = RunThroughput(cfg);
       return {{"epochs_per_sec", st.epochs_per_sec},
-              {"wall_ms_p50", st.wall_ms_p50},
-              {"wall_ms_p95", st.wall_ms_p95},
-              {"wall_ms_p99", st.wall_ms_p99},
+              {"wall_ms_p50", st.wall_ms.p50},
+              {"wall_ms_p95", st.wall_ms.p95},
+              {"wall_ms_p99", st.wall_ms.p99},
               {"msgs_per_epoch", st.msgs_per_epoch}};
     };
     for (const Point& point : points) {

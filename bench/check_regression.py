@@ -12,6 +12,10 @@ Gated scenarios:
   E17 server_throughput  metric coord_qps
   E18 fanout_throughput  metric deliveries_per_sec
 
+Only the gated metric can fail the build, but every numeric metric the two
+runs share is printed per sweep row (baseline -> current, ratio) on pass as
+well as fail, so CI logs carry the whole perf trajectory.
+
 The baselines are machine-dependent: refresh them (run the scenario with
 --quick --threads 1 and copy the JSON) whenever CI hardware changes, and
 always alongside intentional perf-trade commits.
@@ -30,18 +34,36 @@ import sys
 
 
 def load_points(path, metric):
-    """Returns {(param tuple): metric value} for every ok trial."""
+    """Returns ({(param tuple): gated metric value},
+    {(param tuple): {name: value}}) for every ok trial."""
     with open(path) as fh:
         doc = json.load(fh)
     points = {}
+    all_metrics = {}
     for trial in doc.get("trials", []):
         if not trial.get("ok", False):
             continue
         key = tuple(sorted((k, str(v)) for k, v in dict(trial["params"]).items()))
         metrics = dict(trial["metrics"])
+        all_metrics[key] = {
+            name: float(value)
+            for name, value in metrics.items()
+            if isinstance(value, (int, float))
+        }
         if metric in metrics:
             points[key] = float(metrics[metric])
-    return points
+    return points, all_metrics
+
+
+def print_metric_deltas(base_metrics, cur_metrics, gated_metric):
+    """One indented line per non-gated metric both runs share: the perf
+    trajectory CI logs show on pass as well as fail."""
+    for name in sorted(set(base_metrics) & set(cur_metrics)):
+        if name == gated_metric:
+            continue
+        base, cur = base_metrics[name], cur_metrics[name]
+        ratio = f"{cur / base:.2f}x" if base != 0 else "n/a"
+        print(f"    {name}: baseline {base:.3f} -> current {cur:.3f} ({ratio})")
 
 
 def main():
@@ -61,8 +83,8 @@ def main():
     )
     args = parser.parse_args()
 
-    baseline = load_points(args.baseline, args.metric)
-    current = load_points(args.current, args.metric)
+    baseline, baseline_metrics = load_points(args.baseline, args.metric)
+    current, current_metrics = load_points(args.current, args.metric)
     if not baseline:
         print(f"error: no usable trials in baseline {args.baseline}", file=sys.stderr)
         return 2
@@ -88,6 +110,8 @@ def main():
             f"{dict(key)}: baseline {base_eps:.1f} {args.metric}, "
             f"current {cur_eps:.1f} ({ratio:.2f}x) {status}"
         )
+        print_metric_deltas(baseline_metrics.get(key, {}), current_metrics.get(key, {}),
+                            args.metric)
 
     if missing:
         print(

@@ -12,10 +12,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runner/experiment_engine.hpp"
 #include "runner/report.hpp"
 #include "runner/scenario_registry.hpp"
@@ -48,6 +51,13 @@ Execution:
                       inside each trial (default 1 = serial; results are
                       bit-identical for any N, only wall-clock changes).
 
+Observability (off by default; enabling changes no result bit):
+  --obs               Enable the metrics registry AND the span tracer.
+  --metrics-out PATH  Write the metrics JSON snapshot to PATH after the run
+                      (implies metrics on).
+  --trace-out PATH    Write a chrome://tracing-loadable trace-event JSON to
+                      PATH after the run (implies tracing on).
+
 Output:
   --json PATH         Write JSON results to PATH (single scenario only).
   --json-dir DIR      Write BENCH_<scenario>.json per scenario into DIR.
@@ -63,9 +73,12 @@ struct CliOptions {
   size_t threads = 0;  // 0 = hardware concurrency
   size_t shards = 1;   // per-trial epoch-wave lanes (1 = serial path)
   uint64_t seed = 0;
+  bool obs = false;
   std::vector<std::string> scenarios;
   std::string json_path;
   std::string json_dir;
+  std::string metrics_out;
+  std::string trace_out;
 };
 
 /// Strict base-10 parse: the whole token must be digits.
@@ -130,6 +143,16 @@ bool ParseArgs(int argc, char** argv, CliOptions* out, std::string* error) {
         *error = std::string("--seed expects a non-negative integer, got '") + value + "'";
         return false;
       }
+    } else if (arg == "--obs") {
+      out->obs = true;
+    } else if (arg == "--metrics-out") {
+      const char* value = need_value(i, "--metrics-out");
+      if (value == nullptr) return false;
+      out->metrics_out = value;
+    } else if (arg == "--trace-out") {
+      const char* value = need_value(i, "--trace-out");
+      if (value == nullptr) return false;
+      out->trace_out = value;
     } else if (arg == "--json") {
       const char* value = need_value(i, "--json");
       if (value == nullptr) return false;
@@ -212,6 +235,11 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Observability switches go up before any trial runs; the golden suite
+  // pins that this changes wall-clock only, never a result bit.
+  if (cli.obs || !cli.metrics_out.empty()) obs::SetMetricsEnabled(true);
+  if (cli.obs || !cli.trace_out.empty()) obs::SetTracingEnabled(true);
+
   runner::ExperimentEngine::Options engine_opt;
   engine_opt.threads = cli.threads;
   engine_opt.quick = cli.quick;
@@ -248,6 +276,29 @@ int main(int argc, char** argv) {
       }
       ++failures;
     }
+  }
+
+  if (!cli.metrics_out.empty()) {
+    std::ofstream out(cli.metrics_out);
+    if (!out) {
+      std::fprintf(stderr, "kspot_bench: cannot open --metrics-out '%s'\n",
+                   cli.metrics_out.c_str());
+      return 1;
+    }
+    out << obs::Registry().Snapshot().ToJson() << "\n";
+    std::fprintf(stdout, "wrote %s\n", cli.metrics_out.c_str());
+  }
+  if (!cli.trace_out.empty()) {
+    std::ofstream out(cli.trace_out);
+    if (!out) {
+      std::fprintf(stderr, "kspot_bench: cannot open --trace-out '%s'\n", cli.trace_out.c_str());
+      return 1;
+    }
+    obs::GlobalTracer().WriteChromeTrace(out);
+    out << "\n";
+    std::fprintf(stdout, "wrote %s (%zu spans, %llu dropped)\n", cli.trace_out.c_str(),
+                 obs::GlobalTracer().size(),
+                 static_cast<unsigned long long>(obs::GlobalTracer().dropped()));
   }
   return failures == 0 ? 0 : 1;
 }

@@ -1,5 +1,7 @@
 #include "fault/churn_engine.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/shard_runtime.hpp"
 #include "util/rng.hpp"
 
@@ -78,6 +80,8 @@ ChurnReport ChurnEngine::BeginEpoch(sim::Epoch epoch) {
     // and produce empty answers; the caller reads the sink's state off the
     // network.
     if (!net_->NodeAlive(sim::kSinkId)) break;
+    static const uint32_t kRepairSpan = obs::GlobalTracer().InternName("fault.repair");
+    obs::ScopedSpan repair_span(kRepairSpan);
     sim::RepairReport repair = tree_->Repair(
         net_->topology(), adjacency_, [this](sim::NodeId id) { return net_->NodeAlive(id); },
         repair_rng, &repair_workspace_);
@@ -107,6 +111,18 @@ ChurnReport ChurnEngine::BeginEpoch(sim::Epoch epoch) {
   }
   for (size_t i = 0; i < n; ++i) {
     was_alive_[i] = net_->NodeAlive(static_cast<sim::NodeId>(i)) ? 1 : 0;
+  }
+  if (obs::MetricsOn()) {
+    static obs::Counter& crashes = obs::Registry().counter("churn.crashes");
+    static obs::Counter& recoveries = obs::Registry().counter("churn.recoveries");
+    static obs::Counter& deaths = obs::Registry().counter("churn.battery_deaths");
+    static obs::Counter& reattached = obs::Registry().counter("churn.reattached");
+    static obs::Counter& repairs = obs::Registry().counter("churn.repair_events");
+    crashes.Add(report.crashes);
+    recoveries.Add(report.recoveries);
+    deaths.Add(report.battery_deaths);
+    reattached.Add(report.reattached);
+    if (report.topology_changed) repairs.Add(1);
   }
   return report;
 }

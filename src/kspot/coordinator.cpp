@@ -12,6 +12,8 @@
 #include "core/tag.hpp"
 #include "data/windowed.hpp"
 #include "fault/churn_engine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/shard_runtime.hpp"
 #include "storage/history_store.hpp"
 
@@ -130,6 +132,10 @@ struct OpGroup {
   /// per-epoch wave feeds it through its own inner generator replay).
   std::unique_ptr<data::DataGenerator> own_inner;
   std::unique_ptr<data::WindowAggregateGenerator> window_gen;
+
+  /// Cached tracer name id for this operator's per-epoch span
+  /// ("coord.run.<algorithm>"); interned lazily on the first traced step.
+  uint32_t span_id = 0;
 
   sim::TrafficCounters cost;
   std::vector<core::TopKResult> per_epoch;
@@ -367,6 +373,14 @@ util::Status QueryCoordinator::BindToSession(size_t admitted_index) {
 util::Status QueryCoordinator::Open() {
   if (session_) return util::Status::Error("session already open");
 
+  // Observability opt-in rides the deployment config. The switches are
+  // process-global and only ever turned ON here — another session or the
+  // KSPOT_OBS environment variable may already hold them up — and flipping
+  // them changes no answer: measurements are wall-clock only, outside the
+  // golden-pinned path (golden_equivalence_test pins this).
+  if (options_.enable_metrics) obs::SetMetricsEnabled(true);
+  if (options_.enable_tracing) obs::SetTracingEnabled(true);
+
   // ------------------------------------------------------- shared data plane
   // One tree copy per session (churn repairs it in place; the deployment
   // stays pristine), one network, one generator: the per-epoch data wave
@@ -410,6 +424,9 @@ util::StatusOr<EpochUpdate> QueryCoordinator::StepEpoch() {
   if (!session_) return util::Status::Error("no open session (call Open first)");
   Session& session = *session_;
   const sim::Epoch epoch = session.epoch;
+  static const uint32_t kStepSpan = obs::GlobalTracer().InternName("coord.step");
+  obs::ScopedSpan step_span(kStepSpan);
+  const uint64_t step_start = obs::MetricsOn() ? obs::NowMicros() : 0;
   EpochUpdate update;
   update.epoch = epoch;
   sim::TrafficCounters epoch_start = session.net.total();
@@ -417,6 +434,8 @@ util::StatusOr<EpochUpdate> QueryCoordinator::StepEpoch() {
   bool topology_changed = false;
   sim::TopologyDelta delta;
   if (session.churn) {
+    static const uint32_t kChurnSpan = obs::GlobalTracer().InternName("coord.churn");
+    obs::ScopedSpan churn_span(kChurnSpan);
     fault::ChurnReport churn_report = session.churn->BeginEpoch(epoch);
     topology_changed = churn_report.topology_changed;
     delta = churn_report.delta;
@@ -428,25 +447,31 @@ util::StatusOr<EpochUpdate> QueryCoordinator::StepEpoch() {
   std::vector<size_t> order;
   std::vector<int> group_priority(session.groups.size(), 0);
   std::vector<char> group_eligible(session.groups.size(), 0);
-  for (const Session::Served& served : session.served) {
-    if (served.leave != kNoEpoch) continue;
-    const AdmitOptions& admit = admitted_[served.admitted_index].admit;
-    size_t gi = served.group;
-    group_priority[gi] = std::max(group_priority[gi], admit.priority);
-    if (epoch >= served.join &&
-        (epoch - served.join) % static_cast<sim::Epoch>(admit.period) == 0) {
-      group_eligible[gi] = 1;
+  {
+    static const uint32_t kPlanSpan = obs::GlobalTracer().InternName("coord.plan");
+    obs::ScopedSpan plan_span(kPlanSpan);
+    for (const Session::Served& served : session.served) {
+      if (served.leave != kNoEpoch) continue;
+      const AdmitOptions& admit = admitted_[served.admitted_index].admit;
+      size_t gi = served.group;
+      group_priority[gi] = std::max(group_priority[gi], admit.priority);
+      if (epoch >= served.join &&
+          (epoch - served.join) % static_cast<sim::Epoch>(admit.period) == 0) {
+        group_eligible[gi] = 1;
+      }
     }
-  }
-  for (size_t gi = 0; gi < session.groups.size(); ++gi) {
-    if (session.groups[gi].alive && session.groups[gi].plan.kind != OpKind::kVertical) {
-      order.push_back(gi);
+    for (size_t gi = 0; gi < session.groups.size(); ++gi) {
+      if (session.groups[gi].alive && session.groups[gi].plan.kind != OpKind::kVertical) {
+        order.push_back(gi);
+      }
     }
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return group_priority[a] > group_priority[b];
+    });
   }
-  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    return group_priority[a] > group_priority[b];
-  });
 
+  static const uint32_t kWavesSpan = obs::GlobalTracer().InternName("coord.waves");
+  const uint64_t waves_start = obs::TracingOn() ? obs::NowMicros() : 0;
   for (size_t gi : order) {
     OpGroup& group = session.groups[gi];
     GroupUpdate gu;
@@ -464,6 +489,10 @@ util::StatusOr<EpochUpdate> QueryCoordinator::StepEpoch() {
       update.groups.push_back(std::move(gu));
       continue;
     }
+    if (group.span_id == 0 && obs::TracingOn()) {
+      group.span_id = obs::GlobalTracer().InternName("coord.run." + group.algorithm);
+    }
+    obs::ScopedSpan group_span(group.span_id);
     sim::TrafficCounters before = session.net.total();
     // The operator's own churn repair (e.g. MINT's cardinality-delta
     // converge-cast) is part of what this query group costs the network,
@@ -488,13 +517,26 @@ util::StatusOr<EpochUpdate> QueryCoordinator::StepEpoch() {
     group.cost.Add(session.net.total().Since(before));
     update.groups.push_back(std::move(gu));
   }
+  if (waves_start != 0) {
+    obs::GlobalTracer().Record(kWavesSpan, waves_start, obs::NowMicros() - waves_start);
+  }
 
-  update.epoch_cost = session.net.total().Since(epoch_start);
-  update.alive = session.net.AliveCount();
-  if (session.churn) {
-    update.detached = session.churn->detached_count();
-    update.repair_events = session.churn->repair_events();
-    update.repair_messages = session.churn->repair_messages();
+  {
+    static const uint32_t kMergeSpan = obs::GlobalTracer().InternName("coord.merge");
+    obs::ScopedSpan merge_span(kMergeSpan);
+    update.epoch_cost = session.net.total().Since(epoch_start);
+    update.alive = session.net.AliveCount();
+    if (session.churn) {
+      update.detached = session.churn->detached_count();
+      update.repair_events = session.churn->repair_events();
+      update.repair_messages = session.churn->repair_messages();
+    }
+  }
+  if (step_start != 0) {
+    static obs::Histogram& step_us = obs::Registry().histogram("coord.step_us");
+    static obs::Counter& epochs = obs::Registry().counter("coord.epochs");
+    step_us.Observe(static_cast<double>(obs::NowMicros() - step_start));
+    epochs.Add(1);
   }
   session.epoch = epoch + 1;
   return update;
@@ -513,6 +555,8 @@ util::StatusOr<CoordinatorReport> QueryCoordinator::Close() {
     report.detached_nodes = session.churn->detached_count();
   }
 
+  static const uint32_t kSliceSpan = obs::GlobalTracer().InternName("coord.slice");
+  obs::ScopedSpan slice_span(kSliceSpan);
   std::vector<size_t> members_left(session.groups.size(), 0);
   for (const Session::Served& served : session.served) ++members_left[served.group];
   for (const Session::Served& served : session.served) {

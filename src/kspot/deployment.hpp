@@ -53,6 +53,13 @@ struct DeploymentConfig {
   /// Worker threads for sharded execution; 0 picks hardware concurrency.
   /// (Results do not depend on this — only wall-clock does.)
   size_t shard_threads = 0;
+  /// Observability (src/obs): turn on the process-global metrics registry /
+  /// span tracer when this session opens. One-way — opening a session never
+  /// forces them off (the KSPOT_OBS env var or another session may hold them
+  /// up). Off by default; enabling changes no result bit
+  /// (golden_equivalence_test pins bit-identical runs with both fully on).
+  bool enable_metrics = false;
+  bool enable_tracing = false;
 };
 
 /// One deployed sensor network as the base station administers it: the

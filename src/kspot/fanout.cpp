@@ -3,6 +3,9 @@
 #include <string>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace kspot::system {
 
 FanOutHub::FanOutHub(const QueryCoordinator* coordinator) : coordinator_(coordinator) {}
@@ -40,6 +43,9 @@ util::Status FanOutHub::Unsubscribe(SubscriberId id) {
 }
 
 size_t FanOutHub::Publish(const EpochUpdate& update) {
+  static const uint32_t kPublishSpan = obs::GlobalTracer().InternName("fanout.publish");
+  obs::ScopedSpan publish_span(kPublishSpan);
+  const uint64_t publish_start = obs::MetricsOn() ? obs::NowMicros() : 0;
   size_t delivered = 0;
   for (const GroupUpdate& group : update.groups) {
     if (!group.ran) continue;
@@ -60,6 +66,14 @@ size_t FanOutHub::Publish(const EpochUpdate& update) {
   total_deliveries_ += delivered;
   last_epoch_ = update.epoch;
   published_ = true;
+  if (publish_start != 0) {
+    static obs::Histogram& publish_us = obs::Registry().histogram("fanout.publish_us");
+    static obs::Histogram& per_publish = obs::Registry().histogram("fanout.deliveries_per_publish");
+    static obs::Counter& deliveries = obs::Registry().counter("fanout.deliveries");
+    publish_us.Observe(static_cast<double>(obs::NowMicros() - publish_start));
+    per_publish.Observe(static_cast<double>(delivered));
+    deliveries.Add(delivered);
+  }
   return delivered;
 }
 

@@ -17,6 +17,8 @@ void SystemPanel::RecordBaselineEpoch(const sim::TrafficCounters& epoch_delta) {
 
 void SystemPanel::RecordNodeStatus(const NodeStatus& status) { node_status_ = status; }
 
+void SystemPanel::RecordMetrics(const obs::MetricsSnapshot& snapshot) { metrics_ = snapshot; }
+
 double SystemPanel::MessageSavingsPercent() const {
   return core::CostReport::SavingsPercent(static_cast<double>(baseline_.messages),
                                           static_cast<double>(kspot_.messages));
@@ -48,6 +50,27 @@ std::string SystemPanel::Render() const {
     if (node_status_.detached > 0) oss << " (" << node_status_.detached << " detached)";
     oss << "   tree repairs " << node_status_.repair_events << " ("
         << node_status_.repair_messages << " msgs)\n";
+  }
+  if (!metrics_.empty()) {
+    oss << "  --- runtime metrics ---\n";
+    for (const obs::CounterSample& c : metrics_.counters) {
+      oss << "  counter  " << c.name;
+      if (!c.label.empty()) oss << "{" << c.label << "}";
+      oss << " = " << c.value << "\n";
+    }
+    for (const obs::GaugeSample& g : metrics_.gauges) {
+      oss << "  gauge    " << g.name;
+      if (!g.label.empty()) oss << "{" << g.label << "}";
+      oss << " = " << util::FormatDouble(g.value, 3) << "\n";
+    }
+    for (const obs::HistogramSample& h : metrics_.histograms) {
+      oss << "  histo    " << h.name;
+      if (!h.label.empty()) oss << "{" << h.label << "}";
+      oss << " n=" << h.dist.count << " mean=" << util::FormatDouble(h.dist.mean, 1)
+          << " p50=" << util::FormatDouble(h.dist.p50, 1)
+          << " p95=" << util::FormatDouble(h.dist.p95, 1)
+          << " p99=" << util::FormatDouble(h.dist.p99, 1) << "\n";
+    }
   }
   return oss.str();
 }

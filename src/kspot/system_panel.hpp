@@ -3,6 +3,7 @@
 #include <string>
 
 #include "core/cost_report.hpp"
+#include "obs/metrics.hpp"
 #include "sim/network.hpp"
 
 namespace kspot::system {
@@ -31,6 +32,9 @@ class SystemPanel {
   void RecordBaselineEpoch(const sim::TrafficCounters& epoch_delta);
   /// Records the current node status (latest snapshot wins).
   void RecordNodeStatus(const NodeStatus& status);
+  /// Records an observability snapshot (latest wins); a non-empty one adds a
+  /// runtime-metrics pane to Render(). Typically obs::Registry().Snapshot().
+  void RecordMetrics(const obs::MetricsSnapshot& snapshot);
 
   /// Latest node status; total == 0 until a churn run records one.
   const NodeStatus& node_status() const { return node_status_; }
@@ -54,6 +58,7 @@ class SystemPanel {
   sim::TrafficCounters kspot_;
   sim::TrafficCounters baseline_;
   NodeStatus node_status_;
+  obs::MetricsSnapshot metrics_;
   size_t epochs_ = 0;
 };
 

@@ -1,0 +1,205 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/json.hpp"
+
+namespace kspot::obs {
+
+size_t Histogram::BucketFor(double v) {
+  if (!(v > 0.0)) return 0;  // <= 0 and NaN underflow
+  int e = 0;
+  double m = std::frexp(v, &e);  // v = m * 2^e, m in [0.5, 1)
+  if (e < kMinExp) return 0;
+  if (e >= kMaxExp) return kBucketCount - 1;
+  auto sub = static_cast<int>((m - 0.5) * 2.0 * kSubBuckets);
+  sub = std::min(sub, kSubBuckets - 1);
+  return 1 + static_cast<size_t>(e - kMinExp) * kSubBuckets + static_cast<size_t>(sub);
+}
+
+double Histogram::BucketLowerBound(size_t bucket) {
+  if (bucket == 0) return 0.0;
+  if (bucket >= kBucketCount) bucket = kBucketCount - 1;
+  size_t rel = bucket - 1;
+  int e = kMinExp + static_cast<int>(rel / kSubBuckets);
+  auto sub = static_cast<int>(rel % kSubBuckets);
+  return std::ldexp(0.5 + static_cast<double>(sub) / (2.0 * kSubBuckets), e);
+}
+
+namespace {
+
+/// Rank-interpolated quantile over the bucket counts, mirroring
+/// util::SortedQuantile's rank convention (q * (count - 1)).
+double BucketQuantile(const std::array<std::atomic<uint64_t>, Histogram::kBucketCount>& buckets,
+                      uint64_t count, double q) {
+  double rank = q * static_cast<double>(count - 1);
+  double cum = 0.0;
+  for (size_t b = 0; b < Histogram::kBucketCount; ++b) {
+    auto in_bucket = static_cast<double>(buckets[b].load(std::memory_order_relaxed));
+    if (in_bucket <= 0.0) continue;
+    if (cum + in_bucket > rank) {
+      double lo = Histogram::BucketLowerBound(b);
+      double hi = b + 1 < Histogram::kBucketCount ? Histogram::BucketLowerBound(b + 1)
+                                                  : Histogram::BucketLowerBound(b) * 2.0;
+      double frac = (rank - cum) / in_bucket;
+      return lo + (hi - lo) * frac;
+    }
+    cum += in_bucket;
+  }
+  return Histogram::BucketLowerBound(Histogram::kBucketCount - 1);
+}
+
+}  // namespace
+
+util::DistSummary Histogram::Snapshot() const {
+  util::DistSummary s;
+  // count_ is bumped after the bucket, so a torn concurrent read can only
+  // see count <= sum(buckets); quantile walks clamp via the rank anyway.
+  s.count = count_.load(std::memory_order_relaxed);
+  if (s.count == 0) return s;
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.min = min_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  s.mean = s.sum / static_cast<double>(s.count);
+  if (s.count == 1) {
+    s.p50 = s.p95 = s.p99 = s.min;
+    return s;
+  }
+  auto clamp = [&](double v) { return std::min(std::max(v, s.min), s.max); };
+  s.p50 = clamp(BucketQuantile(buckets_, s.count, 0.50));
+  s.p95 = clamp(BucketQuantile(buckets_, s.count, 0.95));
+  s.p99 = clamp(BucketQuantile(buckets_, s.count, 0.99));
+  return s;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+}
+
+namespace {
+
+template <typename Map, typename Metric>
+Metric& FindOrCreate(std::mutex& mu, Map& map, std::string_view name, std::string_view label) {
+  std::lock_guard<std::mutex> lock(mu);
+  auto key = std::make_pair(std::string(name), std::string(label));
+  auto it = map.find(key);
+  if (it == map.end()) {
+    it = map.emplace(std::move(key), std::make_unique<Metric>()).first;
+  }
+  return *it->second;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(std::string_view name, std::string_view label) {
+  return FindOrCreate<decltype(counters_), Counter>(mu_, counters_, name, label);
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view label) {
+  return FindOrCreate<decltype(gauges_), Gauge>(mu_, gauges_, name, label);
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, std::string_view label) {
+  return FindOrCreate<decltype(histograms_), Histogram>(mu_, histograms_, name, label);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [key, c] : counters_) {
+    snap.counters.push_back({key.first, key.second, c->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [key, g] : gauges_) {
+    snap.gauges.push_back({key.first, key.second, g->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [key, h] : histograms_) {
+    snap.histograms.push_back({key.first, key.second, h->Snapshot()});
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, c] : counters_) c->Reset();
+  for (auto& [key, g] : gauges_) g->Reset();
+  for (auto& [key, h] : histograms_) h->Reset();
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.BeginObject();
+  w.Key("schema_version");
+  w.Value(1);
+  w.Key("counters");
+  w.BeginArray();
+  for (const CounterSample& c : counters) {
+    w.BeginObject();
+    w.Key("name");
+    w.Value(c.name);
+    w.Key("label");
+    w.Value(c.label);
+    w.Key("value");
+    w.Value(c.value);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("gauges");
+  w.BeginArray();
+  for (const GaugeSample& g : gauges) {
+    w.BeginObject();
+    w.Key("name");
+    w.Value(g.name);
+    w.Key("label");
+    w.Value(g.label);
+    w.Key("value");
+    w.Value(g.value);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("histograms");
+  w.BeginArray();
+  for (const HistogramSample& h : histograms) {
+    w.BeginObject();
+    w.Key("name");
+    w.Value(h.name);
+    w.Key("label");
+    w.Value(h.label);
+    w.Key("count");
+    w.Value(static_cast<uint64_t>(h.dist.count));
+    w.Key("sum");
+    w.Value(h.dist.sum);
+    w.Key("min");
+    w.Value(h.dist.min);
+    w.Key("max");
+    w.Value(h.dist.max);
+    w.Key("mean");
+    w.Value(h.dist.mean);
+    w.Key("p50");
+    w.Value(h.dist.p50);
+    w.Key("p95");
+    w.Value(h.dist.p95);
+    w.Key("p99");
+    w.Value(h.dist.p99);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return os.str();
+}
+
+MetricsRegistry& Registry() {
+  static MetricsRegistry* kRegistry = new MetricsRegistry();
+  return *kRegistry;
+}
+
+}  // namespace kspot::obs

@@ -1,0 +1,56 @@
+#include "obs/obs.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <string_view>
+
+namespace kspot::obs {
+
+namespace internal {
+std::atomic<bool> g_metrics_on{false};
+std::atomic<bool> g_tracing_on{false};
+}  // namespace internal
+
+namespace {
+
+std::chrono::steady_clock::time_point ProcessEpoch() {
+  static const auto kEpoch = std::chrono::steady_clock::now();
+  return kEpoch;
+}
+
+[[maybe_unused]] const bool g_env_applied = [] {
+  const char* v = std::getenv("KSPOT_OBS");
+  if (v == nullptr) return false;
+  std::string_view s(v);
+  bool all = s == "1" || s == "all" || s == "on";
+  if (all || s == "metrics") internal::g_metrics_on.store(true, std::memory_order_relaxed);
+  if (all || s == "trace" || s == "tracing") {
+    internal::g_tracing_on.store(true, std::memory_order_relaxed);
+  }
+  return true;
+}();
+
+std::atomic<uint32_t> g_next_thread_tag{0};
+
+}  // namespace
+
+void SetMetricsEnabled(bool on) {
+  internal::g_metrics_on.store(on, std::memory_order_relaxed);
+}
+
+void SetTracingEnabled(bool on) {
+  internal::g_tracing_on.store(on, std::memory_order_relaxed);
+}
+
+uint64_t NowMicros() {
+  auto d = std::chrono::steady_clock::now() - ProcessEpoch();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(d).count());
+}
+
+uint32_t ThreadTag() {
+  thread_local const uint32_t kTag = g_next_thread_tag.fetch_add(1, std::memory_order_relaxed);
+  return kTag;
+}
+
+}  // namespace kspot::obs

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace kspot::obs {
+
+namespace internal {
+extern std::atomic<bool> g_metrics_on;
+extern std::atomic<bool> g_tracing_on;
+}  // namespace internal
+
+/// Process-global observability switches, both OFF by default.
+///
+/// The zero-perturbation contract every instrumentation site follows:
+///   - checks are a relaxed atomic load + branch, placed at wave/epoch
+///     granularity, never inside per-message loops;
+///   - only wall-clock time is measured, and nothing measured ever feeds
+///     back into simulated time, an RNG, or any golden-pinned state —
+///     results are bit-identical with observability fully enabled
+///     (pinned by golden_equivalence_test).
+///
+/// The KSPOT_OBS environment variable turns the switches on at process
+/// start so any binary can be observed without code changes:
+/// "metrics", "trace", or "all"/"on"/"1" for both.
+inline bool MetricsOn() { return internal::g_metrics_on.load(std::memory_order_relaxed); }
+inline bool TracingOn() { return internal::g_tracing_on.load(std::memory_order_relaxed); }
+void SetMetricsEnabled(bool on);
+void SetTracingEnabled(bool on);
+
+/// Monotonic wall-clock microseconds since the first call in this process.
+uint64_t NowMicros();
+
+/// Stable small integer for the calling thread (0, 1, 2, ... in first-use
+/// order); the Chrome trace tid.
+uint32_t ThreadTag();
+
+}  // namespace kspot::obs

@@ -1,5 +1,10 @@
 #include "sim/shard_runtime.hpp"
 
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace kspot::sim {
 
 ShardRuntime::ShardRuntime(Network* net, Options options) : net_(net), options_(options) {
@@ -31,6 +36,40 @@ const ShardPlan& ShardRuntime::plan() {
 util::TaskPool& ShardRuntime::pool() {
   if (!pool_) pool_ = std::make_unique<util::TaskPool>(options_.threads);
   return *pool_;
+}
+
+void ShardRuntime::RunLanes(const std::function<void(size_t)>& fn) {
+  size_t lanes = lane_count();
+  const bool metrics = obs::MetricsOn();
+  const bool tracing = obs::TracingOn();
+  if (!metrics && !tracing) {
+    pool().ParallelFor(lanes, fn);
+    return;
+  }
+  lane_wall_us_.assign(lanes, 0.0);
+  static const uint32_t kLaneSpan = obs::GlobalTracer().InternName("shard.lane");
+  pool().ParallelFor(lanes, [&](size_t lane) {
+    uint64_t t0 = obs::NowMicros();
+    fn(lane);
+    uint64_t dur = obs::NowMicros() - t0;
+    lane_wall_us_[lane] = static_cast<double>(dur);
+    if (tracing) obs::GlobalTracer().Record(kLaneSpan, t0, dur);
+  });
+  if (metrics) {
+    static obs::Histogram& wall_us = obs::Registry().histogram("shard.lane_wall_us");
+    static obs::Gauge& imbalance = obs::Registry().gauge("shard.lane_imbalance");
+    static obs::Counter& waves = obs::Registry().counter("shard.waves");
+    double sum = 0.0;
+    double slowest = 0.0;
+    for (double us : lane_wall_us_) {
+      wall_us.Observe(us);
+      sum += us;
+      slowest = std::max(slowest, us);
+    }
+    double mean = lanes > 0 ? sum / static_cast<double>(lanes) : 0.0;
+    imbalance.Set(mean > 0.0 ? slowest / mean : 1.0);
+    waves.Add(1);
+  }
 }
 
 std::vector<LaneSendEffect>& ShardRuntime::captures() {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -58,6 +59,14 @@ class ShardRuntime {
   /// The worker pool (created on first use).
   util::TaskPool& pool();
 
+  /// Runs `fn(lane)` for every lane of the current plan on the pool. With
+  /// observability enabled this also records per-lane wall-time spans, the
+  /// "shard.lane_wall_us" histogram, and the "shard.lane_imbalance" gauge
+  /// (slowest lane / mean lane); with it off this is exactly
+  /// pool().ParallelFor(lane_count(), fn). Timing is wall-clock only and
+  /// never feeds back into the wave — sharded results stay bit-identical.
+  void RunLanes(const std::function<void(size_t)>& fn);
+
   /// Per-node lane-send capture slots, sized to the network. Each node sends
   /// at most once per UpWave, so a slot per node suffices; lanes reset the
   /// slots of the nodes they visit.
@@ -72,6 +81,7 @@ class ShardRuntime {
   std::optional<ShardPlan> plan_;
   std::unique_ptr<util::TaskPool> pool_;
   std::vector<LaneSendEffect> captures_;
+  std::vector<double> lane_wall_us_;
 };
 
 }  // namespace kspot::sim

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "sim/network.hpp"
 #include "sim/shard_runtime.hpp"
 #include "sim/types.hpp"
@@ -70,6 +71,10 @@ class UpWave {
                                 Workspace* workspace = nullptr) {
     const RoutingTree& tree = net.tree();
     size_t n = tree.num_nodes();
+    // Wall-clock span named after the network's current phase ("mint.update",
+    // "tag.epoch", ...). Wall-clock only, no-op unless tracing is on.
+    obs::ScopedSpan wave_span(
+        obs::TracingOn() ? obs::GlobalTracer().NameIdForPhase(net.phase_id(), net.phase()) : 0);
     Workspace local;
     Workspace& ws = workspace != nullptr ? *workspace : local;
     if (ws.inbox.size() != n) ws.inbox.assign(n, {});
@@ -145,7 +150,7 @@ class UpWave {
     if (ws.root_out.size() != tree.num_nodes()) ws.root_out.assign(tree.num_nodes(), std::nullopt);
     TimeUs base = net.events().now();
 
-    rt.pool().ParallelFor(plan.lane_count(), [&](size_t lane) {
+    rt.RunLanes([&](size_t lane) {
       for (NodeId node : plan.lanes[lane]) {
         captures[node] = LaneSendEffect{};
         if (!net.NodeAlive(node)) {
@@ -225,6 +230,8 @@ class DownWave {
   /// sink counts as having received the seed).
   template <typename ProduceFn, typename WireFn>
   static size_t Run(Network& net, ProduceFn&& produce, WireFn&& wire_bytes) {
+    obs::ScopedSpan wave_span(
+        obs::TracingOn() ? obs::GlobalTracer().NameIdForPhase(net.phase_id(), net.phase()) : 0);
     struct Pending {
       TimeUs at;      ///< The slot the reception event would have executed in.
       uint64_t seq;   ///< Scheduling order (tie-break, like EventQueue).

@@ -44,19 +44,48 @@ double RunningStats::variance() const {
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
-double Percentiles::Quantile(double q) const {
-  if (values_.empty()) return 0.0;
+double SortedQuantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1 || q <= 0.0) return sorted.front();
+  if (q >= 1.0) return sorted.back();
+  double pos = q * static_cast<double>(sorted.size() - 1);
+  auto lo = static_cast<size_t>(pos);
+  double frac = pos - static_cast<double>(lo);
+  // q < 1 guarantees pos < n-1, so lo <= n-2 and lo+1 is in range. An exact
+  // boundary rank (frac == 0) returns the element itself.
+  if (frac <= 0.0) return sorted[lo];
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+DistSummary SummarizeSorted(const std::vector<double>& sorted) {
+  DistSummary s;
+  s.count = sorted.size();
+  if (sorted.empty()) return s;
+  s.min = sorted.front();
+  s.max = sorted.back();
+  for (double v : sorted) s.sum += v;
+  s.mean = s.sum / static_cast<double>(sorted.size());
+  s.p50 = SortedQuantile(sorted, 0.50);
+  s.p95 = SortedQuantile(sorted, 0.95);
+  s.p99 = SortedQuantile(sorted, 0.99);
+  return s;
+}
+
+void Percentiles::EnsureSorted() const {
   if (!sorted_) {
     std::sort(values_.begin(), values_.end());
     sorted_ = true;
   }
-  if (q <= 0.0) return values_.front();
-  if (q >= 1.0) return values_.back();
-  double pos = q * static_cast<double>(values_.size() - 1);
-  size_t lo = static_cast<size_t>(pos);
-  double frac = pos - static_cast<double>(lo);
-  if (lo + 1 >= values_.size()) return values_.back();
-  return values_[lo] * (1.0 - frac) + values_[lo + 1] * frac;
+}
+
+double Percentiles::Quantile(double q) const {
+  EnsureSorted();
+  return SortedQuantile(values_, q);
+}
+
+DistSummary Percentiles::Summary() const {
+  EnsureSorted();
+  return SummarizeSorted(values_);
 }
 
 }  // namespace kspot::util

@@ -40,20 +40,53 @@ class RunningStats {
   double sum_ = 0.0;
 };
 
+/// The shared shape of a distribution summary: produced exactly by
+/// Percentiles::Summary() / SummarizeSorted(), and approximately (bucket
+/// interpolation) by obs::Histogram::Snapshot(). Bench latency columns and
+/// the metrics JSON schema both serialize this struct.
+struct DistSummary {
+  size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double sum = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// The q-quantile (q clamped to [0,1]) of an ascending-sorted sample by
+/// linear interpolation at rank q*(n-1). Edge cases are pinned by util_test:
+/// empty -> 0, one sample -> that sample, two samples -> interpolation
+/// between them, and an exact-boundary rank (q*(n-1) integral) returns the
+/// element itself with no interpolation error.
+double SortedQuantile(const std::vector<double>& sorted, double q);
+
+/// Summarizes an ascending-sorted sample with exact quantiles.
+DistSummary SummarizeSorted(const std::vector<double>& sorted);
+
 /// Retains all observations to answer arbitrary quantile queries. Intended for
 /// benchmark post-processing (latency distributions), not hot paths.
 class Percentiles {
  public:
-  /// Adds one observation.
-  void Add(double x) { values_.push_back(x); }
+  /// Adds one observation (re-sorting lazily on the next quantile query).
+  void Add(double x) {
+    values_.push_back(x);
+    sorted_ = false;
+  }
 
   /// Returns the q-quantile (q in [0,1]) by linear interpolation; 0 when empty.
   double Quantile(double q) const;
+
+  /// Exact count/min/max/mean/p50/p95/p99 of everything added so far.
+  DistSummary Summary() const;
 
   /// Number of observations.
   size_t count() const { return values_.size(); }
 
  private:
+  void EnsureSorted() const;
+
   mutable std::vector<double> values_;
   mutable bool sorted_ = false;
 };

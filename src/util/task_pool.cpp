@@ -2,6 +2,8 @@
 
 #include <exception>
 
+#include "obs/metrics.hpp"
+
 namespace kspot::util {
 
 TaskPool::TaskPool(size_t threads) {
@@ -52,6 +54,9 @@ void TaskPool::WorkerLoop() {
     // after the caller already left the barrier (every index claimed by
     // others) still reads valid Job state when it checks out empty-handed.
     std::shared_ptr<Job> job;
+    // Parked time between jobs; wall-clock only, recorded outside the lock.
+    const bool measure_idle = obs::MetricsOn();
+    uint64_t wait_start = measure_idle ? obs::NowMicros() : 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_work_.wait(lock, [&] { return stop_ || generation_ != seen; });
@@ -59,7 +64,19 @@ void TaskPool::WorkerLoop() {
       seen = generation_;
       job = job_;
     }
-    if (job != nullptr) RunIndices(*job);
+    if (measure_idle) {
+      static obs::Histogram& idle_us = obs::Registry().histogram("taskpool.idle_us");
+      idle_us.Observe(static_cast<double>(obs::NowMicros() - wait_start));
+    }
+    if (job != nullptr) {
+      if (job->publish_us != 0) {
+        // Publish-to-first-claim latency for this worker (only when metrics
+        // were on when the caller published the job).
+        static obs::Histogram& claim_us = obs::Registry().histogram("taskpool.claim_us");
+        claim_us.Observe(static_cast<double>(obs::NowMicros() - job->publish_us));
+      }
+      RunIndices(*job);
+    }
   }
 }
 
@@ -72,6 +89,11 @@ void TaskPool::ParallelFor(size_t count, const std::function<void(size_t)>& fn) 
   auto job = std::make_shared<Job>();
   job->fn = &fn;
   job->count = count;
+  if (obs::MetricsOn()) {
+    static obs::Counter& jobs = obs::Registry().counter("taskpool.jobs");
+    jobs.Add(1);
+    job->publish_us = obs::NowMicros();
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     job_ = job;

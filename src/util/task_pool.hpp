@@ -46,6 +46,10 @@ class TaskPool {
   struct Job {
     const std::function<void(size_t)>* fn = nullptr;
     size_t count = 0;
+    /// Wall-clock publish time (obs::NowMicros) when metrics were enabled at
+    /// publish, 0 otherwise; workers read it (after the mutex handoff) to
+    /// record their claim latency.
+    uint64_t publish_us = 0;
     std::atomic<size_t> next{0};
     std::atomic<size_t> done{0};
     std::exception_ptr error;

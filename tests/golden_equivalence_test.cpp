@@ -22,6 +22,9 @@
 
 #include "agg/group_view.hpp"
 #include "bench_util.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "core/fila.hpp"
 #include "core/history_source.hpp"
 #include "core/mint.hpp"
@@ -259,6 +262,79 @@ TEST(GoldenEquivalenceTest, ThroughputBedBitIdenticalAcrossShardCounts) {
       EXPECT_EQ(serial.now, sharded.now);
     }
   }
+}
+
+// ------------------------------------------------ observability equivalence
+
+/// The zero-perturbation contract of src/obs: with the metrics registry AND
+/// the span tracer fully enabled, every result is bit-identical to an
+/// unobserved run. Covers the instrumented serial path (E1 fig1_scenario,
+/// E13 churn_lifetime through ChurnEngine spans/counters) and the sharded
+/// RunLanes path (the E16 bed at n = 1000 with 2 lanes over 2 worker
+/// threads, which exercises the lane wall-time histogram, the imbalance
+/// gauge, and the TaskPool idle/claim instrumentation).
+TEST(GoldenEquivalenceTest, ResultsBitIdenticalWithObservabilityEnabled) {
+  struct ObsFlagGuard {
+    bool metrics = obs::MetricsOn();
+    bool tracing = obs::TracingOn();
+    ~ObsFlagGuard() {
+      obs::SetMetricsEnabled(metrics);
+      obs::SetTracingEnabled(tracing);
+    }
+  } guard;
+
+  runner::ScenarioRegistry registry;
+  bench::RegisterAllScenarios(registry);
+  for (const char* name : {"fig1_scenario", "churn_lifetime"}) {
+    SCOPED_TRACE(name);
+    const runner::Scenario* scenario = registry.Find(name);
+    ASSERT_NE(scenario, nullptr);
+    obs::SetMetricsEnabled(false);
+    obs::SetTracingEnabled(false);
+    runner::ScenarioRun dark =
+        runner::ExperimentEngine({.threads = 1, .quick = true}).Run(*scenario);
+    EXPECT_TRUE(dark.AllOk());
+    obs::SetMetricsEnabled(true);
+    obs::SetTracingEnabled(true);
+    runner::ScenarioRun observed =
+        runner::ExperimentEngine({.threads = 1, .quick = true}).Run(*scenario);
+    ExpectIdenticalRuns(dark, observed);
+  }
+
+  // Sharded bed: answers, per-phase counters, per-node meters, the virtual
+  // clock — all byte-identical while the lane instrumentation records.
+  auto run_bed = [](bool observe) {
+    obs::SetMetricsEnabled(observe);
+    obs::SetTracingEnabled(observe);
+    bench::Bed bed = bench::Bed::Grid(1000, 32, 161);
+    bed.EnableSharding(/*shards=*/2, /*threads=*/2);
+    auto gen = bed.RoomData(161);
+    auto algo = bench::MakeSnapshotAlgo(bench::SnapshotAlgo::kMint, bed.net.get(), gen.get(),
+                                        bench::RoomAvgSpec(3));
+    std::vector<std::string> answers;
+    for (size_t e = 0; e < 12; ++e) {
+      answers.push_back(algo->RunEpoch(static_cast<sim::Epoch>(e)).ToString());
+    }
+    answers.push_back(std::to_string(bed.net->total().messages));
+    answers.push_back(std::to_string(bed.net->total().payload_bytes));
+    answers.push_back(std::to_string(bed.net->events().now()));
+    for (sim::NodeId id = 0; id < 1000; id += 97) {
+      answers.push_back(std::to_string(bed.net->MessagesSentBy(id)));
+    }
+    return answers;
+  };
+  std::vector<std::string> dark_bed = run_bed(false);
+  uint64_t spans_before = obs::GlobalTracer().total_recorded();
+  std::vector<std::string> observed_bed = run_bed(true);
+  EXPECT_EQ(dark_bed, observed_bed);
+  // And the observed run actually observed something — the equivalence is
+  // not vacuous because instrumentation silently stayed off.
+  EXPECT_GT(obs::GlobalTracer().total_recorded(), spans_before);
+  bool saw_lane_metric = false;
+  for (const auto& h : obs::Registry().Snapshot().histograms) {
+    if (h.name == "shard.lane_wall_us" && h.dist.count > 0) saw_lane_metric = true;
+  }
+  EXPECT_TRUE(saw_lane_metric);
 }
 
 // ------------------------------------------- incremental vs full churn repair

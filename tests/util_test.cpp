@@ -238,6 +238,72 @@ TEST(PercentilesTest, QuantilesOfKnownSequence) {
 TEST(PercentilesTest, EmptyReturnsZero) {
   Percentiles p;
   EXPECT_EQ(p.Quantile(0.5), 0.0);
+  DistSummary s = p.Summary();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.p50, 0.0);
+  EXPECT_EQ(s.p99, 0.0);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(PercentilesTest, SingleSampleIsEveryQuantile) {
+  Percentiles p;
+  p.Add(7.5);
+  EXPECT_DOUBLE_EQ(p.Quantile(0.0), 7.5);
+  EXPECT_DOUBLE_EQ(p.Quantile(0.5), 7.5);
+  EXPECT_DOUBLE_EQ(p.Quantile(1.0), 7.5);
+  DistSummary s = p.Summary();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.p50, 7.5);
+  EXPECT_DOUBLE_EQ(s.p95, 7.5);
+  EXPECT_DOUBLE_EQ(s.p99, 7.5);
+}
+
+TEST(PercentilesTest, TwoSamplesInterpolate) {
+  Percentiles p;
+  p.Add(10.0);
+  p.Add(20.0);
+  EXPECT_DOUBLE_EQ(p.Quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(p.Quantile(0.5), 15.0);
+  EXPECT_DOUBLE_EQ(p.Quantile(1.0), 20.0);
+}
+
+TEST(PercentilesTest, ExactBoundaryRanksAreNotInterpolated) {
+  // With 5 samples the ranks for q in {0, .25, .5, .75, 1} land exactly on
+  // elements; the quantile must return them directly (no 1-ulp smearing).
+  std::vector<double> sorted = {1.0, 2.0, 3.0, 4.0, 5.0};
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    double q = static_cast<double>(i) / 4.0;
+    EXPECT_DOUBLE_EQ(SortedQuantile(sorted, q), sorted[i]) << "q=" << q;
+  }
+  // Out-of-range q clamps instead of indexing out.
+  EXPECT_DOUBLE_EQ(SortedQuantile(sorted, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(SortedQuantile(sorted, 1.5), 5.0);
+  EXPECT_EQ(SortedQuantile({}, 0.5), 0.0);
+}
+
+TEST(PercentilesTest, AddAfterQuantileResorts) {
+  // Regression: Add() must invalidate the sorted cache, or quantiles after
+  // an interleaved Add are computed over partially unsorted data.
+  Percentiles p;
+  p.Add(50.0);
+  p.Add(10.0);
+  EXPECT_DOUBLE_EQ(p.Quantile(0.0), 10.0);  // forces the sort
+  p.Add(1.0);
+  EXPECT_DOUBLE_EQ(p.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.Quantile(1.0), 50.0);
+}
+
+TEST(PercentilesTest, SummaryMatchesDirectQuantiles) {
+  Percentiles p;
+  for (int i = 100; i >= 1; --i) p.Add(i);
+  DistSummary s = p.Summary();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.mean, 50.5, 1e-9);
+  EXPECT_DOUBLE_EQ(s.p50, p.Quantile(0.50));
+  EXPECT_DOUBLE_EQ(s.p95, p.Quantile(0.95));
+  EXPECT_DOUBLE_EQ(s.p99, p.Quantile(0.99));
 }
 
 // ------------------------------------------------------------------- String
