@@ -33,11 +33,26 @@ import os
 import sys
 
 
+class BenchFileError(Exception):
+    """A bench JSON file that cannot be read or parsed (one-line message)."""
+
+
 def load_points(path, metric):
     """Returns ({(param tuple): gated metric value},
     {(param tuple): {name: value}}) for every ok trial."""
-    with open(path) as fh:
-        doc = json.load(fh)
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except OSError as exc:
+        raise BenchFileError(
+            f"cannot read bench file {path}: {exc.strerror or exc} "
+            "(missing baseline? run the scenario with --quick --threads 1 and "
+            "commit the JSON)"
+        ) from exc
+    except json.JSONDecodeError as exc:
+        raise BenchFileError(f"bench file {path} is not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise BenchFileError(f"bench file {path} is not a JSON object")
     points = {}
     all_metrics = {}
     for trial in doc.get("trials", []):
@@ -66,10 +81,65 @@ def print_metric_deltas(base_metrics, cur_metrics, gated_metric):
         print(f"    {name}: baseline {base:.3f} -> current {cur:.3f} ({ratio})")
 
 
+def self_test():
+    """Spawns this script against missing/garbage/good inputs and asserts the
+    advertised contract: actionable one-line errors, exit 2, no traceback."""
+    import subprocess
+    import tempfile
+
+    good = {
+        "trials": [
+            {
+                "ok": True,
+                "params": [["case", "ref"]],
+                "metrics": [["epochs_per_sec", 100.0]],
+            }
+        ]
+    }
+
+    def run(baseline_path, current_path):
+        return subprocess.run(
+            [sys.executable, os.path.abspath(__file__),
+             "--baseline", baseline_path, "--current", current_path],
+            capture_output=True, text=True,
+        )
+
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        good_path = os.path.join(tmp, "good.json")
+        with open(good_path, "w") as fh:
+            json.dump(good, fh)
+        garbage_path = os.path.join(tmp, "garbage.json")
+        with open(garbage_path, "w") as fh:
+            fh.write("{not json")
+        missing_path = os.path.join(tmp, "does-not-exist.json")
+
+        cases = [
+            ("missing baseline", run(missing_path, good_path), 2),
+            ("garbage baseline", run(garbage_path, good_path), 2),
+            ("missing current", run(good_path, missing_path), 2),
+            ("identical runs", run(good_path, good_path), 0),
+        ]
+        for name, proc, want in cases:
+            if proc.returncode != want:
+                failures.append(f"{name}: exit {proc.returncode}, want {want}")
+            if "Traceback" in proc.stderr:
+                failures.append(f"{name}: stderr shows a Python traceback")
+            if want == 2 and not proc.stderr.startswith("error:"):
+                failures.append(f"{name}: stderr does not start with 'error:'")
+
+    if failures:
+        for failure in failures:
+            print(f"self-test FAILED: {failure}", file=sys.stderr)
+        return 1
+    print("self-test ok: error paths exit 2 with one-line errors, no traceback")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", default="bench/baseline/BENCH_E16_throughput.json")
-    parser.add_argument("--current", required=True)
+    parser.add_argument("--current", default=None)
     parser.add_argument(
         "--metric",
         default="epochs_per_sec",
@@ -81,10 +151,24 @@ def main():
         default=float(os.environ.get("KSPOT_E16_TOLERANCE", "0.25")),
         help="maximum allowed fractional drop of the gated metric (default 0.25)",
     )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="exercise the error paths (missing/garbage baseline) and exit",
+    )
     args = parser.parse_args()
 
-    baseline, baseline_metrics = load_points(args.baseline, args.metric)
-    current, current_metrics = load_points(args.current, args.metric)
+    if args.self_test:
+        return self_test()
+    if args.current is None:
+        parser.error("--current is required (unless --self-test)")
+
+    try:
+        baseline, baseline_metrics = load_points(args.baseline, args.metric)
+        current, current_metrics = load_points(args.current, args.metric)
+    except BenchFileError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if not baseline:
         print(f"error: no usable trials in baseline {args.baseline}", file=sys.stderr)
         return 2

@@ -39,6 +39,7 @@ void RegisterRepairCost(runner::ScenarioRegistry& registry);          // E15
 void RegisterThroughput(runner::ScenarioRegistry& registry);          // E16
 void RegisterServerThroughput(runner::ScenarioRegistry& registry);    // E17
 void RegisterFanoutThroughput(runner::ScenarioRegistry& registry);    // E18
+void RegisterReliabilityTradeoff(runner::ScenarioRegistry& registry); // E19
 
 /// Registers every bench scenario.
 inline void RegisterAllScenarios(runner::ScenarioRegistry& registry) {
@@ -60,6 +61,7 @@ inline void RegisterAllScenarios(runner::ScenarioRegistry& registry) {
   RegisterThroughput(registry);
   RegisterServerThroughput(registry);
   RegisterFanoutThroughput(registry);
+  RegisterReliabilityTradeoff(registry);
 }
 
 }  // namespace kspot::bench

@@ -313,6 +313,10 @@ TopKResult MintViews::EvaluateAtSink(sim::Epoch epoch, const agg::GroupView& sin
   TopKResult result;
   result.epoch = epoch;
   result.contributors = contributors;
+  // MINT suppresses below-tau updates by design, so contributors here counts
+  // nodes whose data informed the answer via live updates or repair — an
+  // approximation (cached partials from silent nodes still back the view).
+  result.StampCompleteness(net_->AliveAttachedSensors(), net_->EpochDegraded());
   for (size_t i = 0; i < candidates.size() && i < static_cast<size_t>(spec_.k); ++i) {
     result.items.push_back(candidates[i]);
   }
@@ -331,6 +335,7 @@ TopKResult MintViews::RunCreation(sim::Epoch epoch) {
   TopKResult result;
   result.epoch = epoch;
   result.contributors = full.ContributorCount();
+  result.StampCompleteness(net_->AliveAttachedSensors(), net_->EpochDegraded());
   result.items = full.TopK(spec_.agg, static_cast<size_t>(spec_.k));
   auto ranked = full.Ranked(spec_.agg);
   if (ranked.size() >= static_cast<size_t>(spec_.k) && options_.gamma_suppression) {

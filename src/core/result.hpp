@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,25 @@ struct TopKResult {
   /// from. Under churn this is the surviving (alive and routable)
   /// population, so consumers can tell a quiet network from a shrunken one.
   uint32_t contributors = 0;
+  /// Fraction of the expected population (alive, attached sensors) whose
+  /// readings made it into this answer, in [0, 1]. 1.0 when the reliability
+  /// layer is off or nothing was lost; a partial answer advertises itself.
+  double completeness = 1.0;
+  /// True when an epoch deadline truncated a wave this epoch: the answer is
+  /// structurally partial, not merely loss-thinned.
+  bool degraded = false;
+
+  /// Stamps completeness from the expected contributor population
+  /// (Network::AliveAttachedSensors) and the epoch's degraded flag.
+  /// `expected == 0` counts as complete (an empty network has nothing to
+  /// miss); the ratio is clamped to 1 so stale caches can't overreport.
+  void StampCompleteness(size_t expected_contributors, bool degraded_epoch) {
+    completeness = expected_contributors == 0
+                       ? 1.0
+                       : std::min(1.0, static_cast<double>(contributors) /
+                                           static_cast<double>(expected_contributors));
+    degraded = degraded_epoch;
+  }
 
   /// True when both results rank the same groups in the same order with
   /// values equal within `tol`.

@@ -35,6 +35,7 @@ TopKResult TagTopK::RunEpoch(sim::Epoch epoch) {
   result.epoch = epoch;
   result.contributors = view.ContributorCount();
   result.items = view.TopK(spec_.agg, static_cast<size_t>(spec_.k));
+  result.StampCompleteness(net_->AliveAttachedSensors(), net_->EpochDegraded());
   return result;
 }
 

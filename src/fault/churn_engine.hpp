@@ -15,6 +15,8 @@ struct ChurnReport {
   size_t recoveries = 0;       ///< Scheduled recovery events applied.
   size_t battery_deaths = 0;   ///< Nodes found battery-dead since the last call.
   size_t degrade_changes = 0;  ///< Degradation episodes started or ended.
+  size_t blackout_changes = 0; ///< Blackout episodes started or ended.
+  size_t burst_changes = 0;    ///< Burst-loss episodes started or ended.
   size_t reattached = 0;       ///< Nodes the tree repair re-parented.
   size_t detached = 0;         ///< Up nodes left without a route after repair.
   /// True when tree membership changed: algorithms must evict state keyed on
@@ -70,6 +72,18 @@ class ChurnEngine {
   std::vector<std::vector<sim::NodeId>> adjacency_;
   /// Reusable Repair scratch (heard lists, frontier, attachment marks).
   sim::RepairWorkspace repair_workspace_;
+  /// A node's concurrent loss episodes by source. The network holds one
+  /// compounded extra-loss value per node, so overlapping episode kinds must
+  /// be tracked separately here and re-compounded on every change (an ending
+  /// burst must restore a still-running degradation, not clear everything).
+  struct EpisodeLoss {
+    double degrade = 0.0;
+    double blackout = 0.0;
+    double burst = 0.0;
+  };
+  std::vector<EpisodeLoss> episode_loss_;
+  /// Recompounds `node`'s episode losses into Network::SetNodeExtraLoss.
+  void ApplyEpisodeLoss(sim::NodeId node);
   size_t next_event_ = 0;
   std::vector<uint8_t> was_alive_;
   size_t repair_events_ = 0;

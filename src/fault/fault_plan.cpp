@@ -44,6 +44,15 @@ struct NodeProcess {
   uint64_t degrade_gap = 0;
   /// Exclusive end of the current degradation episode (0 = none).
   sim::Epoch degraded_until = 0;
+  /// Blackout clock: same freeze-while-down discipline as the degradation
+  /// clock (ticks on up epochs outside its own episode).
+  sim::Epoch blackout_from = 1;
+  uint64_t blackout_gap = 0;
+  sim::Epoch blackout_until = 0;
+  /// Burst-loss clock, ditto.
+  sim::Epoch burst_from = 1;
+  uint64_t burst_gap = 0;
+  sim::Epoch burst_until = 0;
 };
 
 /// One entry of the chronological merge sweep. pass 0 carries scheduled
@@ -73,6 +82,10 @@ const char* FaultEventKindName(FaultEvent::Kind kind) {
     case FaultEvent::Kind::kRecover: return "recover";
     case FaultEvent::Kind::kDegradeStart: return "degrade-start";
     case FaultEvent::Kind::kDegradeEnd: return "degrade-end";
+    case FaultEvent::Kind::kBlackoutStart: return "blackout-start";
+    case FaultEvent::Kind::kBlackoutEnd: return "blackout-end";
+    case FaultEvent::Kind::kBurstStart: return "burst-start";
+    case FaultEvent::Kind::kBurstEnd: return "burst-end";
   }
   return "?";
 }
@@ -91,37 +104,50 @@ FaultPlan FaultPlan::Generate(const sim::Topology& topology, const FaultPlanOpti
   // generator short-circuited the draw entirely in that case).
   bool crash_on = options.crash_prob > 0.0 && max_down > 0;
   bool degrade_on = options.degrade_prob > 0.0;
-  if (!crash_on && !degrade_on) return plan;
+  bool blackout_on = options.blackout_prob > 0.0;
+  bool burst_on = options.burst_prob > 0.0;
+  if (!crash_on && !degrade_on && !blackout_on && !burst_on) return plan;
 
   util::Rng master(seed ^ 0xFA17'F1A6'0D15'EA5EULL);
   std::vector<NodeProcess> procs(n);
 
   // The node's next fresh event strictly inside the horizon, if any. Ties
-  // between the two clocks go to the crash (the per-epoch generator drew
-  // crash before degradation, and a crash suppresses the epoch's degrade
-  // trial without consuming it).
+  // go to the earlier-considered clock — crash, then degradation, then
+  // blackout, then burst (the per-epoch generator drew in that order, and a
+  // crash suppresses the epoch's episode trials without consuming them).
   auto propose = [&](sim::NodeId v) -> std::optional<SweepItem> {
     NodeProcess& p = procs[v];
-    uint64_t crash_at = UINT64_MAX;
-    if (crash_on && p.crash_gap < options.horizon) {
-      crash_at = static_cast<uint64_t>(p.crash_from) + p.crash_gap;
-    }
-    uint64_t degrade_at = UINT64_MAX;
-    if (degrade_on && p.degrade_gap < options.horizon) {
-      degrade_at = std::max<uint64_t>(p.degrade_from, p.degraded_until) + p.degrade_gap;
-    }
-    uint64_t at = std::min(crash_at, degrade_at);
-    if (at >= options.horizon) return std::nullopt;
-    return SweepItem{static_cast<sim::Epoch>(at), 1, v,
-                     crash_at <= degrade_at ? FaultEvent::Kind::kCrash
-                                            : FaultEvent::Kind::kDegradeStart};
+    uint64_t best_at = UINT64_MAX;
+    FaultEvent::Kind best_kind = FaultEvent::Kind::kCrash;
+    auto consider = [&](bool on, uint64_t from, uint64_t gap, FaultEvent::Kind kind) {
+      if (!on || gap >= options.horizon) return;
+      uint64_t at = from + gap;
+      if (at < best_at) {
+        best_at = at;
+        best_kind = kind;
+      }
+    };
+    consider(crash_on, p.crash_from, p.crash_gap, FaultEvent::Kind::kCrash);
+    consider(degrade_on, std::max<uint64_t>(p.degrade_from, p.degraded_until), p.degrade_gap,
+             FaultEvent::Kind::kDegradeStart);
+    consider(blackout_on, std::max<uint64_t>(p.blackout_from, p.blackout_until), p.blackout_gap,
+             FaultEvent::Kind::kBlackoutStart);
+    consider(burst_on, std::max<uint64_t>(p.burst_from, p.burst_until), p.burst_gap,
+             FaultEvent::Kind::kBurstStart);
+    if (best_at >= options.horizon) return std::nullopt;
+    return SweepItem{static_cast<sim::Epoch>(best_at), 1, v, best_kind};
   };
 
   std::priority_queue<SweepItem, std::vector<SweepItem>, SweepLater> queue;
   for (sim::NodeId v = 1; v < n; ++v) {
     procs[v].rng = master.Split(v);
+    // Draw order is fixed and each draw is gated on its clock being on, so a
+    // plan with the new episode kinds off consumes exactly the historical
+    // stream (byte-identical plans).
     if (crash_on) procs[v].crash_gap = GeometricSkip(procs[v].rng, options.crash_prob);
     if (degrade_on) procs[v].degrade_gap = GeometricSkip(procs[v].rng, options.degrade_prob);
+    if (blackout_on) procs[v].blackout_gap = GeometricSkip(procs[v].rng, options.blackout_prob);
+    if (burst_on) procs[v].burst_gap = GeometricSkip(procs[v].rng, options.burst_prob);
     if (std::optional<SweepItem> item = propose(v)) queue.push(*item);
   }
 
@@ -143,10 +169,12 @@ FaultPlan FaultPlan::Generate(const sim::Topology& topology, const FaultPlanOpti
         if (std::optional<SweepItem> next = propose(item.node)) queue.push(*next);
         break;
       }
-      case FaultEvent::Kind::kDegradeEnd: {
+      case FaultEvent::Kind::kDegradeEnd:
+      case FaultEvent::Kind::kBlackoutEnd:
+      case FaultEvent::Kind::kBurstEnd: {
         plan.events.push_back({item.at, item.kind, item.node, 0.0});
-        // Eligibility bookkeeping (degraded_until) was recorded when the
-        // episode started; the node's outstanding proposal already honors it.
+        // Eligibility bookkeeping (*_until) was recorded when the episode
+        // started; the node's outstanding proposal already honors it.
         break;
       }
       case FaultEvent::Kind::kCrash: {
@@ -167,6 +195,14 @@ FaultPlan FaultPlan::Generate(const sim::Topology& topology, const FaultPlanOpti
           uint64_t clean_from = std::max<uint64_t>(p.degrade_from, p.degraded_until);
           if (item.at > clean_from) p.degrade_gap -= item.at - clean_from;
         }
+        if (blackout_on) {
+          uint64_t clean_from = std::max<uint64_t>(p.blackout_from, p.blackout_until);
+          if (item.at > clean_from) p.blackout_gap -= item.at - clean_from;
+        }
+        if (burst_on) {
+          uint64_t clean_from = std::max<uint64_t>(p.burst_from, p.burst_until);
+          if (item.at > clean_from) p.burst_gap -= item.at - clean_from;
+        }
         if (options.mean_downtime == 0) break;  // permanent: the node is done
         auto downtime =
             static_cast<sim::Epoch>(1 + p.rng.NextBounded(2 * options.mean_downtime));
@@ -177,6 +213,8 @@ FaultPlan FaultPlan::Generate(const sim::Topology& topology, const FaultPlanOpti
         p.crash_from = static_cast<sim::Epoch>(back);
         p.crash_gap = GeometricSkip(p.rng, options.crash_prob);
         p.degrade_from = static_cast<sim::Epoch>(back);
+        p.blackout_from = static_cast<sim::Epoch>(back);
+        p.burst_from = static_cast<sim::Epoch>(back);
         queue.push({static_cast<sim::Epoch>(back), 0, item.node, FaultEvent::Kind::kRecover});
         break;
       }
@@ -188,6 +226,30 @@ FaultPlan FaultPlan::Generate(const sim::Topology& topology, const FaultPlanOpti
         p.degrade_gap = GeometricSkip(p.rng, options.degrade_prob);
         if (end < options.horizon) {
           queue.push({end, 0, item.node, FaultEvent::Kind::kDegradeEnd});
+        }
+        if (std::optional<SweepItem> next = propose(item.node)) queue.push(*next);
+        break;
+      }
+      case FaultEvent::Kind::kBlackoutStart: {
+        plan.events.push_back({item.at, item.kind, item.node, 1.0});
+        sim::Epoch end = item.at + std::max<sim::Epoch>(1, options.blackout_duration);
+        p.blackout_until = end;
+        p.blackout_from = end;
+        p.blackout_gap = GeometricSkip(p.rng, options.blackout_prob);
+        if (end < options.horizon) {
+          queue.push({end, 0, item.node, FaultEvent::Kind::kBlackoutEnd});
+        }
+        if (std::optional<SweepItem> next = propose(item.node)) queue.push(*next);
+        break;
+      }
+      case FaultEvent::Kind::kBurstStart: {
+        plan.events.push_back({item.at, item.kind, item.node, options.burst_extra_loss});
+        sim::Epoch end = item.at + std::max<sim::Epoch>(1, options.burst_duration);
+        p.burst_until = end;
+        p.burst_from = end;
+        p.burst_gap = GeometricSkip(p.rng, options.burst_prob);
+        if (end < options.horizon) {
+          queue.push({end, 0, item.node, FaultEvent::Kind::kBurstEnd});
         }
         if (std::optional<SweepItem> next = propose(item.node)) queue.push(*next);
         break;
@@ -211,8 +273,12 @@ std::string FaultPlan::Summary() const {
   std::ostringstream oss;
   oss << CountKind(FaultEvent::Kind::kCrash) << " crashes, "
       << CountKind(FaultEvent::Kind::kRecover) << " recoveries, "
-      << CountKind(FaultEvent::Kind::kDegradeStart) << " degradation episodes over "
-      << events.size() << " events (seed " << seed << ")";
+      << CountKind(FaultEvent::Kind::kDegradeStart) << " degradation episodes";
+  size_t blackouts = CountKind(FaultEvent::Kind::kBlackoutStart);
+  size_t bursts = CountKind(FaultEvent::Kind::kBurstStart);
+  if (blackouts > 0) oss << ", " << blackouts << " blackouts";
+  if (bursts > 0) oss << ", " << bursts << " burst-loss episodes";
+  oss << " over " << events.size() << " events (seed " << seed << ")";
   return oss.str();
 }
 

@@ -19,6 +19,10 @@ struct FaultEvent {
     kRecover,       ///< A crashed node comes back (and must re-attach).
     kDegradeStart,  ///< Links touching the node start losing extra frames.
     kDegradeEnd,    ///< The degradation episode ends.
+    kBlackoutStart, ///< Links touching the node lose everything (loss 1.0).
+    kBlackoutEnd,   ///< The blackout lifts.
+    kBurstStart,    ///< A correlated burst-loss episode starts on the node's links.
+    kBurstEnd,      ///< The burst-loss episode ends.
   };
   sim::Epoch at = 0;
   Kind kind = Kind::kCrash;
@@ -51,6 +55,19 @@ struct FaultPlanOptions {
   /// Crash draws stop while this fraction of sensors is already down, so a
   /// hot plan cannot depopulate the network outright.
   double max_down_fraction = 0.5;
+  /// Probability a clean node's links black out entirely in an epoch (every
+  /// frame lost until the episode ends) — the correlated-loss stressor the
+  /// reliability layer's deadline/budget path is tested against.
+  double blackout_prob = 0.0;
+  /// Blackout length in epochs.
+  sim::Epoch blackout_duration = 3;
+  /// Probability a clean node starts a burst-loss episode in an epoch:
+  /// heavier than a degradation, lighter than a blackout.
+  double burst_prob = 0.0;
+  /// Extra per-frame loss during a burst episode.
+  double burst_extra_loss = 0.6;
+  /// Burst episode length in epochs.
+  sim::Epoch burst_duration = 5;
 };
 
 /// A reproducible schedule of node churn and link dynamics.

@@ -430,6 +430,9 @@ util::StatusOr<EpochUpdate> QueryCoordinator::StepEpoch() {
   EpochUpdate update;
   update.epoch = epoch;
   sim::TrafficCounters epoch_start = session.net.total();
+  // Refill per-node retry budgets and clear the degraded flag: deadlines and
+  // budgets are per-epoch contracts.
+  if (options_.reliability.enabled) session.net.BeginReliabilityEpoch();
 
   bool topology_changed = false;
   sim::TopologyDelta delta;
@@ -530,6 +533,17 @@ util::StatusOr<EpochUpdate> QueryCoordinator::StepEpoch() {
       update.detached = session.churn->detached_count();
       update.repair_events = session.churn->repair_events();
       update.repair_messages = session.churn->repair_messages();
+    }
+    update.degraded = session.net.EpochDegraded();
+    if (options_.reliability.enabled && obs::MetricsOn()) {
+      static obs::Counter& retries = obs::Registry().counter("net.retries");
+      static obs::Counter& backoff = obs::Registry().counter("net.backoff_us");
+      static obs::Histogram& completeness = obs::Registry().histogram("result.completeness");
+      retries.Add(update.epoch_cost.retries);
+      backoff.Add(update.epoch_cost.backoff_us);
+      for (const GroupUpdate& gu : update.groups) {
+        if (gu.ran && gu.result) completeness.Observe(gu.result->completeness);
+      }
     }
   }
   if (step_start != 0) {

@@ -106,6 +106,10 @@ struct EpochUpdate {
   size_t detached = 0;
   size_t repair_events = 0;      ///< Cumulative over the session.
   uint64_t repair_messages = 0;  ///< Cumulative over the session.
+  /// True when a reliability-layer epoch deadline truncated a wave this
+  /// epoch: some group's answer is structurally partial (its TopKResult
+  /// carries the per-result completeness). Always false with the layer off.
+  bool degraded = false;
   /// One entry per live operator group, in this epoch's execution order
   /// (priority-desc, then creation order).
   std::vector<GroupUpdate> groups;

@@ -60,6 +60,10 @@ struct DeploymentConfig {
   /// (golden_equivalence_test pins bit-identical runs with both fully on).
   bool enable_metrics = false;
   bool enable_tracing = false;
+  /// Reliability & graceful-degradation layer (adaptive retry/backoff, epoch
+  /// deadlines, completeness accounting). Off by default and then bit-inert:
+  /// disabled runs are byte-identical to a build without the layer.
+  sim::ReliabilityOptions reliability;
 };
 
 /// One deployed sensor network as the base station administers it: the
@@ -112,6 +116,7 @@ inline sim::NetworkOptions RadioOptionsFrom(const DeploymentConfig& options) {
   opts.loss_prob = options.loss_prob;
   opts.max_retries = options.max_retries;
   opts.battery_j = options.battery_j;
+  opts.reliability = options.reliability;
   return opts;
 }
 

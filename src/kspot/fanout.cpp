@@ -113,6 +113,10 @@ util::StatusOr<SubscriberStats> FanOutHub::Stats(SubscriberId id) const {
       stats.staleness = last_epoch_ - sub->last_delivery_epoch;
     }
   }
+  auto it = feeds_.find(sub->query);
+  if (it != feeds_.end() && it->second.latest) {
+    stats.completeness = it->second.latest->completeness;
+  }
   return stats;
 }
 

@@ -25,6 +25,11 @@ struct SubscriberStats {
   /// Rate-limited queries (AdmitOptions::period > 1) accrue staleness on
   /// skipped epochs and snap back to 0 when their group runs.
   sim::Epoch staleness = 0;
+  /// Completeness of the view currently served (the latest materialized
+  /// ranked result's TopKResult::completeness). 1.0 before any delivery, for
+  /// tuple-select queries, and whenever the reliability layer is off —
+  /// subscribers see staleness AND how partial the data behind it is.
+  double completeness = 1.0;
 };
 
 /// Subscriber fan-out over a coordinator session (the U ≫ Q production

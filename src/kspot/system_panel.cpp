@@ -19,6 +19,11 @@ void SystemPanel::RecordNodeStatus(const NodeStatus& status) { node_status_ = st
 
 void SystemPanel::RecordMetrics(const obs::MetricsSnapshot& snapshot) { metrics_ = snapshot; }
 
+void SystemPanel::RecordReliability(const ReliabilityStatus& status) {
+  reliability_ = status;
+  reliability_recorded_ = true;
+}
+
 double SystemPanel::MessageSavingsPercent() const {
   return core::CostReport::SavingsPercent(static_cast<double>(baseline_.messages),
                                           static_cast<double>(kspot_.messages));
@@ -50,6 +55,11 @@ std::string SystemPanel::Render() const {
     if (node_status_.detached > 0) oss << " (" << node_status_.detached << " detached)";
     oss << "   tree repairs " << node_status_.repair_events << " ("
         << node_status_.repair_messages << " msgs)\n";
+  }
+  if (reliability_recorded_) {
+    oss << "  completeness " << util::FormatDouble(reliability_.completeness * 100.0, 1)
+        << "%   degraded epochs " << reliability_.degraded_epochs << "   retries "
+        << reliability_.retries << " (" << reliability_.backoff_us << " us backoff)\n";
   }
   if (!metrics_.empty()) {
     oss << "  --- runtime metrics ---\n";

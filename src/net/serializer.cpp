@@ -39,7 +39,16 @@ void Writer::PutString(const std::string& s) {
 }
 
 bool Reader::Ensure(size_t n) {
-  if (!ok_ || pos_ + n > len_) {
+  // Overflow-safe form: `pos_ + n > len_` wraps for n near SIZE_MAX (e.g. a
+  // hostile GetBytes length) and would pass the check, reading out of bounds.
+  if (!ok_ || n > len_ - pos_) {
+    if (strict_) {
+      std::fprintf(stderr,
+                   "net::Reader: overrun reading %zu bytes at offset %zu of a "
+                   "%zu-byte buffer (strict mode)\n",
+                   n, pos_, len_);
+      std::abort();
+    }
     ok_ = false;
     return false;
   }

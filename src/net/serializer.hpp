@@ -49,12 +49,21 @@ class Writer {
 
 /// Little-endian reader over a byte buffer; sets a sticky error flag on
 /// overrun instead of throwing (malformed radio frames are expected input).
+/// Every Get* is bounds-checked: an overrun never reads past the buffer, it
+/// returns a zero value and latches !ok(). Parsers of *trusted* images (our
+/// own Writer output, golden files) can opt into strict mode, where an
+/// overrun aborts loudly instead — truncation there is a programming error,
+/// and a zero-filled struct silently flowing downstream is how it hides.
 class Reader {
  public:
   /// Creates a reader over `data[0..len)`; the buffer must outlive the reader.
   Reader(const uint8_t* data, size_t len) : data_(data), len_(len) {}
   /// Creates a reader over a vector.
   explicit Reader(const std::vector<uint8_t>& buf) : Reader(buf.data(), buf.size()) {}
+
+  /// Strict mode: any overrun aborts (fprintf + abort) instead of latching
+  /// the sticky error flag. For trusted inputs only.
+  void SetStrict(bool strict) { strict_ = strict; }
 
   /// Reads an unsigned 8-bit value (0 on error).
   uint8_t GetU8();
@@ -85,6 +94,7 @@ class Reader {
   size_t len_;
   size_t pos_ = 0;
   bool ok_ = true;
+  bool strict_ = false;
 
   bool Ensure(size_t n);
 };

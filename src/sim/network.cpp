@@ -1,6 +1,7 @@
 #include "sim/network.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 #include <mutex>
 #include <unordered_map>
@@ -47,6 +48,7 @@ Network::Network(const Topology* topology, const RoutingTree* tree, NetworkOptio
                  util::Rng rng)
     : topology_(topology), tree_(tree), options_(options), rng_(rng) {
   state_.Reset(topology->num_nodes(), options.battery_j);
+  BeginReliabilityEpoch();
   static const PhaseId kDefaultPhase = InternPhase("default");
   SetPhase(kDefaultPhase);
 }
@@ -143,7 +145,111 @@ double Network::LinkLossProb(NodeId from, NodeId to) const {
   for (double extra : {state_.extra_loss[from], state_.extra_loss[to]}) {
     if (extra > 0.0) p = p + (1.0 - p) * std::min(1.0, extra);
   }
-  return p;
+  // The compounding above keeps p in [0, 1] for in-range inputs, but a
+  // configured edge_max_loss > 1 (or a baseline outside [0, 1]) could push
+  // it out, and a probability > 1 silently breaks the Bernoulli draws.
+  return std::clamp(p, 0.0, 1.0);
+}
+
+void Network::BeginReliabilityEpoch() {
+  std::fill(state_.retry_budget_left.begin(), state_.retry_budget_left.end(),
+            options_.reliability.retry_budget);
+  state_.epoch_degraded = 0;
+  state_.truncated_nodes = 0;
+}
+
+void Network::MarkEpochDegraded(uint32_t truncated) {
+  state_.epoch_degraded = 1;
+  state_.truncated_nodes += truncated;
+}
+
+uint32_t Network::ApplyWaveDepthBudget(int depth_cap) {
+  uint32_t cut = 0;
+  for (NodeId node : tree_->wave_order()) {
+    if (tree_->depth(node) > static_cast<size_t>(depth_cap) && NodeAlive(node)) ++cut;
+  }
+  if (cut > 0) MarkEpochDegraded(cut);
+  return cut;
+}
+
+size_t Network::AliveAttachedSensors() const {
+  size_t n = 0;
+  for (size_t i = 1; i < state_.meters.size(); ++i) {
+    auto id = static_cast<NodeId>(i);
+    if (NodeAlive(id) && tree_->attached(id)) ++n;
+  }
+  return n;
+}
+
+int Network::PlannedAttempts(double ewma_loss) const {
+  const ReliabilityOptions& rel = options_.reliability;
+  int cap = std::max(1, rel.max_retries + 1);
+  if (!(ewma_loss > 0.0)) return 1;   // clean link: one attempt suffices
+  if (ewma_loss >= 1.0) return cap;   // blackout: spend the whole allowance
+  double need = std::log(std::max(rel.residual_target, 1e-12)) / std::log(ewma_loss);
+  if (!(need > 1.0)) return 1;
+  if (need >= static_cast<double>(cap)) return cap;
+  return static_cast<int>(std::ceil(need));
+}
+
+bool Network::ReliableUnicast(NodeId sender, NodeId receiver, NodeId link_slot,
+                              size_t payload_bytes, util::Rng& loss_rng,
+                              TrafficCounters& delta) {
+  const ReliabilityOptions& rel = options_.reliability;
+  size_t frames = options_.radio.FramesForPayload(payload_bytes);
+  double link_loss = LinkLossProb(sender, receiver);
+  // The EWMA samples *message*-level outcomes, so planning works at message
+  // level too: a message dies when any of its frames does.
+  double msg_loss =
+      frames <= 1 ? link_loss : 1.0 - std::pow(1.0 - link_loss, static_cast<double>(frames));
+  LinkEstimator& est = state_.link_est[link_slot];
+  NodeId other = link_slot == sender ? receiver : sender;
+  if (est.to != other) {
+    // First sighting of this link (or churn re-parented the node): the prior
+    // is the loss model's own message loss, so even the first message
+    // schedules a sensible attempt count.
+    est.to = other;
+    est.ewma = msg_loss;
+  }
+  bool delivered = false;
+  // The model's own loss floors the estimate: the EWMA adapts *upward* when
+  // the link runs worse than modeled (episodes, interference), but a lucky
+  // streak of binary samples must not talk the policy into under-retrying a
+  // link the model says is lossy.
+  int attempts = PlannedAttempts(std::max(est.ewma, msg_loss));
+  for (int attempt = 0; attempt < attempts && !delivered; ++attempt) {
+    if (!NodeAlive(sender)) break;
+    if (attempt > 0) {
+      if (rel.retry_budget > 0) {
+        if (state_.retry_budget_left[sender] == 0) break;
+        --state_.retry_budget_left[sender];
+      }
+      uint64_t backoff = attempt - 1 >= 30
+                             ? rel.backoff_cap_us
+                             : std::min(rel.backoff_cap_us, rel.backoff_base_us
+                                                                << (attempt - 1));
+      // The radio idles in receive mode while it waits out the backoff, so
+      // the wait is charged at the rx draw (idle-listen energy).
+      double idle_j = options_.energy.RxEnergy(1e-6 * static_cast<double>(backoff));
+      state_.meters[sender].AddRx(idle_j);
+      delta.rx_energy_j += idle_j;
+      delta.retries += 1;
+      delta.backoff_us += backoff;
+    }
+    ChargeTx(sender, payload_bytes, delta);
+    bool lost = false;
+    for (size_t f = 0; f < frames && !lost; ++f) {
+      lost = loss_rng.NextBernoulli(link_loss);
+    }
+    est.ewma = rel.ewma_alpha * (lost ? 1.0 : 0.0) + (1.0 - rel.ewma_alpha) * est.ewma;
+    if (!lost && NodeAlive(receiver)) {
+      double rx_j = options_.energy.RxEnergy(options_.radio.AirtimeSeconds(payload_bytes));
+      state_.meters[receiver].AddRx(rx_j);
+      delta.rx_energy_j += rx_j;
+      delivered = true;
+    }
+  }
+  return delivered;
 }
 
 void Network::ChargeTx(NodeId sender, size_t payload_bytes, TrafficCounters& counters) {
@@ -162,6 +268,9 @@ void Network::ChargeTx(NodeId sender, size_t payload_bytes, TrafficCounters& cou
 bool Network::UnicastToParentWith(NodeId child, size_t payload_bytes, util::Rng& loss_rng,
                                   TrafficCounters& delta) {
   NodeId parent = tree_->parent(child);
+  if (options_.reliability.enabled) {
+    return ReliableUnicast(child, parent, child, payload_bytes, loss_rng, delta);
+  }
   bool delivered = false;
   // Per-frame loss: the message survives an attempt only if every fragment does.
   size_t frames = options_.radio.FramesForPayload(payload_bytes);
@@ -191,7 +300,9 @@ bool Network::UnicastToParent(NodeId child, size_t payload_bytes) {
   bool delivered = UnicastToParentWith(child, payload_bytes, rng_, delta);
   state_.total.Add(delta);
   state_.by_phase[phase_id_].Add(delta);
-  events_.AdvanceTo(events_.now() + options_.radio.AirtimeMicros(payload_bytes));
+  // backoff_us is zero unless the reliability layer waited out retries.
+  events_.AdvanceTo(events_.now() + options_.radio.AirtimeMicros(payload_bytes) +
+                    delta.backoff_us);
   return delivered;
 }
 
@@ -201,7 +312,7 @@ bool Network::LaneUnicastToParent(NodeId child, size_t payload_bytes, LaneSendEf
   if (!NodeAlive(child)) return false;
   bool delivered =
       UnicastToParentWith(child, payload_bytes, state_.node_rngs[child], fx->delta);
-  fx->airtime = options_.radio.AirtimeMicros(payload_bytes);
+  fx->airtime = options_.radio.AirtimeMicros(payload_bytes) + fx->delta.backoff_us;
   fx->sent = true;
   return delivered;
 }
@@ -235,24 +346,31 @@ bool Network::UnicastDownPath(NodeId target, size_t payload_bytes) {
     if (!NodeAlive(sender)) return false;
     TrafficCounters delta;
     bool delivered = false;
-    size_t frames = options_.radio.FramesForPayload(payload_bytes);
-    double link_loss = LinkLossProb(sender, receiver);
-    for (int attempt = 0; attempt <= options_.max_retries && !delivered; ++attempt) {
-      ChargeTx(sender, payload_bytes, delta);
-      bool lost = false;
-      for (size_t f = 0; f < frames && !lost; ++f) {
-        lost = rng_.NextBernoulli(link_loss);
-      }
-      if (!lost && NodeAlive(receiver)) {
-        double rx_j = options_.energy.RxEnergy(options_.radio.AirtimeSeconds(payload_bytes));
-        state_.meters[receiver].AddRx(rx_j);
-        delta.rx_energy_j += rx_j;
-        delivered = true;
+    if (options_.reliability.enabled) {
+      // Down traffic shares the child-endpoint estimator slot with up traffic
+      // (the link is the same; LinkLossProb is symmetric).
+      delivered = ReliableUnicast(sender, receiver, receiver, payload_bytes, rng_, delta);
+    } else {
+      size_t frames = options_.radio.FramesForPayload(payload_bytes);
+      double link_loss = LinkLossProb(sender, receiver);
+      for (int attempt = 0; attempt <= options_.max_retries && !delivered; ++attempt) {
+        ChargeTx(sender, payload_bytes, delta);
+        bool lost = false;
+        for (size_t f = 0; f < frames && !lost; ++f) {
+          lost = rng_.NextBernoulli(link_loss);
+        }
+        if (!lost && NodeAlive(receiver)) {
+          double rx_j = options_.energy.RxEnergy(options_.radio.AirtimeSeconds(payload_bytes));
+          state_.meters[receiver].AddRx(rx_j);
+          delta.rx_energy_j += rx_j;
+          delivered = true;
+        }
       }
     }
     state_.total.Add(delta);
     state_.by_phase[phase_id_].Add(delta);
-    events_.AdvanceTo(events_.now() + options_.radio.AirtimeMicros(payload_bytes));
+    events_.AdvanceTo(events_.now() + options_.radio.AirtimeMicros(payload_bytes) +
+                      delta.backoff_us);
     if (!delivered) return false;
   }
   return true;

@@ -19,6 +19,42 @@ namespace kspot::sim {
 
 class ShardRuntime;
 
+/// The end-to-end reliability & graceful-degradation layer (everything off
+/// by default — a default-constructed struct leaves the network bit-identical
+/// to a build without it). When enabled, unicast sends replace the flat
+/// `max_retries` ARQ loop with an adaptive per-link policy: an EWMA
+/// link-quality estimator (ShardState::link_est) schedules just enough
+/// attempts to push the residual per-message loss under `residual_target`,
+/// retries wait out an exponential backoff charged as idle-listen energy,
+/// and a per-node per-epoch retry budget bounds the worst-case spend.
+/// `wave_depth_budget` adds epoch deadlines: converge-cast/dissemination
+/// waves truncate at that slot depth and the epoch is marked degraded.
+struct ReliabilityOptions {
+  /// Master switch. Off: the flat NetworkOptions::max_retries loop runs and
+  /// nothing below is consulted (byte-identical to the pre-layer network).
+  bool enabled = false;
+  /// Hard cap on retransmissions per message (the adaptive policy picks a
+  /// count in [0, max_retries] from the link estimate).
+  int max_retries = 3;
+  /// Retransmissions one node may spend per epoch; 0 = unlimited. Refilled
+  /// by Network::BeginReliabilityEpoch.
+  uint32_t retry_budget = 64;
+  /// EWMA smoothing factor of the per-link loss estimator.
+  double ewma_alpha = 0.25;
+  /// Target residual per-message loss: attempts A are chosen as the smallest
+  /// count with ewma^A <= residual_target (capped by max_retries). The
+  /// estimate is floored at the loss model's own message-level loss, so the
+  /// EWMA only ever adapts the policy *upward* from the modeled link.
+  double residual_target = 0.05;
+  /// First-retry backoff; doubles per further retry up to backoff_cap_us.
+  uint64_t backoff_base_us = 500;
+  uint64_t backoff_cap_us = 8000;
+  /// Epoch deadline as a slot-depth budget: nodes deeper than this many
+  /// slots are cut from waves (the epoch degrades gracefully instead of
+  /// overrunning). 0 = no deadline.
+  int wave_depth_budget = 0;
+};
+
 /// Configuration for the simulated radio network.
 struct NetworkOptions {
   /// Baseline per-frame loss probability on unicast and broadcast links.
@@ -38,6 +74,9 @@ struct NetworkOptions {
   RadioModel radio;
   /// Energy cost model.
   EnergyModel energy;
+  /// Adaptive retry/backoff, epoch deadlines and completeness accounting;
+  /// disabled by default (and then bit-inert).
+  ReliabilityOptions reliability;
 };
 
 /// The simulated radio network: delivers messages along the routing tree,
@@ -179,8 +218,33 @@ class Network {
   void AttachShardRuntime(ShardRuntime* runtime) { shard_runtime_ = runtime; }
 
   /// Per-frame loss probability of the link `from -> to` under the options'
-  /// loss model (baseline + distance-dependent gray zone).
+  /// loss model (baseline + distance-dependent gray zone + degradation
+  /// episodes at either endpoint), clamped to [0, 1].
   double LinkLossProb(NodeId from, NodeId to) const;
+
+  // ------------------------------------------------------ reliability layer
+
+  /// Opens a reliability epoch: refills every node's retry budget and clears
+  /// the degraded flag / truncation count. Call once per epoch before the
+  /// waves when ReliabilityOptions::enabled; a no-op worth skipping when it
+  /// is off. The constructor runs it once so standalone single-epoch use
+  /// starts with full budgets.
+  void BeginReliabilityEpoch();
+  /// True when a wave deadline truncated this epoch.
+  bool EpochDegraded() const { return state_.epoch_degraded != 0; }
+  /// Alive wave-order nodes deadlines cut this epoch.
+  uint32_t TruncatedNodes() const { return state_.truncated_nodes; }
+  /// Marks the epoch degraded, attributing `truncated` cut nodes. Serial
+  /// sections only (waves call it; lanes never do).
+  void MarkEpochDegraded(uint32_t truncated);
+  /// Counts the alive wave-order nodes deeper than `depth_cap` slots — the
+  /// nodes an UpWave under that deadline cuts — and marks the epoch degraded
+  /// when any exist. Returns the count. Serial-only.
+  uint32_t ApplyWaveDepthBudget(int depth_cap);
+  /// Alive, tree-attached sensors (sink excluded): the population a complete
+  /// epoch answer should have heard from — the denominator of
+  /// TopKResult::completeness. Pure read.
+  size_t AliveAttachedSensors() const;
 
  private:
   const Topology* topology_;
@@ -203,6 +267,16 @@ class Network {
   /// `loss_rng` selects which stream pays the Bernoulli draws.
   bool UnicastToParentWith(NodeId child, size_t payload_bytes, util::Rng& loss_rng,
                            TrafficCounters& delta);
+  /// Adaptive-ARQ unicast core (ReliabilityOptions::enabled): EWMA-scheduled
+  /// attempts, exponential backoff charged as idle listening, per-epoch
+  /// retry budget. `link_slot` is the child endpoint of the link (its
+  /// LinkEstimator slot); safe in lanes for in-lane links.
+  bool ReliableUnicast(NodeId sender, NodeId receiver, NodeId link_slot, size_t payload_bytes,
+                       util::Rng& loss_rng, TrafficCounters& delta);
+  /// Attempts the adaptive policy schedules for a link estimated at
+  /// `ewma_loss`: the smallest A with ewma^A <= residual_target, in
+  /// [1, reliability.max_retries + 1]. Deterministic.
+  int PlannedAttempts(double ewma_loss) const;
 };
 
 }  // namespace kspot::sim

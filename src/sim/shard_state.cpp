@@ -7,6 +7,8 @@ void TrafficCounters::Add(const TrafficCounters& other) {
   frames += other.frames;
   payload_bytes += other.payload_bytes;
   onair_bytes += other.onair_bytes;
+  retries += other.retries;
+  backoff_us += other.backoff_us;
   tx_energy_j += other.tx_energy_j;
   rx_energy_j += other.rx_energy_j;
 }
@@ -17,6 +19,8 @@ TrafficCounters TrafficCounters::Since(const TrafficCounters& earlier) const {
   d.frames = frames - earlier.frames;
   d.payload_bytes = payload_bytes - earlier.payload_bytes;
   d.onair_bytes = onair_bytes - earlier.onair_bytes;
+  d.retries = retries - earlier.retries;
+  d.backoff_us = backoff_us - earlier.backoff_us;
   d.tx_energy_j = tx_energy_j - earlier.tx_energy_j;
   d.rx_energy_j = rx_energy_j - earlier.rx_energy_j;
   return d;
@@ -31,6 +35,10 @@ void ShardState::Reset(size_t num_nodes, double battery_j) {
   by_phase.clear();
   phase_touched.clear();
   node_rngs.clear();
+  link_est.assign(num_nodes, LinkEstimator{});
+  retry_budget_left.assign(num_nodes, 0);
+  epoch_degraded = 0;
+  truncated_nodes = 0;
 }
 
 }  // namespace kspot::sim

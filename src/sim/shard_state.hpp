@@ -18,6 +18,8 @@ struct TrafficCounters {
   uint64_t frames = 0;        ///< TinyOS frames after fragmentation.
   uint64_t payload_bytes = 0; ///< Application payload bytes.
   uint64_t onair_bytes = 0;   ///< Bytes on the air incl. headers + preambles.
+  uint64_t retries = 0;       ///< Adaptive-ARQ retransmissions (reliability layer).
+  uint64_t backoff_us = 0;    ///< Idle-listen backoff time spent before retries.
   double tx_energy_j = 0.0;   ///< Sender-side radio energy, joules.
   double rx_energy_j = 0.0;   ///< Receiver-side radio energy, joules.
 
@@ -35,6 +37,19 @@ struct TrafficCounters {
 /// switches are an integer compare plus an array index instead of a
 /// string-keyed map lookup.
 using PhaseId = uint32_t;
+
+/// One node's EWMA estimate of its current tree link's per-frame loss
+/// (reliability layer). The slot is indexed by the *child* endpoint of the
+/// link regardless of transfer direction — LinkLossProb is symmetric, so up
+/// and down traffic share one estimate — and `to` records the other endpoint
+/// so a churn re-parenting resets the estimate instead of inheriting a stale
+/// one. Lanes only ever touch slots of their own subtree's nodes, so sharded
+/// waves update estimators race-free, and the estimate evolves from the
+/// sender's own loss draws alone — invariant under shard and thread count.
+struct LinkEstimator {
+  NodeId to = kNoNode;  ///< Other endpoint the estimate refers to.
+  double ewma = 0.0;    ///< EWMA per-frame loss; seeded from the loss model.
+};
 
 /// Everything a Network mutates while an epoch runs, extracted into one
 /// plain value type: the per-node battery/energy ledger, the admin up flags
@@ -68,6 +83,18 @@ struct ShardState {
   /// *sender's* substream, so outcomes are independent of how subtrees are
   /// packed into shards and of the worker-thread count.
   std::vector<util::Rng> node_rngs;
+  /// Per-child-endpoint link-quality estimators (reliability layer). Sized
+  /// always, consulted only when ReliabilityOptions::enabled.
+  std::vector<LinkEstimator> link_est;
+  /// Retransmissions each node may still spend this epoch; refilled by
+  /// Network::BeginReliabilityEpoch. Zero everywhere while reliability is
+  /// off (the adaptive path is never entered).
+  std::vector<uint32_t> retry_budget_left;
+  /// 1 when a wave deadline truncated this epoch (graceful degradation).
+  /// Written only from serial sections; cleared by BeginReliabilityEpoch.
+  uint8_t epoch_degraded = 0;
+  /// Alive wave-order nodes the deadline cut this epoch, cumulative.
+  uint32_t truncated_nodes = 0;
 
   /// Sizes the per-node arrays for `num_nodes` nodes with fresh batteries.
   void Reset(size_t num_nodes, double battery_j);
@@ -75,7 +102,8 @@ struct ShardState {
 
 /// The bookkeeping one deferred (lane-local) transmission produces: the
 /// counter delta the canonical epoch-boundary replay commits, and the
-/// airtime by which the shared clock advances at the message's slot.
+/// airtime (plus any reliability backoff) by which the shared clock advances
+/// at the message's slot.
 struct LaneSendEffect {
   TrafficCounters delta;
   TimeUs airtime = 0;

@@ -86,7 +86,15 @@ class UpWave {
     }
     std::optional<Msg> sink_result;
     TimeUs base = net.events().now();
+    const size_t depth_cap = WaveDepthCap(net);
+    if (depth_cap > 0) net.ApplyWaveDepthBudget(static_cast<int>(depth_cap));
     for (NodeId node : tree.wave_order()) {
+      // Epoch deadline: nodes beyond the slot budget are cut from the wave
+      // (their subtree data never reaches the sink; the epoch is degraded).
+      if (depth_cap > 0 && tree.depth(node) > depth_cap) {
+        ws.inbox[node].clear();
+        continue;
+      }
       if (!net.NodeAlive(node)) {
         ws.inbox[node].clear();
         continue;
@@ -104,15 +112,30 @@ class UpWave {
       }
     }
     // Clock parity with the event-queue schedule: the last transmission slot
-    // belongs to the sink (depth 0, last post-order position).
+    // belongs to the sink (depth 0, last post-order position). A deadline
+    // shortens the wave to its slot budget.
     if (!tree.post_order().empty()) {
-      net.events().AdvanceTo(base + static_cast<TimeUs>(tree.max_depth()) * kSlotUs +
+      net.events().AdvanceTo(base + WaveSlots(tree, depth_cap) * kSlotUs +
                              static_cast<TimeUs>(tree.post_order().size() - 1));
     }
     return sink_result;
   }
 
  private:
+  /// The slot-depth deadline in force, 0 when none (reliability off or no
+  /// wave_depth_budget configured).
+  static size_t WaveDepthCap(const Network& net) {
+    const ReliabilityOptions& rel = net.options().reliability;
+    return rel.enabled && rel.wave_depth_budget > 0 ? static_cast<size_t>(rel.wave_depth_budget)
+                                                    : 0;
+  }
+
+  /// Slots the wave occupies: the tree depth, shortened by any deadline.
+  static TimeUs WaveSlots(const RoutingTree& tree, size_t depth_cap) {
+    size_t slots = tree.max_depth();
+    if (depth_cap > 0 && depth_cap < slots) slots = depth_cap;
+    return static_cast<TimeUs>(slots);
+  }
   /// Calls `produce` with or without the lane index, whichever it accepts.
   template <typename ProduceFn>
   static std::optional<Msg> InvokeProduce(ProduceFn& produce, NodeId node, std::vector<Msg>&& in,
@@ -149,10 +172,18 @@ class UpWave {
     std::vector<LaneSendEffect>& captures = rt.captures();
     if (ws.root_out.size() != tree.num_nodes()) ws.root_out.assign(tree.num_nodes(), std::nullopt);
     TimeUs base = net.events().now();
+    // Deadline accounting runs serially before the lanes launch; lanes only
+    // read the cap (epoch_degraded is never written from a lane).
+    const size_t depth_cap = WaveDepthCap(net);
+    if (depth_cap > 0) net.ApplyWaveDepthBudget(static_cast<int>(depth_cap));
 
     rt.RunLanes([&](size_t lane) {
       for (NodeId node : plan.lanes[lane]) {
         captures[node] = LaneSendEffect{};
+        if (depth_cap > 0 && tree.depth(node) > depth_cap) {
+          ws.inbox[node].clear();
+          continue;
+        }
         if (!net.NodeAlive(node)) {
           ws.inbox[node].clear();
           continue;
@@ -197,7 +228,7 @@ class UpWave {
       }
     }
     if (!tree.post_order().empty()) {
-      net.events().AdvanceTo(base + static_cast<TimeUs>(tree.max_depth()) * kSlotUs +
+      net.events().AdvanceTo(base + WaveSlots(tree, depth_cap) * kSlotUs +
                              static_cast<TimeUs>(tree.post_order().size() - 1));
     }
     return sink_result;
@@ -248,6 +279,13 @@ class DownWave {
     std::vector<Msg> msgs;
     size_t reached = 0;
     uint64_t next_seq = 0;
+    // Epoch deadline: receptions scheduled past the slot budget are dropped
+    // and the epoch is marked degraded. 0 = no deadline.
+    const ReliabilityOptions& rel = net.options().reliability;
+    const TimeUs deadline =
+        rel.enabled && rel.wave_depth_budget > 0
+            ? net.events().now() + static_cast<TimeUs>(rel.wave_depth_budget) * kSlotUs
+            : 0;
     // The sink's visit runs inline (the old scheme never scheduled it), with
     // a null incoming message.
     NodeId node = kSinkId;
@@ -271,6 +309,12 @@ class DownWave {
       if (frontier.empty()) break;
       Pending next = frontier.top();
       frontier.pop();
+      if (deadline != 0 && next.at > deadline) {
+        // The frontier pops in (time, seq) order, so everything still queued
+        // is at least as late: the whole remainder is cut.
+        net.MarkEpochDegraded(static_cast<uint32_t>(frontier.size() + 1));
+        break;
+      }
       // Executing an event pins the clock to the event's own time, even when
       // a sibling's broadcast already advanced past it.
       net.events().JumpTo(next.at);

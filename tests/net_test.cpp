@@ -97,6 +97,84 @@ TEST(SerializerTest, OverrunSetsStickyError) {
   EXPECT_FALSE(r.ok());
 }
 
+TEST(SerializerTest, HugeGetBytesLengthDoesNotOverflowTheBoundsCheck) {
+  // A hostile length near SIZE_MAX used to wrap the `pos_ + n > len_`
+  // comparison and pass the check — the read then ran off the buffer. The
+  // overflow-safe form must just fail.
+  Writer w;
+  w.PutU32(42);
+  Reader r(w.bytes());
+  r.GetU8();  // pos_ > 0 so pos_ + SIZE_MAX wraps
+  uint8_t out[1] = {0};
+  EXPECT_FALSE(r.GetBytes(out, SIZE_MAX));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SerializerDeathTest, StrictModeAbortsPerGetter) {
+  // Each getter at its boundary: 1 byte short of what it needs. Sticky mode
+  // is the default for untrusted frames; strict mode is for trusted images
+  // where truncation is a programming error and must not zero-fill.
+  auto truncated = [](size_t want) {
+    Writer w;
+    for (size_t i = 0; i + 1 < want; ++i) w.PutU8(0);
+    return w.Take();
+  };
+  {
+    std::vector<uint8_t> buf;  // empty: even one byte overruns
+    Reader r(buf.data(), 0);
+    r.SetStrict(true);
+    EXPECT_DEATH(r.GetU8(), "overrun");
+  }
+  {
+    auto buf = truncated(2);
+    Reader r(buf);
+    r.SetStrict(true);
+    EXPECT_DEATH(r.GetU16(), "overrun");
+  }
+  {
+    auto buf = truncated(4);
+    Reader r(buf);
+    r.SetStrict(true);
+    EXPECT_DEATH(r.GetU32(), "overrun");
+  }
+  {
+    auto buf = truncated(8);
+    Reader r(buf);
+    r.SetStrict(true);
+    EXPECT_DEATH(r.GetU64(), "overrun");
+  }
+  {
+    Writer w;
+    w.PutString("hello");
+    auto buf = w.Take();
+    buf.resize(buf.size() - 1);  // cut the payload's last byte
+    Reader r(buf);
+    r.SetStrict(true);
+    EXPECT_DEATH(r.GetString(), "overrun");
+  }
+  {
+    Writer w;
+    w.PutU8(1);
+    auto buf = w.Take();
+    Reader r(buf);
+    r.SetStrict(true);
+    uint8_t out[2];
+    EXPECT_DEATH(r.GetBytes(out, 2), "overrun");
+  }
+}
+
+TEST(SerializerTest, StrictModeReadsCleanImagesNormally) {
+  Writer w;
+  w.PutU32(7);
+  w.PutString("ok");
+  Reader r(w.bytes());
+  r.SetStrict(true);
+  EXPECT_EQ(r.GetU32(), 7u);
+  EXPECT_EQ(r.GetString(), "ok");
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
 TEST(SerializerTest, GetBytesExactAndOverrun) {
   Writer w;
   uint8_t payload[4] = {1, 2, 3, 4};
