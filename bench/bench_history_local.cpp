@@ -15,24 +15,45 @@ namespace kspot::bench {
 
 namespace {
 
+struct HistoryLocalConfig {
+  size_t nodes = 49;
+  size_t rooms = 8;
+  size_t window = 32;
+  size_t epochs = 40;
+  uint64_t seed = 31;
+};
+
 /// The strawman: every epoch, every node relays its whole raw window
 /// (key u16 + value i32 per reading) to the sink, unmerged.
-uint64_t ShipWindowsBytesPerEpoch(Bed& bed, size_t window, size_t epochs) {
+runner::MetricList RunShipWindows(const HistoryLocalConfig& cfg) {
   using Entry = std::pair<uint16_t, int32_t>;
   using Msg = std::vector<Entry>;
-  for (size_t e = 0; e < epochs; ++e) {
+  auto bed = Bed::Clustered(cfg.nodes, cfg.rooms, cfg.seed);
+  for (size_t e = 0; e < cfg.epochs; ++e) {
     auto produce = [&](sim::NodeId node, std::vector<Msg>&& inbox) -> std::optional<Msg> {
       Msg out;
       for (Msg& child : inbox) out.insert(out.end(), child.begin(), child.end());
       if (node != sim::kSinkId) {
-        for (size_t t = 0; t < window; ++t) out.emplace_back(0, 0);
+        for (size_t t = 0; t < cfg.window; ++t) out.emplace_back(0, 0);
       }
       return out;
     };
     auto bytes = [&](const Msg& m) -> size_t { return 5 + 6 * m.size(); };
     sim::UpWave<Msg>::Run(*bed.net, produce, bytes);
   }
-  return bed.net->total().payload_bytes / epochs;
+  return {{"bytes_per_epoch", PerEpoch(bed.net->total().payload_bytes, cfg.epochs)},
+          {"msgs_per_epoch", PerEpoch(bed.net->total().messages, cfg.epochs)}};
+}
+
+/// Local window aggregation feeding a snapshot algorithm (TAG or MINT).
+runner::MetricList RunLocalAggregation(const HistoryLocalConfig& cfg, SnapshotAlgo algo) {
+  core::QuerySpec spec = RoomAvgSpec(2);
+  auto bed = Bed::Clustered(cfg.nodes, cfg.rooms, cfg.seed);
+  auto inner = bed.RoomData(cfg.seed);
+  data::WindowAggregateGenerator gen(inner.get(), cfg.nodes, cfg.window, spec.agg);
+  auto algorithm = MakeSnapshotAlgo(algo, bed.net.get(), &gen, spec);
+  SnapshotRun run = RunSnapshot(*algorithm, *bed.net, nullptr, cfg.epochs);
+  return {{"bytes_per_epoch", run.BytesPerEpoch()}, {"msgs_per_epoch", run.MsgsPerEpoch()}};
 }
 
 }  // namespace
@@ -47,42 +68,28 @@ void RegisterHistoryLocal(runner::ScenarioRegistry& registry) {
       "aggregate; window smoothing additionally stabilizes values, which MINT's\n"
       "suppression exploits.";
   s.make_trials = [](const runner::SweepOptions& opt) {
-    const size_t nodes = 49;
-    const size_t rooms = 8;
-    const size_t epochs = opt.quick ? 10 : 40;
-    const uint64_t seed = opt.seed != 0 ? opt.seed : 31;
     const std::vector<size_t> windows = opt.quick ? std::vector<size_t>{8, 32}
                                                   : std::vector<size_t>{8, 32, 128};
-
     std::vector<runner::Trial> trials;
     for (size_t window : windows) {
+      HistoryLocalConfig cfg;
+      cfg.window = window;
+      cfg.epochs = opt.quick ? 10 : 40;
+      cfg.seed = opt.seed != 0 ? opt.seed : 31;
       {
         runner::Trial t;
         t.spec.algorithm = "ship-windows";
-        t.spec.seed = seed;
+        t.spec.seed = cfg.seed;
         t.spec.params = {{"window", std::to_string(window)}};
-        t.run = [=]() -> runner::MetricList {
-          auto bed = Bed::Clustered(nodes, rooms, seed);
-          uint64_t ship = ShipWindowsBytesPerEpoch(bed, window, 5);
-          return {{"bytes_per_epoch", static_cast<double>(ship)}};
-        };
+        t.run = [cfg]() -> runner::MetricList { return RunShipWindows(cfg); };
         trials.push_back(std::move(t));
       }
       for (SnapshotAlgo algo : {SnapshotAlgo::kTag, SnapshotAlgo::kMint}) {
         runner::Trial t;
         t.spec.algorithm = std::string("local+") + AlgoName(algo);
-        t.spec.seed = seed;
+        t.spec.seed = cfg.seed;
         t.spec.params = {{"window", std::to_string(window)}};
-        t.run = [=]() -> runner::MetricList {
-          core::QuerySpec spec = RoomAvgSpec(2);
-          auto bed = Bed::Clustered(nodes, rooms, seed);
-          auto inner = bed.RoomData(seed);
-          data::WindowAggregateGenerator gen(inner.get(), nodes, window, spec.agg);
-          auto algorithm = MakeSnapshotAlgo(algo, bed.net.get(), &gen, spec);
-          SnapshotRun run = RunSnapshot(*algorithm, *bed.net, nullptr, epochs);
-          return {{"bytes_per_epoch", run.BytesPerEpoch()},
-                  {"msgs_per_epoch", run.MsgsPerEpoch()}};
-        };
+        t.run = [cfg, algo]() -> runner::MetricList { return RunLocalAggregation(cfg, algo); };
         trials.push_back(std::move(t));
       }
     }

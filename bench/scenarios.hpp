@@ -40,6 +40,7 @@ void RegisterThroughput(runner::ScenarioRegistry& registry);          // E16
 void RegisterServerThroughput(runner::ScenarioRegistry& registry);    // E17
 void RegisterFanoutThroughput(runner::ScenarioRegistry& registry);    // E18
 void RegisterReliabilityTradeoff(runner::ScenarioRegistry& registry); // E19
+void RegisterHistoricThroughput(runner::ScenarioRegistry& registry);  // E20
 
 /// Registers every bench scenario.
 inline void RegisterAllScenarios(runner::ScenarioRegistry& registry) {
@@ -62,6 +63,7 @@ inline void RegisterAllScenarios(runner::ScenarioRegistry& registry) {
   RegisterServerThroughput(registry);
   RegisterFanoutThroughput(registry);
   RegisterReliabilityTradeoff(registry);
+  RegisterHistoricThroughput(registry);
 }
 
 }  // namespace kspot::bench

@@ -54,6 +54,20 @@ class GroupView {
   /// materialized-view maintenance primitive MINT's delta application uses.
   void Set(sim::GroupId group, const PartialAgg& partial);
 
+  /// Windowed-incremental maintenance: retracts the `evicted` group's
+  /// contribution (no-op when absent) and overwrites `inserted` with `added`
+  /// — the O(delta) alternative to rebuilding a sliding-window view from
+  /// scratch each epoch. An empty `added` (count 0) removes `inserted`
+  /// instead of caching a contributor-less group.
+  void ApplyWindowDelta(sim::GroupId evicted, sim::GroupId inserted, const PartialAgg& added) {
+    Erase(evicted);
+    if (added.count == 0) {
+      Erase(inserted);
+    } else {
+      Set(inserted, added);
+    }
+  }
+
   /// Partial for `group`; empty partial if absent.
   PartialAgg Get(sim::GroupId group) const;
 

@@ -25,10 +25,8 @@ HistoricResult Cja::Run() {
     Msg out;
     for (Msg& child : inbox) out.insert(out.end(), child.begin(), child.end());
     if (node != sim::kSinkId) {
-      std::vector<double> w = history_->Window(node);
-      for (size_t t = 0; t < w.size(); ++t) {
-        out.emplace_back(static_cast<sim::GroupId>(t), w[t]);
-      }
+      history_->Window(node).ForEach(
+          [&](size_t t, double v) { out.emplace_back(static_cast<sim::GroupId>(t), v); });
     }
     return out;
   };
@@ -56,10 +54,8 @@ HistoricResult TagHistoric::Run() {
     Msg view;
     for (Msg& child : inbox) view.MergeView(std::move(child));
     if (node != sim::kSinkId) {
-      std::vector<double> w = history_->Window(node);
-      for (size_t t = 0; t < w.size(); ++t) {
-        view.AddReading(static_cast<sim::GroupId>(t), w[t]);
-      }
+      history_->Window(node).ForEach(
+          [&](size_t t, double v) { view.AddReading(static_cast<sim::GroupId>(t), v); });
     }
     return view;
   };

@@ -2,6 +2,14 @@
 
 namespace kspot::core {
 
+std::vector<double> HistorySource::MaterializeWindow(sim::NodeId id) const {
+  WindowSpan span = Window(id);
+  std::vector<double> out;
+  out.reserve(span.size());
+  span.ForEach([&](size_t, double v) { out.push_back(v); });
+  return out;
+}
+
 GeneratorHistory::GeneratorHistory(data::DataGenerator* gen, size_t num_nodes,
                                    sim::Epoch first_epoch, size_t window)
     : window_(window), windows_(num_nodes) {
@@ -15,9 +23,9 @@ GeneratorHistory::GeneratorHistory(data::DataGenerator* gen, size_t num_nodes,
   }
 }
 
-std::vector<double> GeneratorHistory::Window(sim::NodeId id) const {
+WindowSpan GeneratorHistory::Window(sim::NodeId id) const {
   if (id >= windows_.size()) return {};
-  return windows_[id];
+  return WindowSpan(std::span<const double>(windows_[id]));
 }
 
 }  // namespace kspot::core

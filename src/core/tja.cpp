@@ -30,12 +30,10 @@ struct LocalTopK {
   bool covers_window;  ///< True when the extended list is the whole window.
 };
 
-LocalTopK ComputeLocalTopK(const std::vector<double>& window, size_t k_deep) {
+LocalTopK ComputeLocalTopK(const WindowSpan& window, size_t k_deep) {
   std::vector<std::pair<sim::GroupId, double>> ranked;
   ranked.reserve(window.size());
-  for (size_t t = 0; t < window.size(); ++t) {
-    ranked.emplace_back(static_cast<sim::GroupId>(t), window[t]);
-  }
+  window.ForEach([&](size_t t, double v) { ranked.emplace_back(static_cast<sim::GroupId>(t), v); });
   std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
     if (a.second != b.second) return a.second > b.second;
     return a.first < b.first;
@@ -148,7 +146,7 @@ agg::GroupView Tja::HierarchicalJoinPhase(const std::vector<sim::GroupId>& lsink
     UpMsg view;
     for (UpMsg& child : inbox) view.MergeView(std::move(child));
     if (node != sim::kSinkId) {
-      std::vector<double> window = history_->Window(node);
+      WindowSpan window = history_->Window(node);
       for (sim::GroupId key : to_answer[node]) {
         if (static_cast<size_t>(key) < window.size()) {
           view.AddReading(key, window[static_cast<size_t>(key)]);

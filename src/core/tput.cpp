@@ -69,11 +69,10 @@ HistoricResult Tput::Run() {
   // ---------------------------------------------------------- Phase 1
   relay_round(
       [&](sim::NodeId node) {
-        std::vector<double> w = history_->Window(node);
+        WindowSpan w = history_->Window(node);
         std::vector<Entry> ranked;
-        for (size_t t = 0; t < w.size(); ++t) {
-          ranked.emplace_back(static_cast<sim::GroupId>(t), w[t]);
-        }
+        ranked.reserve(w.size());
+        w.ForEach([&](size_t t, double v) { ranked.emplace_back(static_cast<sim::GroupId>(t), v); });
         std::sort(ranked.begin(), ranked.end(), [](const Entry& a, const Entry& b) {
           if (a.second != b.second) return a.second > b.second;
           return a.first < b.first;
@@ -113,12 +112,11 @@ HistoricResult Tput::Run() {
   bcast(threshold, "tput.p2");
   relay_round(
       [&](sim::NodeId node) {
-        std::vector<double> w = history_->Window(node);
         std::vector<Entry> out;
-        for (size_t t = 0; t < w.size(); ++t) {
+        history_->Window(node).ForEach([&](size_t t, double v) {
           auto key = static_cast<sim::GroupId>(t);
-          if (w[t] >= threshold - kEps && !sent[node].count(key)) out.emplace_back(key, w[t]);
-        }
+          if (v >= threshold - kEps && !sent[node].count(key)) out.emplace_back(key, v);
+        });
         return out;
       },
       "tput.p2");
@@ -149,7 +147,7 @@ HistoricResult Tput::Run() {
   }
   relay_round(
       [&](sim::NodeId node) {
-        std::vector<double> w = history_->Window(node);
+        WindowSpan w = history_->Window(node);
         std::vector<Entry> out;
         for (sim::GroupId key : candidates) {
           if (static_cast<size_t>(key) < w.size() && !sent[node].count(key)) {

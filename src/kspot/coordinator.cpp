@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "agg/aggregate.hpp"
+#include "core/historic_stream.hpp"
 #include "core/history_source.hpp"
 #include "core/mint.hpp"
 #include "core/tag.hpp"
@@ -337,6 +338,24 @@ util::Status QueryCoordinator::BindToSession(size_t admitted_index) {
       group.algorithm = "MINT+history";
       break;
     case OpKind::kVertical: {
+      if (options_.historic.continuous) {
+        // Continuous historic: a first-class session citizen. The operator
+        // buffers each epoch's reading into per-node stores and StepEpoch
+        // advances the sink's window view like any snapshot operator.
+        core::HistoricStreamOptions hopt;
+        hopt.k = plan.historic.k;
+        hopt.agg = plan.historic.agg;
+        hopt.window = plan.window;
+        hopt.incremental = options_.historic.incremental;
+        hopt.archive_to_flash = options_.historic.archive_to_flash;
+        hopt.flash_accounting = options_.historic.flash_accounting;
+        hopt.suppression = options_.historic.suppression;
+        hopt.suppression_eps = options_.historic.suppression_eps;
+        group.algo = std::make_unique<core::HistoricStream>(&session.net,
+                                                            session.shared_gen.get(), hopt);
+        group.algorithm = group.algo->name();
+        break;
+      }
       // One-shot historic: runs over already-buffered windows on the same
       // network — its traffic drains the same batteries the continuous
       // queries live off. Mid-session admits run theirs at admission.
@@ -464,7 +483,12 @@ util::StatusOr<EpochUpdate> QueryCoordinator::StepEpoch() {
       }
     }
     for (size_t gi = 0; gi < session.groups.size(); ++gi) {
-      if (session.groups[gi].alive && session.groups[gi].plan.kind != OpKind::kVertical) {
+      // Epoch-driven groups carry an algorithm or a select pipeline.
+      // One-shot vertical (TJA) groups carry neither — they already ran at
+      // bind time — while continuous-historic vertical groups step here
+      // like any snapshot operator.
+      const OpGroup& group = session.groups[gi];
+      if (group.alive && (group.algo != nullptr || group.select != nullptr)) {
         order.push_back(gi);
       }
     }
@@ -543,6 +567,21 @@ util::StatusOr<EpochUpdate> QueryCoordinator::StepEpoch() {
       backoff.Add(update.epoch_cost.backoff_us);
       for (const GroupUpdate& gu : update.groups) {
         if (gu.ran && gu.result) completeness.Observe(gu.result->completeness);
+      }
+    }
+    if (obs::MetricsOn() &&
+        (update.epoch_cost.flash_reads != 0 || update.epoch_cost.flash_writes != 0)) {
+      static obs::Counter& flash_reads = obs::Registry().counter("net.flash_reads");
+      static obs::Counter& flash_writes = obs::Registry().counter("net.flash_writes");
+      static obs::Counter& flash_bytes = obs::Registry().counter("net.flash_bytes");
+      flash_reads.Add(update.epoch_cost.flash_reads);
+      flash_writes.Add(update.epoch_cost.flash_writes);
+      flash_bytes.Add(update.epoch_cost.flash_bytes);
+    }
+    if (options_.historic.continuous && obs::MetricsOn()) {
+      static obs::Counter& historic_steps = obs::Registry().counter("historic.steps");
+      for (const GroupUpdate& gu : update.groups) {
+        if (gu.ran && gu.algorithm.rfind("HIST-", 0) == 0) historic_steps.Add(1);
       }
     }
   }

@@ -43,6 +43,8 @@ class EnergyMeter {
   void AddCpu(double joules) { cpu_j_ += joules; }
   /// Records sleep energy.
   void AddSleep(double joules) { sleep_j_ += joules; }
+  /// Records local storage (flash) I/O energy.
+  void AddStorage(double joules) { storage_j_ += joules; }
 
   /// Joules spent transmitting.
   double tx_joules() const { return tx_j_; }
@@ -52,8 +54,10 @@ class EnergyMeter {
   double cpu_joules() const { return cpu_j_; }
   /// Joules spent sleeping.
   double sleep_joules() const { return sleep_j_; }
+  /// Joules spent on local storage (flash) I/O.
+  double storage_joules() const { return storage_j_; }
   /// Total joules spent.
-  double total_joules() const { return tx_j_ + rx_j_ + cpu_j_ + sleep_j_; }
+  double total_joules() const { return tx_j_ + rx_j_ + cpu_j_ + sleep_j_ + storage_j_; }
 
   /// Battery budget (joules); <= 0 means unlimited.
   double battery_joules() const { return battery_j_; }
@@ -67,6 +71,7 @@ class EnergyMeter {
   double rx_j_ = 0.0;
   double cpu_j_ = 0.0;
   double sleep_j_ = 0.0;
+  double storage_j_ = 0.0;
   double battery_j_ = 0.0;
 };
 

@@ -404,6 +404,18 @@ std::vector<NodeId> Network::BroadcastToChildren(NodeId node, size_t payload_byt
   return delivered;
 }
 
+void Network::ChargeStorageIo(NodeId node, uint64_t reads, uint64_t writes, uint64_t bytes,
+                              double energy_j) {
+  state_.meters[node].AddStorage(energy_j);
+  TrafficCounters delta;
+  delta.flash_reads = reads;
+  delta.flash_writes = writes;
+  delta.flash_bytes = bytes;
+  delta.flash_energy_j = energy_j;
+  state_.total.Add(delta);
+  state_.by_phase[phase_id_].Add(delta);
+}
+
 void Network::DeliverControl(NodeId from, NodeId to, size_t payload_bytes) {
   TrafficCounters delta;
   ChargeTx(from, payload_bytes, delta);

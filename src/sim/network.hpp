@@ -194,6 +194,14 @@ class Network {
   /// Messages transmitted by each node (for hotspot analysis near the sink).
   uint64_t MessagesSentBy(NodeId id) const { return state_.sent_by[id]; }
 
+  /// Charges local flash I/O performed by `node` into its energy ledger and
+  /// folds the operation/byte counts into the traffic counters (grand total
+  /// and current phase). Storage I/O is radio-silent: no frames, no airtime,
+  /// no clock movement. Plain scalars keep sim/ independent of storage/; the
+  /// caller snapshots storage::IoCounters deltas. Serial sections only.
+  void ChargeStorageIo(NodeId node, uint64_t reads, uint64_t writes, uint64_t bytes,
+                       double energy_j);
+
   /// The event queue that sequences transmissions.
   EventQueue& events() { return events_; }
   /// Topology under simulation.

@@ -9,8 +9,12 @@ void TrafficCounters::Add(const TrafficCounters& other) {
   onair_bytes += other.onair_bytes;
   retries += other.retries;
   backoff_us += other.backoff_us;
+  flash_reads += other.flash_reads;
+  flash_writes += other.flash_writes;
+  flash_bytes += other.flash_bytes;
   tx_energy_j += other.tx_energy_j;
   rx_energy_j += other.rx_energy_j;
+  flash_energy_j += other.flash_energy_j;
 }
 
 TrafficCounters TrafficCounters::Since(const TrafficCounters& earlier) const {
@@ -21,8 +25,12 @@ TrafficCounters TrafficCounters::Since(const TrafficCounters& earlier) const {
   d.onair_bytes = onair_bytes - earlier.onair_bytes;
   d.retries = retries - earlier.retries;
   d.backoff_us = backoff_us - earlier.backoff_us;
+  d.flash_reads = flash_reads - earlier.flash_reads;
+  d.flash_writes = flash_writes - earlier.flash_writes;
+  d.flash_bytes = flash_bytes - earlier.flash_bytes;
   d.tx_energy_j = tx_energy_j - earlier.tx_energy_j;
   d.rx_energy_j = rx_energy_j - earlier.rx_energy_j;
+  d.flash_energy_j = flash_energy_j - earlier.flash_energy_j;
   return d;
 }
 

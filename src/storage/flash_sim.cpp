@@ -14,15 +14,17 @@ size_t FlashSim::AllocatePage() {
 bool FlashSim::WritePage(size_t page, const std::vector<uint8_t>& data) {
   if (page >= next_page_ || data.size() > model_.page_size_bytes) return false;
   pages_[page] = data;
-  ++writes_;
-  energy_j_ += model_.page_write_j;
+  ++io_.writes;
+  io_.bytes += data.size();
+  io_.energy_j += model_.page_write_j;
   return true;
 }
 
 std::vector<uint8_t> FlashSim::ReadPage(size_t page) {
   if (page >= next_page_) return {};
-  ++reads_;
-  energy_j_ += model_.page_read_j;
+  ++io_.reads;
+  io_.bytes += pages_[page].size();
+  io_.energy_j += model_.page_read_j;
   return pages_[page];
 }
 

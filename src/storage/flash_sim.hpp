@@ -20,6 +20,38 @@ struct FlashModel {
   double page_read_j = 273e-6;
 };
 
+/// Cumulative flash I/O ledger: operations, payload bytes moved, and the
+/// energy they cost. Folded into the network's TrafficCounters so storage
+/// I/O competes with radio traffic in the same energy budget.
+struct IoCounters {
+  /// Page reads performed.
+  uint64_t reads = 0;
+  /// Page writes performed.
+  uint64_t writes = 0;
+  /// Payload bytes moved across the flash bus (reads + writes).
+  uint64_t bytes = 0;
+  /// Energy charged, joules.
+  double energy_j = 0.0;
+
+  /// Accumulates `other` into this ledger.
+  void Add(const IoCounters& other) {
+    reads += other.reads;
+    writes += other.writes;
+    bytes += other.bytes;
+    energy_j += other.energy_j;
+  }
+
+  /// The delta from an earlier snapshot `since` of the same ledger.
+  IoCounters Since(const IoCounters& since) const {
+    IoCounters d;
+    d.reads = reads - since.reads;
+    d.writes = writes - since.writes;
+    d.bytes = bytes - since.bytes;
+    d.energy_j = energy_j - since.energy_j;
+    return d;
+  }
+};
+
 /// Page-addressed flash simulator with energy/operation accounting. The
 /// MicroHash index and the history store allocate and access pages through
 /// this; benchmarks read the counters to charge storage energy.
@@ -39,12 +71,14 @@ class FlashSim {
 
   /// Pages allocated so far.
   size_t pages_used() const { return next_page_; }
+  /// The cumulative I/O ledger.
+  const IoCounters& io() const { return io_; }
   /// Total page writes performed.
-  uint64_t writes() const { return writes_; }
+  uint64_t writes() const { return io_.writes; }
   /// Total page reads performed.
-  uint64_t reads() const { return reads_; }
+  uint64_t reads() const { return io_.reads; }
   /// Energy charged so far, joules.
-  double energy_j() const { return energy_j_; }
+  double energy_j() const { return io_.energy_j; }
   /// The cost model.
   const FlashModel& model() const { return model_; }
 
@@ -52,9 +86,7 @@ class FlashSim {
   FlashModel model_;
   std::vector<std::vector<uint8_t>> pages_;
   size_t next_page_ = 0;
-  uint64_t writes_ = 0;
-  uint64_t reads_ = 0;
-  double energy_j_ = 0.0;
+  IoCounters io_;
 };
 
 }  // namespace kspot::storage

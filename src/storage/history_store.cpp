@@ -1,10 +1,13 @@
 #include "storage/history_store.hpp"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace kspot::storage {
 
 HistoryStore::HistoryStore(size_t window, bool archive_to_flash, double domain_min,
                            double domain_max)
-    : window_(window) {
+    : window_(window), epochs_(window) {
   if (archive_to_flash) {
     flash_ = std::make_unique<FlashSim>();
     index_ = std::make_unique<MicroHashIndex>(flash_.get(), domain_min, domain_max,
@@ -12,17 +15,23 @@ HistoryStore::HistoryStore(size_t window, bool archive_to_flash, double domain_m
   }
 }
 
-void HistoryStore::Append(sim::Epoch epoch, double value) {
-  double evicted = 0.0;
-  bool had_eviction = window_.Push(value, &evicted);
-  if (had_eviction && index_ != nullptr) {
-    // The evicted reading belonged to (epoch - capacity) — archive it.
-    sim::Epoch old_epoch = epoch >= window_.capacity()
-                               ? epoch - static_cast<sim::Epoch>(window_.capacity())
-                               : 0;
-    index_->Insert(old_epoch, evicted);
+WindowDelta HistoryStore::Append(sim::Epoch epoch, double value) {
+  if (epoch < next_epoch_) {
+    std::fprintf(stderr, "HistoryStore::Append: epoch %llu out of order (expected >= %llu)\n",
+                 static_cast<unsigned long long>(epoch),
+                 static_cast<unsigned long long>(next_epoch_));
+    std::abort();
+  }
+  WindowDelta delta;
+  delta.epoch = epoch;
+  delta.added = value;
+  delta.evicted = window_.Push(value, &delta.evicted_value);
+  epochs_.Push(epoch, &delta.evicted_epoch);
+  if (delta.evicted && index_ != nullptr) {
+    index_->Insert(delta.evicted_epoch, delta.evicted_value);
   }
   next_epoch_ = epoch + 1;
+  return delta;
 }
 
 std::vector<FlashRecord> HistoryStore::ArchivedTopK(size_t k) {
@@ -32,9 +41,9 @@ std::vector<FlashRecord> HistoryStore::ArchivedTopK(size_t k) {
 
 StoreHistorySource::StoreHistorySource(std::vector<HistoryStore>* stores) : stores_(stores) {}
 
-std::vector<double> StoreHistorySource::Window(sim::NodeId id) const {
+core::WindowSpan StoreHistorySource::Window(sim::NodeId id) const {
   if (id >= stores_->size()) return {};
-  return (*stores_)[id].WindowValues();
+  return (*stores_)[id].Window();
 }
 
 size_t StoreHistorySource::window_size() const {

@@ -11,6 +11,22 @@
 
 namespace kspot::storage {
 
+/// What one Append changed in the window: exactly one reading entered, and —
+/// once the window is full — exactly one was evicted. Incremental historic
+/// operators consume this instead of re-reading the whole window.
+struct WindowDelta {
+  /// Epoch of the reading that entered the window.
+  sim::Epoch epoch = 0;
+  /// The reading that entered.
+  double added = 0.0;
+  /// True when the append pushed the oldest reading out.
+  bool evicted = false;
+  /// Epoch of the evicted reading (valid when `evicted`).
+  sim::Epoch evicted_epoch = 0;
+  /// The evicted reading's value (valid when `evicted`).
+  double evicted_value = 0.0;
+};
+
 /// Per-node local storage for historic queries: a sliding window of the most
 /// recent readings in SRAM, with evicted readings archived to simulated
 /// flash through a MicroHash index (the MICA2-class configuration the paper
@@ -21,11 +37,19 @@ class HistoryStore {
   /// `archive_to_flash` is set.
   HistoryStore(size_t window, bool archive_to_flash, double domain_min, double domain_max);
 
-  /// Records the reading of one epoch.
-  void Append(sim::Epoch epoch, double value);
+  /// Records the reading of one epoch and reports the resulting window
+  /// delta. Epochs must be monotonically increasing (gaps are fine;
+  /// re-appending a past epoch aborts — the window would silently corrupt).
+  WindowDelta Append(sim::Epoch epoch, double value);
 
-  /// The buffered window values, oldest first (size <= window capacity).
-  std::vector<double> WindowValues() const { return window_.Snapshot(); }
+  /// The buffered window, oldest first, as a zero-copy view (invalidated by
+  /// the next Append).
+  core::WindowSpan Window() const {
+    return core::WindowSpan(window_.FirstSegment(), window_.SecondSegment());
+  }
+
+  /// Epoch of the reading at window position `i` (0 = oldest).
+  sim::Epoch EpochAt(size_t i) const { return epochs_.At(i); }
 
   /// Number of readings currently in the SRAM window.
   size_t window_size() const { return window_.size(); }
@@ -33,6 +57,9 @@ class HistoryStore {
   /// The k highest archived readings (flash scan via the MicroHash index);
   /// empty when flash archiving is disabled.
   std::vector<FlashRecord> ArchivedTopK(size_t k);
+
+  /// Cumulative flash I/O (all-zero when archiving is disabled).
+  IoCounters io() const { return flash_ ? flash_->io() : IoCounters{}; }
 
   /// Flash energy spent so far (0 when archiving is disabled).
   double flash_energy_j() const { return flash_ ? flash_->energy_j() : 0.0; }
@@ -43,6 +70,9 @@ class HistoryStore {
 
  private:
   SlidingWindow<double> window_;
+  /// Epoch of each buffered reading, in lockstep with `window_` — the evicted
+  /// reading's epoch is exact even when appends skip epochs.
+  SlidingWindow<sim::Epoch> epochs_;
   std::unique_ptr<FlashSim> flash_;
   std::unique_ptr<MicroHashIndex> index_;
   sim::Epoch next_epoch_ = 0;
@@ -57,7 +87,7 @@ class StoreHistorySource : public kspot::core::HistorySource {
   /// the same number of buffered readings when the query runs.
   explicit StoreHistorySource(std::vector<HistoryStore>* stores);
 
-  std::vector<double> Window(sim::NodeId id) const override;
+  core::WindowSpan Window(sim::NodeId id) const override;
   size_t window_size() const override;
   size_t num_nodes() const override { return stores_->size(); }
 

@@ -1,6 +1,10 @@
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <span>
 #include <vector>
 
 namespace kspot::storage {
@@ -8,12 +12,22 @@ namespace kspot::storage {
 /// Fixed-capacity ring buffer: the in-SRAM sliding window each sensor keeps
 /// for historic queries (Section III-B; IMote2-class devices buffer in main
 /// memory, MICA2-class devices spill to flash via the MicroHash index).
+///
+/// Iteration is zero-copy: the buffered items are exposed as at most two
+/// contiguous segments (`FirstSegment`/`SecondSegment`, oldest first), so hot
+/// paths walk the storage in place instead of materializing a vector.
 template <typename T>
 class SlidingWindow {
  public:
-  /// Creates a window holding at most `capacity` items (>= 1).
-  explicit SlidingWindow(size_t capacity)
-      : capacity_(capacity == 0 ? 1 : capacity), data_(capacity_) {}
+  /// Creates a window holding at most `capacity` items. A zero capacity is a
+  /// programming error (the window could never hold a reading); abort loudly
+  /// instead of silently resizing.
+  explicit SlidingWindow(size_t capacity) : capacity_(capacity), data_(capacity) {
+    if (capacity == 0) {
+      std::fprintf(stderr, "SlidingWindow: capacity must be >= 1\n");
+      std::abort();
+    }
+  }
 
   /// Appends an item, evicting the oldest when full. Returns the evicted
   /// item through `evicted` when eviction happened (for flash spill).
@@ -37,12 +51,24 @@ class SlidingWindow {
   /// Oldest item. Precondition: !empty().
   const T& Front() const { return At(0); }
 
-  /// Items currently buffered, oldest first.
-  std::vector<T> Snapshot() const {
-    std::vector<T> out;
-    out.reserve(size_);
-    for (size_t i = 0; i < size_; ++i) out.push_back(At(i));
-    return out;
+  /// The contiguous run starting at the oldest item. Together with
+  /// SecondSegment this covers every buffered item, oldest first.
+  std::span<const T> FirstSegment() const {
+    size_t len = std::min(size_, capacity_ - head_);
+    return {data_.data() + head_, len};
+  }
+
+  /// The wrapped-around tail (empty when the buffer hasn't wrapped).
+  std::span<const T> SecondSegment() const {
+    size_t first_len = std::min(size_, capacity_ - head_);
+    return {data_.data(), size_ - first_len};
+  }
+
+  /// Calls `fn(item)` for every buffered item, oldest first, in place.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const T& item : FirstSegment()) fn(item);
+    for (const T& item : SecondSegment()) fn(item);
   }
 
   /// Number of buffered items.

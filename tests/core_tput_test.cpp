@@ -14,7 +14,7 @@ std::vector<agg::RankedItem> HistoricOracle(const HistorySource& history, agg::A
                                             size_t k) {
   agg::GroupView view;
   for (sim::NodeId id = 1; id < history.num_nodes(); ++id) {
-    std::vector<double> w = history.Window(id);
+    std::vector<double> w = history.MaterializeWindow(id);
     for (size_t t = 0; t < w.size(); ++t) {
       view.AddReading(static_cast<sim::GroupId>(t), w[t]);
     }

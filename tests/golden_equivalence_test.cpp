@@ -26,6 +26,7 @@
 #include "obs/obs.hpp"
 #include "obs/trace.hpp"
 #include "core/fila.hpp"
+#include "core/historic_stream.hpp"
 #include "core/history_source.hpp"
 #include "core/mint.hpp"
 #include "core/oracle.hpp"
@@ -532,6 +533,58 @@ TEST(GoldenEquivalenceTest, PhaseCountersMatchPreInterningDigests) {
     EXPECT_EQ(PhaseDigest(*bed.net), 0x76d5fbdb6a9aa589ULL);
     ExpectPhaseAccountingConsistent(*bed.net);
   }
+}
+
+// ------------------------------------------------ historic-path equivalence
+
+/// The continuous historic operator's golden pin: the O(delta) incremental
+/// window maintenance answers bit-identically to the O(W*n) from-scratch
+/// re-collection, and the delta path itself is byte-identical (answers AND
+/// traffic counters) across shard/thread counts. Suppression off is
+/// bit-inert — the eps knob is never consulted while the toggle is down.
+TEST(GoldenEquivalenceTest, HistoricDeltaMatchesScratchAcrossShardCounts) {
+  constexpr size_t kNodes = 200;
+  constexpr size_t kRooms = 16;
+  constexpr size_t kEpochs = 40;
+  constexpr uint64_t kSeed = 171;
+  auto run = [&](bool incremental, double eps, size_t shards, size_t threads) {
+    bench::Bed bed = bench::Bed::Grid(kNodes, kRooms, kSeed);
+    bed.EnableSharding(shards, threads);
+    auto gen = bed.RoomData(kSeed);
+    core::HistoricStreamOptions hopt;
+    hopt.k = 3;
+    hopt.window = 16;
+    hopt.incremental = incremental;
+    hopt.suppression = false;
+    hopt.suppression_eps = eps;
+    core::HistoricStream stream(bed.net.get(), gen.get(), hopt);
+    std::vector<std::string> out;
+    for (size_t e = 0; e < kEpochs; ++e) {
+      out.push_back(stream.RunEpoch(static_cast<sim::Epoch>(e)).ToString());
+    }
+    // Traffic digest rides behind the answers: the first kEpochs entries
+    // compare delta-vs-scratch (answers only — cost differs by design), the
+    // whole vector compares shard/thread variants byte-for-byte.
+    out.push_back(std::to_string(bed.net->total().messages));
+    out.push_back(std::to_string(bed.net->total().payload_bytes));
+    out.push_back(std::to_string(bed.net->events().now()));
+    return out;
+  };
+
+  std::vector<std::string> delta = run(/*incremental=*/true, 0.5, 1, 1);
+  std::vector<std::string> scratch = run(/*incremental=*/false, 0.5, 1, 1);
+  for (size_t e = 0; e < kEpochs; ++e) {
+    SCOPED_TRACE("epoch " + std::to_string(e));
+    EXPECT_EQ(delta[e], scratch[e]);
+  }
+  for (size_t shards : {size_t{2}, size_t{8}}) {
+    for (size_t threads : {size_t{1}, size_t{8}}) {
+      SCOPED_TRACE("shards=" + std::to_string(shards) + " threads=" + std::to_string(threads));
+      EXPECT_EQ(run(/*incremental=*/true, 0.5, shards, threads), delta);
+    }
+  }
+  // eps is inert while the suppression toggle is down — byte-identical run.
+  EXPECT_EQ(run(/*incremental=*/true, 99.0, 1, 1), delta);
 }
 
 TEST(GoldenEquivalenceTest, IncrementalRepairStaysExactAndCheaper) {

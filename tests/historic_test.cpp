@@ -1,0 +1,265 @@
+/// Continuous historic serving (core::HistoricStream + the coordinator's
+/// continuous-vertical path):
+///
+///  1. the O(delta) incremental window maintenance is bit-identical to
+///     re-collecting every window from scratch, every epoch, every agg kind;
+///  2. predictive suppression bounds reconstruction error by eps and
+///     actually cuts radio traffic; off, it is bit-inert;
+///  3. flash archiving/accounting charges the energy ledger without
+///     perturbing a single answer bit;
+///  4. through the QueryCoordinator, historic queries become session
+///     citizens: stepped per epoch, CompatKey-shared, fanned out with
+///     completeness stamped — while the default config keeps the one-shot
+///     TJA path byte-identical.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/historic_stream.hpp"
+#include "kspot/coordinator.hpp"
+#include "kspot/fanout.hpp"
+#include "kspot/scenario_config.hpp"
+
+namespace kspot {
+namespace {
+
+constexpr const char* kVerticalSql =
+    "SELECT TOP 3 epoch, AVG(sound) FROM sensors GROUP BY epoch WITH HISTORY 16";
+
+std::string Digest(const std::vector<core::TopKResult>& per_epoch) {
+  char buf[64];
+  std::string out;
+  for (const auto& r : per_epoch) {
+    for (const auto& item : r.items) {
+      std::snprintf(buf, sizeof buf, "%d:%.17g;", item.group, item.value);
+      out += buf;
+    }
+    out += '|';
+  }
+  return out;
+}
+
+struct StreamRun {
+  std::vector<core::TopKResult> per_epoch;
+  sim::TrafficCounters total;
+  uint64_t suppressed = 0;
+  double max_recon_err = 0.0;
+  double suppression_ratio = 0.0;
+  storage::IoCounters flash_io;
+};
+
+StreamRun RunStream(const core::HistoricStreamOptions& hopt, size_t nodes, size_t rooms,
+                    size_t epochs, uint64_t seed) {
+  auto bed = bench::Bed::Grid(nodes, rooms, seed);
+  auto gen = bed.RoomData(seed);
+  core::HistoricStream stream(bed.net.get(), gen.get(), hopt);
+  StreamRun run;
+  for (size_t e = 0; e < epochs; ++e) {
+    run.per_epoch.push_back(stream.RunEpoch(static_cast<sim::Epoch>(e)));
+  }
+  run.total = bed.net->total();
+  run.suppressed = stream.suppressed();
+  run.max_recon_err = stream.max_reconstruction_error();
+  run.suppression_ratio = stream.suppression_ratio();
+  run.flash_io = stream.FlashIoTotal();
+  return run;
+}
+
+// ------------------------------------------------------- delta == scratch
+
+TEST(HistoricStreamTest, DeltaMatchesScratchBitExactEveryEpoch) {
+  for (agg::AggKind kind : {agg::AggKind::kAvg, agg::AggKind::kMax, agg::AggKind::kSum}) {
+    SCOPED_TRACE(static_cast<int>(kind));
+    core::HistoricStreamOptions hopt;
+    hopt.k = 3;
+    hopt.agg = kind;
+    hopt.window = 16;
+    hopt.incremental = true;
+    StreamRun delta = RunStream(hopt, 49, 8, 40, 17);
+    hopt.incremental = false;
+    StreamRun scratch = RunStream(hopt, 49, 8, 40, 17);
+    ASSERT_EQ(delta.per_epoch.size(), scratch.per_epoch.size());
+    for (size_t e = 0; e < delta.per_epoch.size(); ++e) {
+      SCOPED_TRACE("epoch " + std::to_string(e));
+      // Bit-exact, not approximate: the fixed-point partials merge to the
+      // same integers regardless of when each epoch's wave collected them.
+      EXPECT_EQ(delta.per_epoch[e].items, scratch.per_epoch[e].items);
+      EXPECT_EQ(delta.per_epoch[e].completeness, 1.0);
+    }
+    // The whole point: the delta path ships O(1) partials per node instead
+    // of O(W) — identical answers at a fraction of the bytes.
+    EXPECT_LT(delta.total.payload_bytes * 2, scratch.total.payload_bytes);
+  }
+}
+
+TEST(HistoricStreamTest, ResultsRankAtMostKWindowEpochs) {
+  core::HistoricStreamOptions hopt;
+  hopt.k = 3;
+  hopt.window = 8;
+  StreamRun run = RunStream(hopt, 25, 4, 20, 5);
+  for (size_t e = 0; e < run.per_epoch.size(); ++e) {
+    const core::TopKResult& r = run.per_epoch[e];
+    EXPECT_LE(r.items.size(), 3u);
+    for (const auto& item : r.items) {
+      // Ranked groups are epochs inside the current window.
+      EXPECT_LE(item.group, static_cast<sim::GroupId>(e));
+      EXPECT_GE(item.group, static_cast<sim::GroupId>(e) - 7);
+    }
+  }
+}
+
+// ------------------------------------------------------------- suppression
+
+TEST(HistoricStreamTest, SuppressionBoundsErrorAndCutsTraffic) {
+  core::HistoricStreamOptions hopt;
+  hopt.k = 3;
+  hopt.window = 16;
+  StreamRun base = RunStream(hopt, 49, 8, 40, 23);
+  hopt.suppression = true;
+  hopt.suppression_eps = 2.0;
+  StreamRun on = RunStream(hopt, 49, 8, 40, 23);
+
+  EXPECT_GT(on.suppressed, 0u) << "bed produced no suppressible readings";
+  EXPECT_GT(on.suppression_ratio, 0.0);
+  EXPECT_LE(on.suppression_ratio, 1.0);
+  EXPECT_LE(on.max_recon_err, hopt.suppression_eps);
+  EXPECT_LT(on.total.payload_bytes, base.total.payload_bytes);
+
+  // Suppression off is bit-inert: eps is never consulted.
+  core::HistoricStreamOptions inert = hopt;
+  inert.suppression = false;
+  inert.suppression_eps = 99.0;
+  StreamRun off = RunStream(inert, 49, 8, 40, 23);
+  ASSERT_EQ(off.per_epoch.size(), base.per_epoch.size());
+  for (size_t e = 0; e < off.per_epoch.size(); ++e) {
+    EXPECT_EQ(off.per_epoch[e].items, base.per_epoch[e].items);
+  }
+  EXPECT_EQ(off.total.payload_bytes, base.total.payload_bytes);
+  EXPECT_EQ(off.total.messages, base.total.messages);
+  EXPECT_EQ(off.suppressed, 0u);
+  EXPECT_EQ(off.max_recon_err, 0.0);
+}
+
+// ---------------------------------------------------------- flash accounting
+
+TEST(HistoricStreamTest, FlashAccountingChargesLedgerWithoutPerturbingAnswers) {
+  const size_t epochs = 80;  // window 4: enough evictions to flush pages
+  core::HistoricStreamOptions hopt;
+  hopt.k = 2;
+  hopt.window = 4;
+  StreamRun base = RunStream(hopt, 25, 4, epochs, 31);
+  EXPECT_EQ(base.flash_io.writes, 0u);
+  EXPECT_EQ(base.total.flash_writes, 0u);
+  EXPECT_EQ(base.total.flash_energy_j, 0.0);
+
+  hopt.archive_to_flash = true;
+  hopt.flash_accounting = true;
+  StreamRun flash = RunStream(hopt, 25, 4, epochs, 31);
+  EXPECT_GT(flash.flash_io.writes, 0u) << "no pages flushed; test bed too small";
+  EXPECT_GT(flash.flash_io.bytes, 0u);
+  // Every byte of store I/O lands in the network's traffic ledger.
+  EXPECT_EQ(flash.total.flash_writes, flash.flash_io.writes);
+  EXPECT_EQ(flash.total.flash_bytes, flash.flash_io.bytes);
+  EXPECT_NEAR(flash.total.flash_energy_j, flash.flash_io.energy_j, 1e-12);
+  EXPECT_GT(flash.total.energy_j(), base.total.energy_j());
+
+  // Archiving + accounting never touch an answer bit or a radio byte.
+  ASSERT_EQ(flash.per_epoch.size(), base.per_epoch.size());
+  for (size_t e = 0; e < base.per_epoch.size(); ++e) {
+    EXPECT_EQ(flash.per_epoch[e].items, base.per_epoch[e].items);
+  }
+  EXPECT_EQ(flash.total.payload_bytes, base.total.payload_bytes);
+  EXPECT_EQ(flash.total.messages, base.total.messages);
+}
+
+// ------------------------------------------------------- coordinator serving
+
+system::QueryCoordinator::Options ContinuousRun(size_t epochs = 12, uint64_t seed = 99) {
+  system::QueryCoordinator::Options opt;
+  opt.epochs = epochs;
+  opt.seed = seed;
+  opt.historic.continuous = true;
+  return opt;
+}
+
+TEST(HistoricSessionTest, ContinuousHistoricStepsLikeAnyOperator) {
+  system::QueryCoordinator coordinator(system::Scenario::ConferenceFloor(4, 3, 5),
+                                       ContinuousRun());
+  auto a = coordinator.Admit(kVerticalSql);
+  auto b = coordinator.Admit(kVerticalSql);  // identical: must share the operator
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto report = coordinator.Run();
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report.value().outcomes.size(), 2u);
+  for (const auto& outcome : report.value().outcomes) {
+    EXPECT_EQ(outcome.algorithm, "HIST-delta");
+    EXPECT_EQ(outcome.share_group_size, 2u);
+    ASSERT_EQ(outcome.per_epoch.size(), 12u);
+    for (const auto& r : outcome.per_epoch) {
+      EXPECT_FALSE(r.items.empty());
+      EXPECT_EQ(r.completeness, 1.0);
+    }
+    EXPECT_TRUE(outcome.historic.items.empty());  // no one-shot result
+  }
+  EXPECT_EQ(Digest(report.value().outcomes[0].per_epoch),
+            Digest(report.value().outcomes[1].per_epoch));
+}
+
+TEST(HistoricSessionTest, ContinuousDeltaMatchesScratchThroughSession) {
+  auto run = [](bool incremental) {
+    auto opt = ContinuousRun(20, 42);
+    opt.historic.incremental = incremental;
+    system::QueryCoordinator coordinator(system::Scenario::ConferenceFloor(4, 3, 5), opt);
+    EXPECT_TRUE(coordinator.Admit(kVerticalSql).ok());
+    auto report = coordinator.Run();
+    EXPECT_TRUE(report.ok());
+    return Digest(report.value().outcomes[0].per_epoch);
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+TEST(HistoricSessionTest, DefaultConfigKeepsOneShotTja) {
+  system::QueryCoordinator::Options opt;
+  opt.epochs = 8;
+  opt.seed = 99;
+  system::QueryCoordinator coordinator(system::Scenario::ConferenceFloor(4, 3, 5), opt);
+  ASSERT_TRUE(coordinator.Admit(kVerticalSql).ok());
+  auto report = coordinator.Run();
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report.value().outcomes.size(), 1u);
+  const auto& outcome = report.value().outcomes[0];
+  EXPECT_EQ(outcome.algorithm.rfind("TJA", 0), 0u);  // one-shot, as seeded
+  EXPECT_TRUE(outcome.per_epoch.empty());
+  EXPECT_FALSE(outcome.historic.items.empty());
+}
+
+TEST(HistoricSessionTest, ResultsFanOutWithCompletenessStamped) {
+  system::QueryCoordinator coordinator(system::Scenario::ConferenceFloor(4, 3, 5),
+                                       ContinuousRun());
+  auto id = coordinator.Admit(kVerticalSql);
+  ASSERT_TRUE(id.ok());
+  system::FanOutHub hub(&coordinator);
+  auto sub = hub.Subscribe(id.value());
+  ASSERT_TRUE(sub.ok());
+  ASSERT_TRUE(coordinator.Open().ok());
+  for (int e = 0; e < 5; ++e) {
+    auto update = coordinator.StepEpoch();
+    ASSERT_TRUE(update.ok());
+    EXPECT_GT(hub.Publish(update.value()), 0u);
+  }
+  auto latest = hub.Latest(sub.value());
+  ASSERT_NE(latest, nullptr);
+  EXPECT_FALSE(latest->items.empty());
+  auto stats = hub.Stats(sub.value());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().deliveries, 5u);
+  EXPECT_EQ(stats.value().completeness, 1.0);
+  ASSERT_TRUE(coordinator.Close().ok());
+}
+
+}  // namespace
+}  // namespace kspot

@@ -97,7 +97,7 @@ TEST(IntegrationTest, StoredWindowsFeedTja) {
 
   agg::GroupView reference;
   for (sim::NodeId id = 1; id < 16; ++id) {
-    auto w = source.Window(id);
+    auto w = source.MaterializeWindow(id);
     for (size_t t = 0; t < w.size(); ++t) {
       reference.AddReading(static_cast<sim::GroupId>(t), w[t]);
     }

@@ -79,7 +79,8 @@ TEST(NodeRuntimeTest, RejectsBadQueries) {
 TEST(NodeRuntimeTest, SamplesFeedHistory) {
   NodeRuntime node(3, 4, data::GetModalityInfo(data::Modality::kSound));
   for (sim::Epoch e = 0; e < 6; ++e) node.Sample(e, 10.0 * e);
-  auto window = node.history().WindowValues();
+  std::vector<double> window;
+  node.history().Window().ForEach([&](size_t, double v) { window.push_back(v); });
   EXPECT_EQ(window, (std::vector<double>{20, 30, 40, 50}));
 }
 

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <vector>
 
 #include "storage/flash_sim.hpp"
 #include "storage/history_store.hpp"
@@ -11,6 +12,17 @@
 
 namespace kspot::storage {
 namespace {
+
+/// Materializes a window's items oldest-first (the zero-copy API has no
+/// Snapshot() on purpose — tests collect through the same segments hot
+/// paths iterate).
+template <typename T>
+std::vector<T> Collect(const SlidingWindow<T>& w) {
+  std::vector<T> out;
+  out.reserve(w.size());
+  w.ForEach([&](const T& item) { out.push_back(item); });
+  return out;
+}
 
 // ------------------------------------------------------------ SlidingWindow
 
@@ -24,7 +36,7 @@ TEST(SlidingWindowTest, FillsThenEvictsOldest) {
   EXPECT_TRUE(w.full());
   EXPECT_TRUE(w.Push(4, &evicted));
   EXPECT_EQ(evicted, 1);
-  EXPECT_EQ(w.Snapshot(), (std::vector<int>{2, 3, 4}));
+  EXPECT_EQ(Collect(w), (std::vector<int>{2, 3, 4}));
   EXPECT_EQ(w.Front(), 2);
   EXPECT_EQ(w.Back(), 4);
 }
@@ -37,11 +49,21 @@ TEST(SlidingWindowTest, AtIndexesFromOldest) {
   EXPECT_EQ(w.size(), 4u);
 }
 
-TEST(SlidingWindowTest, ZeroCapacityClampsToOne) {
-  SlidingWindow<int> w(0);
-  EXPECT_EQ(w.capacity(), 1u);
-  w.Push(9);
-  EXPECT_EQ(w.Back(), 9);
+TEST(SlidingWindowTest, SegmentsCoverWrappedBufferOldestFirst) {
+  SlidingWindow<int> w(4);
+  for (int i = 0; i < 6; ++i) w.Push(i);  // holds {2,3,4,5}, head mid-array
+  auto first = w.FirstSegment();
+  auto second = w.SecondSegment();
+  EXPECT_EQ(first.size() + second.size(), w.size());
+  EXPECT_FALSE(second.empty());  // wrapped: both segments in play
+  std::vector<int> items(first.begin(), first.end());
+  items.insert(items.end(), second.begin(), second.end());
+  EXPECT_EQ(items, (std::vector<int>{2, 3, 4, 5}));
+  EXPECT_EQ(Collect(w), items);
+}
+
+TEST(SlidingWindowDeathTest, ZeroCapacityAborts) {
+  EXPECT_DEATH(SlidingWindow<int>(0), "capacity must be >= 1");
 }
 
 TEST(SlidingWindowTest, ClearResets) {
@@ -70,6 +92,25 @@ TEST(FlashSimTest, AllocationAndAccounting) {
   EXPECT_EQ(flash.writes(), 1u);
   EXPECT_EQ(flash.reads(), 1u);
   EXPECT_NEAR(flash.energy_j(), model.page_write_j + model.page_read_j, 1e-12);
+}
+
+TEST(FlashSimTest, IoCountersTrackBytesAndCompose) {
+  FlashSim flash;
+  size_t p = flash.AllocatePage();
+  flash.WritePage(p, {1, 2, 3, 4});
+  IoCounters mark = flash.io();
+  EXPECT_EQ(mark.writes, 1u);
+  EXPECT_EQ(mark.bytes, 4u);
+  flash.ReadPage(p);
+  IoCounters delta = flash.io().Since(mark);
+  EXPECT_EQ(delta.reads, 1u);
+  EXPECT_EQ(delta.writes, 0u);
+  EXPECT_EQ(delta.bytes, 4u);
+  EXPECT_NEAR(delta.energy_j, flash.model().page_read_j, 1e-12);
+  IoCounters sum = mark;
+  sum.Add(delta);
+  EXPECT_EQ(sum.reads, flash.io().reads);
+  EXPECT_EQ(sum.bytes, flash.io().bytes);
 }
 
 TEST(FlashSimTest, RejectsInvalidOperations) {
@@ -145,6 +186,67 @@ TEST(MicroHashTest, RecordsSurviveOpenPageAndFlush) {
   EXPECT_EQ(flash.writes(), 0u);  // nothing flushed yet
 }
 
+TEST(MicroHashTest, BucketOverflowChainsAcrossPages) {
+  // 16-byte pages hold two 8-byte records: one bucket overflows a page
+  // every third insert and its chain must keep every record readable.
+  FlashModel model;
+  model.page_size_bytes = 16;
+  model.num_pages = 64;
+  FlashSim flash(model);
+  MicroHashIndex idx(&flash, 0.0, 100.0, 2);
+  for (sim::Epoch e = 0; e < 9; ++e) {
+    ASSERT_TRUE(idx.Insert(e, 80.0 + static_cast<double>(e)));  // one bucket
+  }
+  EXPECT_GE(flash.writes(), 4u);  // 9 records, 2/page: at least 4 flushed pages
+  auto records = idx.ReadBucket(idx.BucketOf(80.0));
+  ASSERT_EQ(records.size(), 9u);
+  auto top = idx.TopK(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].epoch, 8u);  // the largest value inserted last
+  EXPECT_EQ(top[1].epoch, 7u);
+  EXPECT_EQ(top[2].epoch, 6u);
+}
+
+TEST(MicroHashTest, DomainBoundaryValuesRoundTripExactly) {
+  FlashSim flash;
+  MicroHashIndex idx(&flash, -40.0, 125.0, 8);
+  idx.Insert(1, -40.0);   // exact domain_min
+  idx.Insert(2, 125.0);   // exact domain_max (clamped into the top bucket)
+  idx.Insert(3, 42.5);
+  auto top = idx.TopK(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(util::fixed_point::Decode(top[0].value_fx), 125.0);
+  EXPECT_EQ(top[0].epoch, 2u);
+  EXPECT_EQ(util::fixed_point::Decode(top[2].value_fx), -40.0);
+  EXPECT_EQ(top[2].epoch, 1u);
+}
+
+TEST(MicroHashTest, EmptyIndexQueriesReturnNothing) {
+  FlashSim flash;
+  MicroHashIndex idx(&flash, 0.0, 100.0, 8);
+  EXPECT_TRUE(idx.TopK(5).empty());
+  EXPECT_TRUE(idx.ReadBucket(0).empty());
+  EXPECT_EQ(idx.record_count(), 0u);
+  EXPECT_EQ(flash.reads(), 0u);  // no records, no page touches
+}
+
+TEST(MicroHashTest, InsertFailsWhenFlashWraps) {
+  // Two 16-byte pages: the third page flush finds no free page and the
+  // insert reports failure instead of silently dropping records.
+  FlashModel model;
+  model.page_size_bytes = 16;
+  model.num_pages = 2;
+  FlashSim flash(model);
+  MicroHashIndex idx(&flash, 0.0, 100.0, 1);
+  EXPECT_TRUE(idx.Insert(0, 10.0));
+  EXPECT_TRUE(idx.Insert(1, 11.0));  // flushes page 0
+  EXPECT_TRUE(idx.Insert(2, 12.0));
+  EXPECT_TRUE(idx.Insert(3, 13.0));  // flushes page 1
+  EXPECT_TRUE(idx.Insert(4, 14.0));
+  EXPECT_FALSE(idx.Insert(5, 15.0));  // flash full: the flush cannot land
+  EXPECT_EQ(flash.pages_used(), 2u);
+}
+
 // ------------------------------------------------------------- HistoryStore
 
 TEST(HistoryStoreTest, WindowSlidesAndArchives) {
@@ -152,8 +254,11 @@ TEST(HistoryStoreTest, WindowSlidesAndArchives) {
   for (sim::Epoch e = 0; e < 10; ++e) {
     store.Append(e, static_cast<double>(e * 10));
   }
-  auto window = store.WindowValues();
+  std::vector<double> window;
+  store.Window().ForEach([&](size_t, double v) { window.push_back(v); });
   EXPECT_EQ(window, (std::vector<double>{60, 70, 80, 90}));
+  EXPECT_EQ(store.EpochAt(0), 6u);
+  EXPECT_EQ(store.EpochAt(3), 9u);
   // Evicted readings (0..50) are on flash; the archive's best is 50.
   auto archived = store.ArchivedTopK(2);
   ASSERT_EQ(archived.size(), 2u);
@@ -161,11 +266,35 @@ TEST(HistoryStoreTest, WindowSlidesAndArchives) {
   EXPECT_EQ(util::fixed_point::Decode(archived[1].value_fx), 40.0);
 }
 
+TEST(HistoryStoreTest, AppendReportsWindowDelta) {
+  HistoryStore store(3, /*archive_to_flash=*/false, 0.0, 100.0);
+  for (sim::Epoch e = 0; e < 3; ++e) {
+    WindowDelta d = store.Append(e, 1.0 + e);
+    EXPECT_EQ(d.epoch, e);
+    EXPECT_EQ(d.added, 1.0 + e);
+    EXPECT_FALSE(d.evicted);  // still filling
+  }
+  WindowDelta d = store.Append(7, 9.0);  // gaps are fine
+  EXPECT_TRUE(d.evicted);
+  EXPECT_EQ(d.evicted_epoch, 0u);
+  EXPECT_EQ(d.evicted_value, 1.0);
+  EXPECT_EQ(store.EpochAt(2), 7u);
+}
+
+TEST(HistoryStoreDeathTest, OutOfOrderAppendAborts) {
+  HistoryStore store(4, /*archive_to_flash=*/false, 0.0, 100.0);
+  store.Append(5, 1.0);
+  EXPECT_DEATH(store.Append(5, 2.0), "out of order");
+  EXPECT_DEATH(store.Append(3, 2.0), "out of order");
+}
+
 TEST(HistoryStoreTest, NoFlashMeansNoArchive) {
   HistoryStore store(2, /*archive_to_flash=*/false, 0.0, 100.0);
   for (sim::Epoch e = 0; e < 5; ++e) store.Append(e, 1.0 * e);
   EXPECT_TRUE(store.ArchivedTopK(3).empty());
   EXPECT_EQ(store.flash_energy_j(), 0.0);
+  IoCounters io = store.io();
+  EXPECT_EQ(io.reads + io.writes + io.bytes, 0u);
 }
 
 TEST(StoreHistorySourceTest, ExposesWindows) {
@@ -178,7 +307,11 @@ TEST(StoreHistorySourceTest, ExposesWindows) {
   StoreHistorySource source(&stores);
   EXPECT_EQ(source.num_nodes(), 3u);
   EXPECT_EQ(source.window_size(), 3u);
-  EXPECT_EQ(source.Window(2), (std::vector<double>{20, 21, 22}));
+  EXPECT_EQ(source.MaterializeWindow(2), (std::vector<double>{20, 21, 22}));
+  core::WindowSpan span = source.Window(1);
+  ASSERT_EQ(span.size(), 3u);
+  EXPECT_EQ(span[0], 10.0);
+  EXPECT_EQ(span[2], 12.0);
 }
 
 }  // namespace
